@@ -1,0 +1,60 @@
+// Command vcaasm assembles a source file and either disassembles the
+// image or runs it on the functional emulator.
+//
+// Usage:
+//
+//	vcaasm prog.s             # assemble + disassemble
+//	vcaasm -run prog.s        # assemble + run functionally
+//	vcaasm -run -windowed prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vca/internal/asm"
+	"vca/internal/emu"
+)
+
+var (
+	flagRun      = flag.Bool("run", false, "run the program on the functional emulator")
+	flagWindowed = flag.Bool("windowed", false, "enable register-window call/return semantics")
+	flagMax      = flag.Uint64("max", 1<<30, "instruction budget when running")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vcaasm [-run] [-windowed] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := asm.AssembleWith(string(src), asm.Options{Name: flag.Arg(0)})
+	if err != nil {
+		fail(err)
+	}
+	if !*flagRun {
+		fmt.Print(prog.Disasm())
+		fmt.Printf("; text: %d instructions, data: %d bytes, entry %#x\n",
+			len(prog.Text), len(prog.Data), prog.Entry)
+		return
+	}
+	m := emu.New(prog, emu.Config{Windowed: *flagWindowed, MaxInsts: *flagMax})
+	reason, err := m.Run()
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(m.Output.Bytes())
+	_, code := m.Exited()
+	fmt.Fprintf(os.Stderr, "\n[%v: %d instructions, exit %d]\n", reason, m.Stats.Insts, code)
+	os.Exit(int(code))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vcaasm:", err)
+	os.Exit(1)
+}

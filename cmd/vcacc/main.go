@@ -1,0 +1,67 @@
+// Command vcacc compiles a mini-C source file to assembly or runs it.
+//
+// Usage:
+//
+//	vcacc prog.c                   # emit flat-ABI assembly on stdout
+//	vcacc -abi windowed prog.c
+//	vcacc -run prog.c              # compile + run on the emulator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vca/internal/emu"
+	"vca/internal/minic"
+)
+
+var (
+	flagABI = flag.String("abi", "flat", "flat | windowed")
+	flagRun = flag.Bool("run", false, "compile and run on the functional emulator")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vcacc [-abi flat|windowed] [-run] file.c")
+		os.Exit(2)
+	}
+	abi := minic.ABIFlat
+	switch *flagABI {
+	case "flat":
+	case "windowed":
+		abi = minic.ABIWindowed
+	default:
+		fail(fmt.Errorf("unknown ABI %q", *flagABI))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	if !*flagRun {
+		text, err := minic.Compile(string(src), abi)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	prog, err := minic.Build(flag.Arg(0), string(src), abi)
+	if err != nil {
+		fail(err)
+	}
+	m := emu.New(prog, emu.Config{Windowed: abi == minic.ABIWindowed})
+	if _, err := m.Run(); err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(m.Output.Bytes())
+	_, code := m.Exited()
+	fmt.Fprintf(os.Stderr, "\n[%d instructions, exit %d]\n", m.Stats.Insts, code)
+	os.Exit(int(code))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vcacc:", err)
+	os.Exit(1)
+}

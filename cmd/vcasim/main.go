@@ -1,0 +1,109 @@
+// Command vcasim runs one benchmark (or a multiprogrammed set) on a
+// chosen machine model and prints the measurements.
+//
+// Usage:
+//
+//	vcasim -bench crafty -arch vca-windowed -regs 128
+//	vcasim -bench crafty,mesa -arch vca-flat -regs 192          # 2-thread SMT
+//	vcasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	vca "vca"
+	"vca/internal/minic"
+	"vca/internal/workload"
+)
+
+var (
+	flagBench = flag.String("bench", "crafty", "comma-separated benchmark names (one per thread)")
+	flagArch  = flag.String("arch", "baseline", "baseline | conv-windowed | ideal-windowed | vca-flat | vca-windowed")
+	flagRegs  = flag.Int("regs", 256, "physical register file size")
+	flagPorts = flag.Int("ports", 2, "data cache ports")
+	flagStop  = flag.Uint64("stop", 0, "stop after any thread commits N instructions (0 = run to exit)")
+	flagList  = flag.Bool("list", false, "list benchmarks and exit")
+	flagTrace = flag.Bool("trace", false, "print a per-committed-instruction trace to stderr")
+)
+
+func main() {
+	flag.Parse()
+	if *flagList {
+		for _, b := range workload.All() {
+			kind := "int"
+			if b.FP {
+				kind = "fp"
+			}
+			fmt.Printf("%-16s %s\n", b.Name, kind)
+		}
+		return
+	}
+
+	arch, ok := map[string]vca.Arch{
+		"baseline":       vca.Baseline,
+		"conv-windowed":  vca.ConvWindowed,
+		"ideal-windowed": vca.IdealWindowed,
+		"vca-flat":       vca.VCAFlat,
+		"vca-windowed":   vca.VCAWindowed,
+	}[*flagArch]
+	if !ok {
+		fail(fmt.Errorf("unknown architecture %q", *flagArch))
+	}
+
+	abi := minic.ABIFlat
+	if arch.Windowed() {
+		abi = minic.ABIWindowed
+	}
+	var progs []*vca.Program
+	var names []string
+	for _, name := range strings.Split(*flagBench, ",") {
+		b, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		p, err := b.Build(abi)
+		if err != nil {
+			fail(err)
+		}
+		progs = append(progs, p)
+		names = append(names, b.Name)
+	}
+
+	spec := vca.MachineSpec{
+		Arch:      arch,
+		PhysRegs:  *flagRegs,
+		DL1Ports:  *flagPorts,
+		StopAfter: *flagStop,
+	}
+	if *flagTrace {
+		spec.Trace = os.Stderr
+	}
+	res, err := vca.Run(spec, progs...)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("arch=%s regs=%d ports=%d threads=%d\n", arch, *flagRegs, *flagPorts, len(progs))
+	fmt.Printf("cycles=%d  IPC=%.3f\n", res.Cycles, res.IPC())
+	for i, t := range res.Threads {
+		fmt.Printf("thread %d (%s): committed=%d CPI=%.3f done=%v output=%q\n",
+			i, names[i], t.Committed, t.CPI, t.Done, t.Output)
+	}
+	fmt.Printf("DL1 accesses=%d (program=%d spill/fill=%d window-trap=%d) missrate=%.4f\n",
+		res.DL1.TotalAccesses(), res.DL1.Accesses[0], res.DL1.Accesses[1], res.DL1.Accesses[2], res.DL1.MissRate())
+	fmt.Printf("mispredicts=%d squashed=%d windowTraps=%d spills=%d fills=%d\n",
+		res.Mispredicts, res.Squashed, res.WindowTraps, res.SpillsIssued, res.FillsIssued)
+	if res.VCAStats != nil {
+		s := res.VCAStats
+		fmt.Printf("vca: srcHits=%d fills=%d spills=%d overwriteFrees=%d tableEvicts=%d physEvicts=%d renameStalls=%d\n",
+			s.SrcHits, s.Fills, s.Spills, s.Overwrites, s.TableConflictEvicts, s.PhysEvicts, s.RenameStalls)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vcasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Regwindows compares the paper's four register-window architectures
+// (Figure 4's cast) on a call-heavy recursive workload: the conventional
+// baseline, trap-based hardware windows, idealized windows, and VCA.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vca "vca"
+)
+
+// A call-dense workload: recursive tree summation with per-node helper
+// calls, the pattern register windows exist for.
+const source = `
+int values[2048];
+int seed = 99;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+int weight(int v) { return (v & 15) + 1; }
+
+int sumRange(int lo, int hi) {
+	if (hi - lo <= 4) {
+		int s = 0;
+		int i;
+		for (i = lo; i < hi; i = i + 1) { s = s + weight(values[i]); }
+		return s;
+	}
+	int mid = lo + (hi - lo) / 2;
+	int left = sumRange(lo, mid);
+	int right = sumRange(mid, hi);
+	return left + right;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 2048; i = i + 1) { values[i] = rnd(); }
+	int total = 0;
+	for (i = 0; i < 30; i = i + 1) { total = (total + sumRange(0, 2048)) & 0xffffff; }
+	print_int(total);
+	return 0;
+}`
+
+func main() {
+	flat, err := vca.CompileC(source, vca.ABIFlat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	windowed, err := vca.CompileC(source, vca.ABIWindowed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, flatLen, err := vca.Emulate(flat, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, winLen, err := vca.Emulate(windowed, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("path length: flat=%d windowed=%d ratio=%.3f\n\n", flatLen, winLen,
+		float64(winLen)/float64(flatLen))
+
+	type entry struct {
+		name string
+		arch vca.Arch
+		prog *vca.Program
+		len  uint64
+	}
+	machines := []entry{
+		{"baseline (no windows)", vca.Baseline, flat, flatLen},
+		{"conventional windows", vca.ConvWindowed, windowed, winLen},
+		{"ideal windows", vca.IdealWindowed, windowed, winLen},
+		{"vca windows", vca.VCAWindowed, windowed, winLen},
+	}
+
+	for _, regs := range []int{128, 256} {
+		fmt.Printf("--- %d physical registers ---\n", regs)
+		var baseTime float64
+		for _, m := range machines {
+			res, err := vca.Run(vca.MachineSpec{Arch: m.arch, PhysRegs: regs}, m.prog)
+			if err != nil {
+				fmt.Printf("%-24s cannot run (%v)\n", m.name, err)
+				continue
+			}
+			cpi := float64(res.Cycles) / float64(res.Threads[0].Committed)
+			time := cpi * float64(m.len)
+			if m.arch == vca.Baseline {
+				baseTime = time
+			}
+			rel := time / baseTime
+			fmt.Printf("%-24s CPI=%.3f est.time=%.0f (%.2fx baseline) dcache=%d traps=%d spills+fills=%d\n",
+				m.name, cpi, time, rel, res.DL1.TotalAccesses(), res.WindowTraps,
+				res.SpillsIssued+res.FillsIssued)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module vca
+
+go 1.22

@@ -1,0 +1,548 @@
+// Package asm implements a two-pass assembler for the ISA in internal/isa.
+//
+// Syntax is conventional:
+//
+//	        .text
+//	main:   addi sp, sp, -32      ; comment
+//	        stq  ra, 24(sp)
+//	        li   t0, 0x12345678
+//	        la   a0, table
+//	loop:   beq  t0, done
+//	        jsr  helper
+//	        jmp  loop
+//	done:   ldq  ra, 24(sp)
+//	        ret
+//	        .data
+//	table:  .quad 1, 2, 3, helper
+//	msg:    .asciz "hi\n"
+//	buf:    .space 256
+//
+// Pseudo-instructions: li (64-bit constant synthesis), la (address
+// materialization, fixed three words), mov, nop, neg, subi, call (alias of
+// jsr), b (alias of jmp), and bare ret (returns via ra).
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"vca/internal/isa"
+	"vca/internal/program"
+)
+
+// Options configures segment placement.
+type Options struct {
+	Name     string
+	TextBase uint64
+	DataBase uint64
+}
+
+// Assemble assembles source text with default segment placement.
+func Assemble(src string) (*program.Program, error) {
+	return AssembleWith(src, Options{})
+}
+
+// AssembleWith assembles with explicit options.
+func AssembleWith(src string, opts Options) (*program.Program, error) {
+	if opts.TextBase == 0 {
+		opts.TextBase = program.DefaultTextBase
+	}
+	if opts.DataBase == 0 {
+		opts.DataBase = program.DefaultDataBase
+	}
+	lines, errs := splitLines(src)
+	a := &assembler{opts: opts, symbols: map[string]uint64{}, errs: errs}
+	a.pass1(lines)
+	if len(a.errs) == 0 {
+		a.pass2(lines)
+	}
+	if len(a.errs) > 0 {
+		return nil, errors.Join(a.errs...)
+	}
+	p := &program.Program{
+		Name:     opts.Name,
+		TextBase: opts.TextBase,
+		Text:     a.text,
+		DataBase: opts.DataBase,
+		Data:     a.data,
+		Symbols:  a.symbols,
+	}
+	entry, ok := a.symbols["_start"]
+	if !ok {
+		entry, ok = a.symbols["main"]
+	}
+	if !ok {
+		entry = opts.TextBase
+	}
+	p.Entry = entry
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type assembler struct {
+	opts    Options
+	symbols map[string]uint64
+	text    []isa.Word
+	data    []byte
+	errs    []error
+}
+
+func (a *assembler) errf(ln line, format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf("line %d: %s", ln.num, fmt.Sprintf(format, args...)))
+}
+
+// instSize returns the number of words a (possibly pseudo) instruction
+// occupies; needed before labels are resolved.
+func (a *assembler) instSize(ln line) int {
+	switch ln.mnem {
+	case "li":
+		if len(ln.args) != 2 {
+			a.errf(ln, "li wants 2 operands")
+			return 1
+		}
+		v, err := parseInt(ln.args[1])
+		if err != nil {
+			a.errf(ln, "li: %v", err)
+			return 1
+		}
+		return LiLen(v)
+	case "la":
+		return LaLen
+	default:
+		return 1
+	}
+}
+
+func (a *assembler) pass1(lines []line) {
+	textW, dataB := 0, 0
+	inText := true
+	define := func(ln line, name string, addr uint64) {
+		if _, dup := a.symbols[name]; dup {
+			a.errf(ln, "duplicate label %q", name)
+			return
+		}
+		a.symbols[name] = addr
+	}
+	for _, ln := range lines {
+		if ln.label != "" {
+			if inText {
+				define(ln, ln.label, a.opts.TextBase+uint64(textW)*4)
+			} else {
+				define(ln, ln.label, a.opts.DataBase+uint64(dataB))
+			}
+		}
+		if ln.mnem == "" {
+			continue
+		}
+		if ln.isDir {
+			switch ln.mnem {
+			case ".text":
+				inText = true
+			case ".data":
+				inText = false
+			case ".align":
+				n, err := a.dirAlign(ln)
+				if err != nil {
+					a.errf(ln, "%v", err)
+					continue
+				}
+				if inText {
+					a.errf(ln, ".align only supported in .data")
+					continue
+				}
+				for dataB%n != 0 {
+					dataB++
+				}
+				// Re-point a label on the same line at the aligned address.
+				if ln.label != "" {
+					a.symbols[ln.label] = a.opts.DataBase + uint64(dataB)
+				}
+			case ".quad", ".double":
+				dataB += 8 * len(ln.args)
+			case ".long":
+				dataB += 4 * len(ln.args)
+			case ".byte":
+				dataB += len(ln.args)
+			case ".ascii", ".asciz":
+				s, err := parseString(strings.Join(ln.args, ","))
+				if err != nil {
+					a.errf(ln, "%v", err)
+					continue
+				}
+				dataB += len(s)
+				if ln.mnem == ".asciz" {
+					dataB++
+				}
+			case ".space":
+				n, err := parseInt(strings.Join(ln.args, ""))
+				if err != nil || n < 0 {
+					a.errf(ln, "bad .space size")
+					continue
+				}
+				dataB += int(n)
+			default:
+				a.errf(ln, "unknown directive %s", ln.mnem)
+			}
+			continue
+		}
+		if !inText {
+			a.errf(ln, "instruction in .data section")
+			continue
+		}
+		textW += a.instSize(ln)
+	}
+}
+
+func (a *assembler) dirAlign(ln line) (int, error) {
+	n, err := parseInt(strings.Join(ln.args, ""))
+	if err != nil || n <= 0 || (n&(n-1)) != 0 {
+		return 0, fmt.Errorf("bad .align operand")
+	}
+	return int(n), nil
+}
+
+// resolve evaluates an operand that may be an integer literal, a symbol, or
+// symbol±offset.
+func (a *assembler) resolve(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, err := parseInt(s); err == nil {
+		return v, nil
+	}
+	base, off := s, int64(0)
+	for _, sep := range []string{"+", "-"} {
+		if i := strings.LastIndex(s, sep); i > 0 {
+			o, err := parseInt(s[i:])
+			if err == nil {
+				base, off = strings.TrimSpace(s[:i]), o
+				break
+			}
+		}
+	}
+	if addr, ok := a.symbols[base]; ok {
+		return int64(addr) + off, nil
+	}
+	return 0, fmt.Errorf("undefined symbol %q", base)
+}
+
+func (a *assembler) pass2(lines []line) {
+	inText := true
+	for _, ln := range lines {
+		if ln.mnem == "" {
+			continue
+		}
+		if ln.isDir {
+			switch ln.mnem {
+			case ".text":
+				inText = true
+			case ".data":
+				inText = false
+			case ".align":
+				n, _ := a.dirAlign(ln)
+				for len(a.data)%n != 0 {
+					a.data = append(a.data, 0)
+				}
+			case ".quad":
+				for _, arg := range ln.args {
+					v, err := a.resolve(arg)
+					if err != nil {
+						a.errf(ln, "%v", err)
+					}
+					a.emitData(uint64(v), 8)
+				}
+			case ".double":
+				for _, arg := range ln.args {
+					var f float64
+					if _, err := fmt.Sscanf(strings.TrimSpace(arg), "%g", &f); err != nil {
+						a.errf(ln, "bad float %q", arg)
+					}
+					a.emitData(math.Float64bits(f), 8)
+				}
+			case ".long":
+				for _, arg := range ln.args {
+					v, err := a.resolve(arg)
+					if err != nil {
+						a.errf(ln, "%v", err)
+					}
+					a.emitData(uint64(v), 4)
+				}
+			case ".byte":
+				for _, arg := range ln.args {
+					v, err := a.resolve(arg)
+					if err != nil {
+						a.errf(ln, "%v", err)
+					}
+					a.emitData(uint64(v), 1)
+				}
+			case ".ascii", ".asciz":
+				s, _ := parseString(strings.Join(ln.args, ","))
+				a.data = append(a.data, s...)
+				if ln.mnem == ".asciz" {
+					a.data = append(a.data, 0)
+				}
+			case ".space":
+				n, _ := parseInt(strings.Join(ln.args, ""))
+				a.data = append(a.data, make([]byte, n)...)
+			}
+			continue
+		}
+		if !inText {
+			continue // reported in pass 1
+		}
+		a.encodeInst(ln)
+	}
+}
+
+func (a *assembler) emitData(v uint64, size int) {
+	for i := 0; i < size; i++ {
+		a.data = append(a.data, byte(v>>(8*i)))
+	}
+}
+
+func (a *assembler) pc() uint64 { return a.opts.TextBase + uint64(len(a.text))*4 }
+
+func (a *assembler) emit(w isa.Word, err error, ln line) {
+	if err != nil {
+		a.errf(ln, "%v", err)
+	}
+	a.text = append(a.text, w)
+}
+
+// encodeInst encodes one instruction (or pseudo) at the current pc.
+func (a *assembler) encodeInst(ln line) {
+	mnem, args := ln.mnem, ln.args
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "li":
+		d, err1 := parseReg(args[0])
+		v, err2 := parseInt(args[1])
+		if err1 != nil || err2 != nil {
+			a.errf(ln, "li: bad operands")
+			a.text = append(a.text, 0)
+			return
+		}
+		a.text = append(a.text, liWords(d, v)...)
+		return
+	case "la":
+		if len(args) != 2 {
+			a.errf(ln, "la wants 2 operands")
+			return
+		}
+		d, err1 := parseReg(args[0])
+		addr, err2 := a.resolve(args[1])
+		if err1 != nil || err2 != nil || addr < 0 {
+			a.errf(ln, "la: bad operands (%v %v)", err1, err2)
+			a.text = append(a.text, 0, 0, 0)
+			return
+		}
+		words, ok := laWords(d, uint64(addr))
+		if !ok {
+			a.errf(ln, "la: address %#x exceeds %#x", addr, LaMaxAddr)
+			a.text = append(a.text, 0, 0, 0)
+			return
+		}
+		a.text = append(a.text, words...)
+		return
+	case "mov":
+		d, err1 := parseReg(args[0])
+		s, err2 := parseReg(args[1])
+		if err1 != nil || err2 != nil {
+			a.errf(ln, "mov: bad operands")
+			a.text = append(a.text, 0)
+			return
+		}
+		if d.IsFP() != s.IsFP() {
+			a.errf(ln, "mov: cannot move between register files (use cvtif/cvtfi)")
+		}
+		if d.IsFP() {
+			a.emit(isa.EncodeR(isa.OpFMov, uint8(s.FileIndex()), 0, uint8(d.FileIndex())), nil, ln)
+		} else {
+			a.emit(isa.EncodeR(isa.OpOr, uint8(s), uint8(isa.ZeroInt), uint8(d)), nil, ln)
+		}
+		return
+	case "nop":
+		w, err := isa.EncodeI(isa.OpAddI, uint8(isa.ZeroInt), uint8(isa.ZeroInt), 0)
+		a.emit(w, err, ln)
+		return
+	case "neg":
+		d, err1 := parseReg(args[0])
+		s, err2 := parseReg(args[1])
+		if err1 != nil || err2 != nil {
+			a.errf(ln, "neg: bad operands")
+			return
+		}
+		a.emit(isa.EncodeR(isa.OpSub, uint8(isa.ZeroInt), uint8(s), uint8(d)), nil, ln)
+		return
+	case "subi":
+		mnem = "addi"
+		v, err := parseInt(args[2])
+		if err != nil {
+			a.errf(ln, "subi: %v", err)
+			return
+		}
+		args = []string{args[0], args[1], fmt.Sprint(-v)}
+	case "call":
+		mnem = "jsr"
+	case "b":
+		mnem = "jmp"
+	case "ret":
+		if len(args) == 0 {
+			args = []string{"ra"}
+		}
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		a.errf(ln, "unknown instruction %q", mnem)
+		a.text = append(a.text, 0)
+		return
+	}
+
+	need := func(n int) bool {
+		if len(args) != n {
+			a.errf(ln, "%s wants %d operands, got %d", mnem, n, len(args))
+			a.text = append(a.text, 0)
+			return false
+		}
+		return true
+	}
+
+	switch op.Fmt() {
+	case isa.FmtR:
+		// Unary R ops: fsqrt/fmov/cvt take 2 operands.
+		inst := isa.Inst{Op: op}
+		unary := op == isa.OpFSqrt || op == isa.OpFMov || op == isa.OpCvtIF || op == isa.OpCvtFI
+		if unary {
+			if !need(2) {
+				return
+			}
+			d, e1 := parseReg(args[0])
+			s, e2 := parseReg(args[1])
+			if e1 != nil || e2 != nil {
+				a.errf(ln, "bad operands")
+				a.text = append(a.text, 0)
+				return
+			}
+			inst.A, inst.C = uint8(s.FileIndex()), uint8(d.FileIndex())
+		} else {
+			if !need(3) {
+				return
+			}
+			d, e1 := parseReg(args[0])
+			s1, e2 := parseReg(args[1])
+			s2, e3 := parseReg(args[2])
+			if e1 != nil || e2 != nil || e3 != nil {
+				a.errf(ln, "bad operands")
+				a.text = append(a.text, 0)
+				return
+			}
+			inst.A, inst.B, inst.C = uint8(s1.FileIndex()), uint8(s2.FileIndex()), uint8(d.FileIndex())
+		}
+		w, err := inst.Encode()
+		a.emit(w, err, ln)
+
+	case isa.FmtI:
+		switch op.OpClass() {
+		case isa.ClassLoad:
+			if !need(2) {
+				return
+			}
+			d, e1 := parseReg(args[0])
+			disp, base, e2 := parseMem(args[1], a.resolve)
+			if e1 != nil || e2 != nil {
+				a.errf(ln, "bad load operands")
+				a.text = append(a.text, 0)
+				return
+			}
+			w, err := isa.EncodeI(op, uint8(base), uint8(d.FileIndex()), int32(disp))
+			a.emit(w, err, ln)
+		case isa.ClassStore:
+			if !need(2) {
+				return
+			}
+			v, e1 := parseReg(args[0])
+			disp, base, e2 := parseMem(args[1], a.resolve)
+			if e1 != nil || e2 != nil {
+				a.errf(ln, "bad store operands")
+				a.text = append(a.text, 0)
+				return
+			}
+			w, err := isa.EncodeI(op, uint8(base), uint8(v.FileIndex()), int32(disp))
+			a.emit(w, err, ln)
+		default: // register-immediate ALU
+			if !need(3) {
+				return
+			}
+			d, e1 := parseReg(args[0])
+			s, e2 := parseReg(args[1])
+			imm, e3 := a.resolve(args[2])
+			if e1 != nil || e2 != nil || e3 != nil {
+				a.errf(ln, "bad operands")
+				a.text = append(a.text, 0)
+				return
+			}
+			w, err := isa.EncodeI(op, uint8(s), uint8(d), int32(imm))
+			a.emit(w, err, ln)
+		}
+
+	case isa.FmtBr:
+		if !need(2) {
+			return
+		}
+		r, e1 := parseReg(args[0])
+		target, e2 := a.resolve(args[1])
+		if e1 != nil || e2 != nil {
+			a.errf(ln, "bad branch operands")
+			a.text = append(a.text, 0)
+			return
+		}
+		disp := (target - int64(a.pc()) - 4) / 4
+		w, err := isa.EncodeBr(op, uint8(r), int32(disp))
+		a.emit(w, err, ln)
+
+	case isa.FmtJ:
+		if !need(1) {
+			return
+		}
+		target, err := a.resolve(args[0])
+		if err != nil {
+			a.errf(ln, "%v", err)
+			a.text = append(a.text, 0)
+			return
+		}
+		disp := (target - int64(a.pc()) - 4) / 4
+		w, err := isa.EncodeJ(op, int32(disp))
+		a.emit(w, err, ln)
+
+	case isa.FmtJR:
+		if !need(1) {
+			return
+		}
+		arg := strings.TrimSpace(args[0])
+		arg = strings.TrimPrefix(arg, "(")
+		arg = strings.TrimSuffix(arg, ")")
+		r, err := parseReg(arg)
+		if err != nil {
+			a.errf(ln, "%v", err)
+			a.text = append(a.text, 0)
+			return
+		}
+		a.emit(isa.EncodeJR(op, uint8(r)), nil, ln)
+
+	case isa.FmtSys:
+		if !need(1) {
+			return
+		}
+		code, err := a.resolve(args[0])
+		if err != nil || code < 0 || code > 0xFFFF {
+			a.errf(ln, "bad syscall code")
+			a.text = append(a.text, 0)
+			return
+		}
+		a.emit(isa.EncodeSys(uint16(code)), nil, ln)
+	}
+}

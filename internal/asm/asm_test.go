@@ -1,0 +1,349 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vca/internal/isa"
+	"vca/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   addi t0, zero, 5
+loop:   subi t0, t0, 1
+        bne  t0, loop
+        syscall 0
+`)
+	if p.Entry != p.TextBase {
+		t.Errorf("entry = %#x, want text base %#x", p.Entry, p.TextBase)
+	}
+	if len(p.Text) != 4 {
+		t.Fatalf("got %d words, want 4", len(p.Text))
+	}
+	i0 := isa.Decode(p.Text[0])
+	if i0.Op != isa.OpAddI || i0.Dest() != isa.RegT0 || i0.Imm != 5 {
+		t.Errorf("inst 0 = %v", i0)
+	}
+	i1 := isa.Decode(p.Text[1])
+	if i1.Op != isa.OpAddI || i1.Imm != -1 {
+		t.Errorf("subi should become addi -1, got %v", i1)
+	}
+	br := isa.Decode(p.Text[2])
+	if br.Op != isa.OpBne {
+		t.Fatalf("inst 2 = %v", br)
+	}
+	tgt, _ := br.ControlTarget(p.TextBase + 8)
+	if want := p.Symbols["loop"]; tgt != want {
+		t.Errorf("branch target %#x, want %#x", tgt, want)
+	}
+}
+
+func TestLabelsAndSections(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+_start: la a0, msg
+        jsr f
+        syscall 0
+f:      ret
+        .data
+msg:    .asciz "hi\n"
+        .align 8
+vals:   .quad 1, 2, f
+bytes:  .byte 1, 2, 3
+`)
+	if p.Entry != p.Symbols["_start"] {
+		t.Error("entry should be _start")
+	}
+	msg := p.Symbols["msg"]
+	if msg != p.DataBase {
+		t.Errorf("msg at %#x, want data base", msg)
+	}
+	// "hi\n\0" is 4 bytes; vals aligned to 8.
+	vals := p.Symbols["vals"]
+	if vals != p.DataBase+8 {
+		t.Errorf("vals at %#x, want %#x", vals, p.DataBase+8)
+	}
+	// Third quad holds address of f.
+	off := vals - p.DataBase + 16
+	var got uint64
+	for i := 0; i < 8; i++ {
+		got |= uint64(p.Data[off+uint64(i)]) << (8 * i)
+	}
+	if got != p.Symbols["f"] {
+		t.Errorf(".quad f = %#x, want %#x", got, p.Symbols["f"])
+	}
+	if string(p.Data[0:3]) != "hi\n" || p.Data[3] != 0 {
+		t.Errorf("string data wrong: %q", p.Data[:4])
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	cases := []int64{0, 1, -1, 8191, -8192, 8192, 100000, -100000,
+		1 << 30, -(1 << 40), math.MaxInt64, math.MinInt64, 0x12345678}
+	for _, v := range cases {
+		words := liWords(isa.RegT0, v)
+		if len(words) != LiLen(v) {
+			t.Errorf("li %d: got %d words, LiLen says %d", v, len(words), LiLen(v))
+		}
+		// Evaluate the sequence.
+		var regs [64]uint64
+		for _, w := range words {
+			in := isa.Decode(w)
+			a := regs[in.SrcA()]
+			if in.SrcA() == isa.ZeroInt {
+				a = 0
+			}
+			regs[in.Dest()] = isa.EvalALU(in.Op, a, in.ImmOperand())
+		}
+		if got := int64(regs[isa.RegT0]); got != v {
+			t.Errorf("li %d evaluated to %d", v, got)
+		}
+	}
+}
+
+// Property: li round-trips any 64-bit value.
+func TestQuickLi(t *testing.T) {
+	f := func(v int64) bool {
+		var regs [64]uint64
+		for _, w := range liWords(isa.RegT1, v) {
+			in := isa.Decode(w)
+			a := regs[in.SrcA()]
+			if in.SrcA() == isa.ZeroInt {
+				a = 0
+			}
+			regs[in.Dest()] = isa.EvalALU(in.Op, a, in.ImmOperand())
+		}
+		return int64(regs[isa.RegT1]) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaExpansion(t *testing.T) {
+	p := mustAssemble(t, `
+main:   la t2, buf
+        syscall 0
+        .data
+        .space 4096
+buf:    .quad 0
+`)
+	var regs [64]uint64
+	for i := 0; i < LaLen; i++ {
+		in := isa.Decode(p.Text[i])
+		a := regs[in.SrcA()]
+		if in.SrcA() == isa.ZeroInt {
+			a = 0
+		}
+		regs[in.Dest()] = isa.EvalALU(in.Op, a, in.ImmOperand())
+	}
+	if regs[isa.RegT2] != p.Symbols["buf"] {
+		t.Errorf("la produced %#x, want %#x", regs[isa.RegT2], p.Symbols["buf"])
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+main:   ldq t0, 16(sp)
+        stq t0, -8(sp)
+        ldf fs0, 0(a0)
+        stf fa0, 8(a1)
+        syscall 0
+`)
+	ld := isa.Decode(p.Text[0])
+	if ld.Op != isa.OpLdQ || ld.SrcA() != isa.RegSP || ld.Dest() != isa.RegT0 || ld.Imm != 16 {
+		t.Errorf("ldq decoded as %v (%+v)", ld, ld)
+	}
+	st := isa.Decode(p.Text[1])
+	if st.Op != isa.OpStQ || st.SrcB() != isa.RegT0 || st.Imm != -8 {
+		t.Errorf("stq decoded as %v", st)
+	}
+	lf := isa.Decode(p.Text[2])
+	if lf.Dest() != isa.FPReg(0) || lf.SrcA() != isa.RegA0 {
+		t.Errorf("ldf decoded as %v", lf)
+	}
+	sf := isa.Decode(p.Text[3])
+	if sf.SrcB() != isa.RegFA0 || sf.SrcA() != isa.RegA1 {
+		t.Errorf("stf decoded as %v", sf)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	p := mustAssemble(t, `
+main:   mov t0, a0
+        mov fs0, fa0
+        nop
+        neg t1, t0
+        call main
+        ret
+        syscall 0
+`)
+	mv := isa.Decode(p.Text[0])
+	if mv.Op != isa.OpOr || mv.Dest() != isa.RegT0 || mv.SrcA() != isa.RegA0 || mv.SrcB() != isa.ZeroInt {
+		t.Errorf("mov = %v", mv)
+	}
+	fmv := isa.Decode(p.Text[1])
+	if fmv.Op != isa.OpFMov || fmv.Dest() != isa.FPReg(0) || fmv.SrcA() != isa.RegFA0 {
+		t.Errorf("fmov = %v", fmv)
+	}
+	nop := isa.Decode(p.Text[2])
+	if nop.DestRenamed() != isa.RegNone {
+		t.Errorf("nop renames a dest: %v", nop)
+	}
+	neg := isa.Decode(p.Text[3])
+	if neg.Op != isa.OpSub || neg.SrcA() != isa.ZeroInt || neg.SrcB() != isa.RegT0 {
+		t.Errorf("neg = %v", neg)
+	}
+	call := isa.Decode(p.Text[4])
+	if call.Op != isa.OpJsr || call.Dest() != isa.RegRA {
+		t.Errorf("call = %v", call)
+	}
+	ret := isa.Decode(p.Text[5])
+	if ret.Op != isa.OpRet || ret.SrcA() != isa.RegRA {
+		t.Errorf("ret = %v", ret)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "main: frobnicate t0, t1\n syscall 0",
+		"unknown register": "main: add q9, t0, t1\n syscall 0",
+		"duplicate label":  "main: nop\nmain: syscall 0",
+		"undefined symbol": "main: jmp nowhere\n syscall 0",
+		"bad imm range":    "main: addi t0, t0, 100000\n syscall 0",
+		"inst in data":     ".data\nmain: add t0, t0, t0",
+		"operand count":    "main: add t0, t1\n syscall 0",
+		"unterminated str": ".data\ns: .ascii \"oops\nmain: syscall 0",
+		"bad directive":    ".bogus 4\nmain: syscall 0",
+		"file mix in mov":  "main: mov t0, fs0\n syscall 0",
+		"empty program":    "   \n\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDoubleDirective(t *testing.T) {
+	p := mustAssemble(t, `
+main:   syscall 0
+        .data
+pi:     .double 3.5, -0.25
+`)
+	read := func(off int) float64 {
+		var u uint64
+		for i := 0; i < 8; i++ {
+			u |= uint64(p.Data[off+i]) << (8 * i)
+		}
+		return math.Float64frombits(u)
+	}
+	if read(0) != 3.5 || read(8) != -0.25 {
+		t.Errorf(".double data wrong: %v %v", read(0), read(8))
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	// Every text word in a real program should disassemble to something
+	// the assembler recognizes structurally (no "??" or "invalid").
+	p := mustAssemble(t, `
+main:   li t0, 123456789
+        la a0, d
+        add s0, s1, s2
+        fadd fs0, fs1, fs2
+        fsqrt fs3, fs0
+        cvtif fs4, t0
+        cvtfi t1, fs4
+        fcmplt t2, fs0, fs1
+        beq t2, main
+        jsrr t0
+        jmpr t0
+        syscall 2
+        ret
+        .data
+d:      .quad 7
+`)
+	text := p.Disasm()
+	if strings.Contains(text, "??") || strings.Contains(text, "invalid") {
+		t.Errorf("disassembly contains junk:\n%s", text)
+	}
+	if !strings.Contains(text, "main:") {
+		t.Error("disassembly missing symbol")
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	p := mustAssemble(t, `
+main:   nop
+        nop
+helper: nop
+        syscall 0
+`)
+	if got := p.SymbolFor(p.Symbols["helper"]); got != "helper" {
+		t.Errorf("SymbolFor(helper) = %q", got)
+	}
+	if got := p.SymbolFor(p.Symbols["main"] + 4); got != "main+0x4" {
+		t.Errorf("SymbolFor(main+4) = %q", got)
+	}
+}
+
+func TestProgramValidateAndLoad(t *testing.T) {
+	p := mustAssemble(t, "main: syscall 0\n.data\nd: .byte 0xAB")
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	img := map[uint64]byte{}
+	p.LoadInto(loaderFunc(func(addr uint64, b []byte) {
+		for i, v := range b {
+			img[addr+uint64(i)] = v
+		}
+	}))
+	if img[p.DataBase] != 0xAB {
+		t.Error("data byte not loaded")
+	}
+	w := isa.Word(uint32(img[p.TextBase]) | uint32(img[p.TextBase+1])<<8 |
+		uint32(img[p.TextBase+2])<<16 | uint32(img[p.TextBase+3])<<24)
+	if isa.Decode(w).Op != isa.OpSyscall {
+		t.Error("text word not loaded little-endian")
+	}
+}
+
+type loaderFunc func(uint64, []byte)
+
+func (f loaderFunc) WriteBytes(a uint64, b []byte) { f(a, b) }
+
+func TestThreadRegSpaceDisjoint(t *testing.T) {
+	g0, w0 := program.ThreadRegSpace(0)
+	g1, w1 := program.ThreadRegSpace(1)
+	if g0 == g1 || w0 == w1 {
+		t.Error("thread register spaces must differ")
+	}
+	if w0 <= g0 || w0-g0 >= program.RegSpaceStride {
+		t.Error("window stack must sit above globals within the stride")
+	}
+	if w1 <= g1 || w1-g1 >= program.RegSpaceStride {
+		t.Error("thread 1 window stack must stay inside its region")
+	}
+	if (g1-program.RegSpaceBase)/program.RegSpaceStride != 1 {
+		t.Error("thread 1 globals must land in region 1")
+	}
+	// The per-thread skew must change rename-table set alignment: base
+	// pointers of different threads may not be congruent modulo the
+	// 64-set x 8-byte table span.
+	if (g0>>3)%64 == (g1>>3)%64 {
+		t.Error("thread base pointers alias to the same rename-table sets")
+	}
+}

@@ -1,0 +1,240 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vca/internal/isa"
+)
+
+// line is one source line after lexical splitting.
+type line struct {
+	num    int
+	label  string // "" when absent
+	mnem   string // instruction or directive, lower-cased; "" when label-only
+	args   []string
+	isDir  bool
+	rawTxt string
+}
+
+// splitLines performs the lexical pass: strips comments, separates labels,
+// mnemonics, and comma-separated operands (respecting string literals).
+func splitLines(src string) ([]line, []error) {
+	var out []line
+	var errs []error
+	for num, raw := range strings.Split(src, "\n") {
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		ln := line{num: num + 1, rawTxt: raw}
+
+		// Leading label(s): "name:" — allow a label followed by an
+		// instruction on the same line. Multiple labels get their own
+		// synthetic lines so that all alias the same address.
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 || !isIdent(strings.TrimSpace(text[:idx])) {
+				break
+			}
+			label := strings.TrimSpace(text[:idx])
+			rest := strings.TrimSpace(text[idx+1:])
+			if rest == "" {
+				ln.label = label
+				text = ""
+				break
+			}
+			if ln.label != "" {
+				out = append(out, line{num: ln.num, label: ln.label, rawTxt: raw})
+			}
+			ln.label = label
+			text = rest
+		}
+
+		if text != "" {
+			fields := strings.SplitN(text, " ", 2)
+			mnemField := strings.SplitN(fields[0], "\t", 2)
+			ln.mnem = strings.ToLower(mnemField[0])
+			rest := ""
+			if len(mnemField) == 2 {
+				rest = mnemField[1]
+			}
+			if len(fields) == 2 {
+				rest = rest + " " + fields[1]
+			}
+			ln.isDir = strings.HasPrefix(ln.mnem, ".")
+			var err error
+			ln.args, err = splitArgs(rest)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("line %d: %v", ln.num, err))
+				continue
+			}
+		}
+		out = append(out, ln)
+	}
+	return out, errs
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == ';' || s[i] == '#':
+			return s[:i]
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// splitArgs splits an operand list on top-level commas, keeping string
+// literals intact.
+func splitArgs(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var args []string
+	start, inStr := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr:
+			if s[i] == '\\' {
+				i++
+			} else if s[i] == '"' {
+				inStr = false
+			}
+		case s[i] == '"':
+			inStr = true
+		case s[i] == ',':
+			args = append(args, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string literal")
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '$', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseReg resolves a register operand.
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	if r, ok := isa.RegByName(strings.ToLower(s)); ok {
+		return r, nil
+	}
+	return isa.RegNone, fmt.Errorf("unknown register %q", s)
+}
+
+// parseInt parses an integer literal: decimal, hex (0x), character ('c'),
+// with optional leading minus.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := unescape(s[1 : len(s)-1])
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad character literal %s", s)
+		}
+		return int64(body[0]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex (e.g. 0xFFFFFFFFFFFFFFFF).
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "disp(reg)" or "(reg)" or "label(reg)"-less plain "disp".
+func parseMem(s string, resolve func(string) (int64, error)) (disp int64, base isa.Reg, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndex(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, isa.RegNone, fmt.Errorf("bad memory operand %q (want disp(reg))", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	base, err = parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, isa.RegNone, err
+	}
+	if dispStr == "" {
+		return 0, base, nil
+	}
+	disp, err = resolve(dispStr)
+	return disp, base, err
+}
+
+func unescape(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case '\'':
+			b.WriteByte('\'')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func parseString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %s", s)
+	}
+	return unescape(s[1 : len(s)-1])
+}

@@ -1,0 +1,84 @@
+package asm
+
+import "vca/internal/isa"
+
+// Large-constant synthesis. The ISA has no "load upper immediate"; instead
+// the assembler splices a 64-bit constant out of 14-bit chunks: an addi
+// (sign-extended top chunk) followed by slli/ori pairs. Logical immediates
+// zero-extend precisely to make this splicing work (see isa.ImmOperand).
+
+const chunkBits = 14
+
+// liChunks returns how many 14-bit chunks are needed to represent v with
+// the top chunk sign-extended (1–5).
+func liChunks(v int64) int {
+	for n := 1; n <= 4; n++ {
+		shift := uint(64 - chunkBits*n)
+		if (v<<shift)>>shift == v {
+			return n
+		}
+	}
+	return 5
+}
+
+// LiLen returns the number of instructions li expands to: 2n-1 for n
+// chunks. The two-pass assembler needs sizes in pass one.
+func LiLen(v int64) int { return 2*liChunks(v) - 1 }
+
+// LaLen is the fixed size of the la pseudo-instruction. Fixing the size
+// lets pass one lay out code before label addresses are known; it limits
+// label addresses to 27 bits (128 MiB), which covers the entire layout in
+// internal/program.
+const LaLen = 3
+
+// LaMaxAddr is the largest address la can materialize: the low chunk holds
+// 14 bits and the top chunk must be non-negative in 14 signed bits.
+const LaMaxAddr = 1<<(chunkBits+13) - 1 // 2^27-1
+
+// liWords encodes the expansion of "li d, v".
+func liWords(d isa.Reg, v int64) []isa.Word {
+	n := liChunks(v)
+	dr := uint8(d)
+	zero := uint8(isa.ZeroInt)
+	words := make([]isa.Word, 0, 2*n-1)
+	top := v >> uint(chunkBits*(n-1))
+	w, err := isa.EncodeI(isa.OpAddI, zero, dr, int32(top))
+	if err != nil {
+		// n was chosen so the top chunk fits; 5-chunk top is 8 bits.
+		panic("asm: internal li top chunk out of range: " + err.Error())
+	}
+	words = append(words, w)
+	for i := n - 2; i >= 0; i-- {
+		chunk := (v >> uint(chunkBits*i)) & (1<<chunkBits - 1)
+		sl, _ := isa.EncodeI(isa.OpSllI, dr, dr, chunkBits)
+		or, _ := isa.EncodeI(isa.OpOrI, dr, dr, chunkField(chunk))
+		words = append(words, sl, or)
+	}
+	return words
+}
+
+// chunkField converts an unsigned 14-bit chunk to the signed value whose
+// 14-bit encoding carries those bits. Decode sign-extends the field;
+// logical ops then zero-extend it back (isa.ImmOperand), recovering the
+// chunk.
+func chunkField(chunk int64) int32 {
+	if chunk > isa.Imm14Max {
+		chunk -= 1 << chunkBits
+	}
+	return int32(chunk)
+}
+
+// laWords encodes the fixed 3-instruction expansion of "la d, addr".
+func laWords(d isa.Reg, addr uint64) ([]isa.Word, bool) {
+	if addr > LaMaxAddr {
+		return nil, false
+	}
+	dr := uint8(d)
+	zero := uint8(isa.ZeroInt)
+	lo := int32(addr & (1<<chunkBits - 1))
+	top := int64(addr >> chunkBits) // fits signed 14 bits for addr ≤ LaMaxAddr
+	w0, _ := isa.EncodeI(isa.OpAddI, zero, dr, int32(top))
+	w1, _ := isa.EncodeI(isa.OpSllI, dr, dr, chunkBits)
+	w2, _ := isa.EncodeI(isa.OpOrI, dr, dr, chunkField(int64(lo)))
+	return []isa.Word{w0, w1, w2}, true
+}

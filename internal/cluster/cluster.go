@@ -1,0 +1,308 @@
+// Package cluster implements the workload-selection methodology of §3.2
+// (after Raasch & Reinhardt): characterize every candidate multithreaded
+// workload with a statistics vector, reduce dimensionality with principal
+// components analysis, group similar workloads with (average-) linkage
+// agglomerative clustering, and pick the workload nearest each cluster
+// centroid as its representative.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Standardize centers each feature and scales it to unit variance
+// (constant features become zero). PCA on raw mixed-unit features would be
+// dominated by whichever stat has the biggest magnitude.
+func Standardize(data [][]float64) [][]float64 {
+	if len(data) == 0 {
+		return nil
+	}
+	n, d := len(data), len(data[0])
+	mean := make([]float64, d)
+	for _, row := range data {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	std := make([]float64, d)
+	for _, row := range data {
+		for j, v := range row {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(n))
+	}
+	out := make([][]float64, n)
+	for i, row := range data {
+		out[i] = make([]float64, d)
+		for j, v := range row {
+			if std[j] > 1e-12 {
+				out[i][j] = (v - mean[j]) / std[j]
+			}
+		}
+	}
+	return out
+}
+
+// PCA projects the rows of data onto their top-k principal components.
+// It returns the projected data and the fraction of variance captured by
+// each kept component.
+func PCA(data [][]float64, k int) (proj [][]float64, explained []float64, err error) {
+	n := len(data)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("cluster: empty data")
+	}
+	d := len(data[0])
+	if k <= 0 || k > d {
+		k = d
+	}
+	// Covariance matrix of centered data.
+	mean := make([]float64, d)
+	for _, row := range data {
+		if len(row) != d {
+			return nil, nil, fmt.Errorf("cluster: ragged data")
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := make([][]float64, d)
+	for i := range cov {
+		cov[i] = make([]float64, d)
+	}
+	for _, row := range data {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] /= float64(n)
+			cov[j][i] = cov[i][j]
+		}
+	}
+
+	vals, vecs := jacobiEigen(cov)
+
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	proj = make([][]float64, n)
+	for r, row := range data {
+		proj[r] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			e := order[c]
+			var s float64
+			for j := 0; j < d; j++ {
+				s += (row[j] - mean[j]) * vecs[j][e]
+			}
+			proj[r][c] = s
+		}
+	}
+	explained = make([]float64, k)
+	for c := 0; c < k; c++ {
+		if total > 0 {
+			explained[c] = math.Max(vals[order[c]], 0) / total
+		}
+	}
+	return proj, explained, nil
+}
+
+// jacobiEigen computes eigenvalues and eigenvectors of a symmetric matrix
+// using cyclic Jacobi rotations. vecs[:][k] is the k-th eigenvector.
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	d := len(a)
+	m := make([][]float64, d)
+	vecs = make([][]float64, d)
+	for i := 0; i < d; i++ {
+		m[i] = append([]float64(nil), a[i]...)
+		vecs[i] = make([]float64, d)
+		vecs[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < d; p++ {
+			for q := p + 1; q < d; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < d; i++ {
+					mip, miq := m[i][p], m[i][q]
+					m[i][p] = c*mip - s*miq
+					m[i][q] = s*mip + c*miq
+				}
+				for i := 0; i < d; i++ {
+					mpi, mqi := m[p][i], m[q][i]
+					m[p][i] = c*mpi - s*mqi
+					m[q][i] = s*mpi + c*mqi
+				}
+				for i := 0; i < d; i++ {
+					vip, viq := vecs[i][p], vecs[i][q]
+					vecs[i][p] = c*vip - s*viq
+					vecs[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals = make([]float64, d)
+	for i := 0; i < d; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, vecs
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// AverageLinkage clusters points agglomeratively until k clusters remain,
+// merging at each step the pair of clusters with the smallest average
+// inter-point distance. It returns each cluster as a list of point
+// indices, in deterministic order.
+func AverageLinkage(points [][]float64, k int) ([][]int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	for len(clusters) > k {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				var s float64
+				for _, a := range clusters[i] {
+					for _, b := range clusters[j] {
+						s += math.Sqrt(dist2(points[a], points[b]))
+					}
+				}
+				avg := s / float64(len(clusters[i])*len(clusters[j]))
+				if avg < best {
+					best, bi, bj = avg, i, j
+				}
+			}
+		}
+		merged := append(append([]int{}, clusters[bi]...), clusters[bj]...)
+		sort.Ints(merged)
+		next := make([][]int, 0, len(clusters)-1)
+		for i, c := range clusters {
+			if i != bi && i != bj {
+				next = append(next, c)
+			}
+		}
+		clusters = append(next, merged)
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a][0] < clusters[b][0] })
+	return clusters, nil
+}
+
+// Representatives picks, for each cluster, the member nearest the cluster
+// centroid (§3.2: "selected the workload nearest the centroid of each
+// cluster").
+func Representatives(points [][]float64, clusters [][]int) []int {
+	reps := make([]int, len(clusters))
+	for ci, members := range clusters {
+		d := len(points[members[0]])
+		centroid := make([]float64, d)
+		for _, m := range members {
+			for j, v := range points[m] {
+				centroid[j] += v
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(len(members))
+		}
+		best, bestD := members[0], math.Inf(1)
+		for _, m := range members {
+			if dd := dist2(points[m], centroid); dd < bestD {
+				best, bestD = m, dd
+			}
+		}
+		reps[ci] = best
+	}
+	return reps
+}
+
+// SelectWorkloads is the full §3.2 pipeline: standardize the statistics
+// vectors, reduce with PCA (keeping enough components for ~95% of the
+// variance, at most maxDims), cluster to k groups with average linkage,
+// and return the representative index of each group.
+func SelectWorkloads(features [][]float64, k, maxDims int) ([]int, error) {
+	std := Standardize(features)
+	dims := maxDims
+	if dims <= 0 || dims > len(std[0]) {
+		dims = len(std[0])
+	}
+	proj, explained, err := PCA(std, dims)
+	if err != nil {
+		return nil, err
+	}
+	// Trim trailing components once 95% of variance is covered.
+	keep, acc := 0, 0.0
+	for i, e := range explained {
+		acc += e
+		keep = i + 1
+		if acc >= 0.95 {
+			break
+		}
+	}
+	for i := range proj {
+		proj[i] = proj[i][:keep]
+	}
+	clusters, err := AverageLinkage(proj, k)
+	if err != nil {
+		return nil, err
+	}
+	return Representatives(proj, clusters), nil
+}

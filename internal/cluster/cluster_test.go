@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJacobiEigenKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs := jacobiEigen([][]float64{{2, 1}, {1, 2}})
+	got := []float64{vals[0], vals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues %v, want [3 1]", got)
+	}
+	// Eigenvectors are orthonormal.
+	dot := vecs[0][0]*vecs[0][1] + vecs[1][0]*vecs[1][1]
+	if math.Abs(dot) > 1e-9 {
+		t.Errorf("eigenvectors not orthogonal: %v", dot)
+	}
+}
+
+func TestPCARecoversDominantAxis(t *testing.T) {
+	// Points spread along (1,1,0) with small noise: the first component
+	// must capture most variance.
+	rng := rand.New(rand.NewSource(7))
+	var data [][]float64
+	for i := 0; i < 200; i++ {
+		s := rng.NormFloat64() * 10
+		data = append(data, []float64{
+			s + rng.NormFloat64()*0.1,
+			s + rng.NormFloat64()*0.1,
+			rng.NormFloat64() * 0.1,
+		})
+	}
+	_, explained, err := PCA(data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explained[0] < 0.95 {
+		t.Errorf("first component explains %.3f, want > 0.95", explained[0])
+	}
+}
+
+func TestAverageLinkageSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var points [][]float64
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	labels := make([]int, 0, 60)
+	for ci, c := range centers {
+		for i := 0; i < 20; i++ {
+			points = append(points, []float64{
+				c[0] + rng.NormFloat64(),
+				c[1] + rng.NormFloat64(),
+			})
+			labels = append(labels, ci)
+		}
+	}
+	clusters, err := AverageLinkage(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters", len(clusters))
+	}
+	// Every cluster must be label-pure.
+	for _, c := range clusters {
+		want := labels[c[0]]
+		for _, m := range c {
+			if labels[m] != want {
+				t.Errorf("cluster mixes blobs %d and %d", want, labels[m])
+			}
+		}
+		if len(c) != 20 {
+			t.Errorf("cluster size %d, want 20", len(c))
+		}
+	}
+}
+
+func TestRepresentativesNearCentroid(t *testing.T) {
+	points := [][]float64{{0, 0}, {1, 0}, {0.4, 0.1}, {100, 100}}
+	clusters := [][]int{{0, 1, 2}, {3}}
+	reps := Representatives(points, clusters)
+	if reps[0] != 2 {
+		t.Errorf("representative of first cluster = %d, want 2 (nearest centroid)", reps[0])
+	}
+	if reps[1] != 3 {
+		t.Errorf("singleton representative = %d", reps[1])
+	}
+}
+
+func TestSelectWorkloadsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var feats [][]float64
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 10; i++ {
+			// 14-dimensional features, blobbed by b with different scales
+			// per dimension (Standardize must handle this).
+			row := make([]float64, 14)
+			for j := range row {
+				row[j] = float64(b*7) + rng.NormFloat64()*0.3
+				if j%3 == 0 {
+					row[j] *= 1000 // mixed units
+				}
+			}
+			feats = append(feats, row)
+		}
+	}
+	reps, err := SelectWorkloads(feats, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("got %d representatives", len(reps))
+	}
+	// One representative per blob.
+	seen := map[int]bool{}
+	for _, r := range reps {
+		seen[r/10] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("representatives %v do not cover all 4 blobs", reps)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	data := [][]float64{{1, 100, 5}, {3, 300, 5}, {5, 500, 5}}
+	std := Standardize(data)
+	// Column means ~0; constant column all zeros.
+	for j := 0; j < 3; j++ {
+		var s float64
+		for i := range std {
+			s += std[i][j]
+		}
+		if math.Abs(s) > 1e-9 {
+			t.Errorf("column %d mean %v", j, s)
+		}
+	}
+	for i := range std {
+		if std[i][2] != 0 {
+			t.Error("constant feature should standardize to zero")
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if _, _, err := PCA(nil, 2); err == nil {
+		t.Error("PCA on empty data should error")
+	}
+	if _, err := AverageLinkage(nil, 2); err == nil {
+		t.Error("clustering empty data should error")
+	}
+	// k > n clamps.
+	cl, err := AverageLinkage([][]float64{{1}, {2}}, 5)
+	if err != nil || len(cl) != 2 {
+		t.Errorf("clamp failed: %v %v", cl, err)
+	}
+	// Single cluster.
+	cl, err = AverageLinkage([][]float64{{1}, {2}, {3}}, 1)
+	if err != nil || len(cl) != 1 || len(cl[0]) != 3 {
+		t.Errorf("k=1: %v %v", cl, err)
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vca/internal/emu"
+	"vca/internal/minic"
+	"vca/internal/program"
+)
+
+// Shared test programs (mini-C, compiled under both ABIs).
+
+const srcCountdown = `
+int main() {
+	int i;
+	int total = 0;
+	for (i = 0; i < 200; i = i + 1) {
+		total = total + i;
+		if (total > 5000) { total = total - 4000; }
+	}
+	print_int(total);
+	return 0;
+}`
+
+const srcFib = `
+int fib(int n) {
+	if (n <= 1) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	print_int(fib(12));
+	return 0;
+}`
+
+const srcMemory = `
+int arr[64];
+int main() {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { arr[i] = i * 3; }
+	int sum = 0;
+	for (i = 0; i < 64; i = i + 1) { sum = sum + arr[i]; }
+	print_int(sum);   // 3*2016 = 6048
+	arr[0] = sum;
+	print_int(arr[0]);
+	return 0;
+}`
+
+const srcFloat = `
+float vals[16];
+int main() {
+	int i;
+	for (i = 0; i < 16; i = i + 1) { vals[i] = (float)i * 0.5; }
+	float s = 0.0;
+	for (i = 0; i < 16; i = i + 1) { s = s + vals[i]; }
+	print_float(s);   // 60
+	return 0;
+}`
+
+const srcCalls = `
+int mix(int a, int b) { return a * 10 + b; }
+int twice(int x) { return mix(x, x) + mix(x + 1, x - 1); }
+int main() {
+	int i;
+	int acc = 0;
+	for (i = 0; i < 50; i = i + 1) { acc = acc + twice(i % 7); }
+	print_int(acc);
+	return 0;
+}`
+
+var testSources = map[string]string{
+	"countdown": srcCountdown,
+	"fib":       srcFib,
+	"memory":    srcMemory,
+	"float":     srcFloat,
+	"calls":     srcCalls,
+}
+
+func buildProg(t testing.TB, name, src string, abi minic.ABI) *program.Program {
+	t.Helper()
+	p, err := minic.Build(name, src, abi)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return p
+}
+
+// refRun produces the expected output via the functional emulator.
+func refRun(t testing.TB, p *program.Program, windowed bool) string {
+	t.Helper()
+	m := emu.New(p, emu.Config{Windowed: windowed, MaxInsts: 100_000_000})
+	if reason, err := m.Run(); err != nil || reason != emu.StopExited {
+		t.Fatalf("reference run: %v (%v)", err, reason)
+	}
+	return m.Output.String()
+}
+
+// runCore runs one single-threaded program on the given machine config
+// with co-simulation enabled.
+func runCore(t testing.TB, cfg Config, p *program.Program, windowed bool) *Result {
+	t.Helper()
+	cfg.MaxCycles = 50_000_000
+	m, err := New(cfg, []*program.Program{p}, windowed)
+	if err != nil {
+		t.Fatalf("new machine: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestBaselineRunsAllPrograms(t *testing.T) {
+	for name, src := range testSources {
+		t.Run(name, func(t *testing.T) {
+			p := buildProg(t, name, src, minic.ABIFlat)
+			want := refRun(t, p, false)
+			cfg := DefaultConfig(RenameConventional, WindowNone, 1, 256)
+			res := runCore(t, cfg, p, false)
+			if got := res.Threads[0].Output; got != want {
+				t.Errorf("output %q, want %q", got, want)
+			}
+			if !res.Threads[0].Done || res.Threads[0].ExitCode != 0 {
+				t.Errorf("thread state: %+v", res.Threads[0])
+			}
+			if res.IPC() <= 0 {
+				t.Error("IPC should be positive")
+			}
+		})
+	}
+}
+
+func TestVCAFlatRunsAllPrograms(t *testing.T) {
+	for name, src := range testSources {
+		t.Run(name, func(t *testing.T) {
+			p := buildProg(t, name, src, minic.ABIFlat)
+			want := refRun(t, p, false)
+			for _, regs := range []int{48, 96, 256} {
+				cfg := DefaultConfig(RenameVCA, WindowNone, 1, regs)
+				res := runCore(t, cfg, p, false)
+				if got := res.Threads[0].Output; got != want {
+					t.Errorf("regs=%d: output %q, want %q", regs, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestVCAWindowedRunsAllPrograms(t *testing.T) {
+	for name, src := range testSources {
+		t.Run(name, func(t *testing.T) {
+			p := buildProg(t, name, src, minic.ABIWindowed)
+			want := refRun(t, p, true)
+			for _, regs := range []int{64, 128, 256} {
+				cfg := DefaultConfig(RenameVCA, WindowVCA, 1, regs)
+				res := runCore(t, cfg, p, true)
+				if got := res.Threads[0].Output; got != want {
+					t.Errorf("regs=%d: output %q, want %q", regs, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestConventionalWindowRunsAllPrograms(t *testing.T) {
+	for name, src := range testSources {
+		t.Run(name, func(t *testing.T) {
+			p := buildProg(t, name, src, minic.ABIWindowed)
+			want := refRun(t, p, true)
+			// 160 regs -> 2 windows: deep recursion must trap repeatedly.
+			for _, regs := range []int{160, 256} {
+				cfg := DefaultConfig(RenameConventional, WindowConventional, 1, regs)
+				res := runCore(t, cfg, p, true)
+				if got := res.Threads[0].Output; got != want {
+					t.Errorf("regs=%d: output %q, want %q", regs, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestIdealWindowRunsAllPrograms(t *testing.T) {
+	for name, src := range testSources {
+		t.Run(name, func(t *testing.T) {
+			p := buildProg(t, name, src, minic.ABIWindowed)
+			want := refRun(t, p, true)
+			cfg := DefaultConfig(RenameVCA, WindowIdeal, 1, 128)
+			res := runCore(t, cfg, p, true)
+			if got := res.Threads[0].Output; got != want {
+				t.Errorf("output %q, want %q", got, want)
+			}
+			// Ideal windows never touch the data cache for register traffic.
+			if res.DL1.Accesses[1] != 0 { // CauseSpillFill
+				t.Errorf("ideal windows produced %d spill/fill cache accesses", res.DL1.Accesses[1])
+			}
+		})
+	}
+}
+
+func TestConventionalWindowTrapsFire(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	cfg := DefaultConfig(RenameConventional, WindowConventional, 1, 160) // 2 windows
+	res := runCore(t, cfg, p, true)
+	if res.WindowTraps == 0 {
+		t.Error("fib(12) with 2 windows must overflow/underflow")
+	}
+	if res.DL1.Accesses[2] == 0 { // CauseWindowTrap
+		t.Error("window traps must generate cache accesses")
+	}
+	// More windows -> fewer traps.
+	cfg2 := DefaultConfig(RenameConventional, WindowConventional, 1, 256) // 5 windows
+	res2 := runCore(t, cfg2, p, true)
+	if res2.WindowTraps >= res.WindowTraps {
+		t.Errorf("traps: 2win=%d, 5win=%d — more windows should trap less",
+			res.WindowTraps, res2.WindowTraps)
+	}
+}
+
+func TestVCASpillsUnderRegisterPressure(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	small := runCore(t, DefaultConfig(RenameVCA, WindowVCA, 1, 40), p, true)
+	large := runCore(t, DefaultConfig(RenameVCA, WindowVCA, 1, 256), p, true)
+	if small.SpillsIssued+small.FillsIssued == 0 {
+		t.Error("40-register VCA machine should spill/fill")
+	}
+	// fib's live register working set is small, so most traffic comes from
+	// rename-table set conflicts (present at every size); physical-register
+	// pressure must add evictions on top, never reduce traffic or speed.
+	if small.VCAStats.PhysEvicts == 0 {
+		t.Error("40-register VCA machine should evict for physical registers")
+	}
+	if large.VCAStats.PhysEvicts != 0 {
+		t.Errorf("256-register machine evicted %d times for physical registers", large.VCAStats.PhysEvicts)
+	}
+	if small.SpillsIssued+small.FillsIssued < large.SpillsIssued+large.FillsIssued {
+		t.Errorf("spill+fill: 40 regs %d < 256 regs %d",
+			small.SpillsIssued+small.FillsIssued, large.SpillsIssued+large.FillsIssued)
+	}
+	if small.Cycles < large.Cycles {
+		t.Errorf("cycles: 40 regs %d < 256 regs %d", small.Cycles, large.Cycles)
+	}
+}
+
+func TestBaselineCannotRunAt64Registers(t *testing.T) {
+	p := buildProg(t, "countdown", srcCountdown, minic.ABIFlat)
+	cfg := DefaultConfig(RenameConventional, WindowNone, 1, 64)
+	if _, err := New(cfg, []*program.Program{p}, false); err == nil {
+		t.Error("baseline must reject 64 physical registers (no rename registers)")
+	}
+	// VCA runs fine there (§4.2).
+	cfgV := DefaultConfig(RenameVCA, WindowNone, 1, 64)
+	if _, err := New(cfgV, []*program.Program{p}, false); err != nil {
+		t.Errorf("VCA should run at 64 registers: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := buildProg(t, "calls", srcCalls, minic.ABIFlat)
+	cfg := DefaultConfig(RenameVCA, WindowNone, 1, 96)
+	r1 := runCore(t, cfg, p, false)
+	r2 := runCore(t, cfg, p, false)
+	if r1.Cycles != r2.Cycles || r1.DL1Accesses() != r2.DL1Accesses() {
+		t.Errorf("non-deterministic: %d/%d cycles, %d/%d accesses",
+			r1.Cycles, r2.Cycles, r1.DL1Accesses(), r2.DL1Accesses())
+	}
+}
+
+func TestMorePhysicalRegistersNeverSlower(t *testing.T) {
+	p := buildProg(t, "calls", srcCalls, minic.ABIFlat)
+	prev := uint64(1 << 62)
+	for _, regs := range []int{80, 128, 192, 256} {
+		cfg := DefaultConfig(RenameVCA, WindowNone, 1, regs)
+		res := runCore(t, cfg, p, false)
+		// Allow 2% noise (alignment of squashes etc.).
+		if float64(res.Cycles) > float64(prev)*1.02 {
+			t.Errorf("%d regs took %d cycles, more than %d at fewer registers", regs, res.Cycles, prev)
+		}
+		prev = res.Cycles
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig(RenameConventional, WindowVCA, 1, 128)
+	if err := bad.Validate(); err == nil {
+		t.Error("conventional rename + VCA windows must be rejected")
+	}
+	bad2 := DefaultConfig(RenameVCA, WindowConventional, 1, 128)
+	if err := bad2.Validate(); err == nil {
+		t.Error("VCA rename + conventional windows must be rejected")
+	}
+	p := buildProg(t, "countdown", srcCountdown, minic.ABIFlat)
+	cfg := DefaultConfig(RenameConventional, WindowNone, 1, 128)
+	if _, err := New(cfg, []*program.Program{p}, true); err == nil {
+		t.Error("windowed flag mismatch must be rejected")
+	}
+}
+
+func TestStopAfterBudget(t *testing.T) {
+	p := buildProg(t, "countdown", srcCountdown, minic.ABIFlat)
+	cfg := DefaultConfig(RenameConventional, WindowNone, 1, 128)
+	cfg.StopAfter = 500
+	res := runCore(t, cfg, p, false)
+	if res.Threads[0].Committed < 500 {
+		t.Errorf("committed %d, want >= 500", res.Threads[0].Committed)
+	}
+	if res.Threads[0].Done {
+		t.Error("program should not have finished in 500 instructions")
+	}
+}
+
+func TestSMTTwoThreads(t *testing.T) {
+	p1 := buildProg(t, "fib", srcFib, minic.ABIFlat)
+	p2 := buildProg(t, "memory", srcMemory, minic.ABIFlat)
+	want1 := refRun(t, p1, false)
+	want2 := refRun(t, p2, false)
+	for _, rm := range []RenameModel{RenameConventional, RenameVCA} {
+		regs := 192
+		if rm == RenameConventional {
+			regs = 256 // must exceed 2x64 logical
+		}
+		cfg := DefaultConfig(rm, WindowNone, 2, regs)
+		m, err := New(cfg, []*program.Program{p1, p2}, false)
+		if err != nil {
+			t.Fatalf("%v: %v", rm, err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", rm, err)
+		}
+		if res.Threads[0].Output != want1 || res.Threads[1].Output != want2 {
+			t.Errorf("%v SMT outputs %q/%q, want %q/%q", rm,
+				res.Threads[0].Output, res.Threads[1].Output, want1, want2)
+		}
+	}
+}
+
+func TestSMTFourThreadsVCAWindowed(t *testing.T) {
+	var progs []*program.Program
+	var wants []string
+	for _, name := range []string{"fib", "memory", "calls", "countdown"} {
+		p := buildProg(t, name, testSources[name], minic.ABIWindowed)
+		progs = append(progs, p)
+		wants = append(wants, refRun(t, p, true))
+	}
+	cfg := DefaultConfig(RenameVCA, WindowVCA, 4, 192)
+	m, err := New(cfg, progs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range wants {
+		if res.Threads[i].Output != w {
+			t.Errorf("thread %d output %q, want %q", i, res.Threads[i].Output, w)
+		}
+	}
+	// 4 threads x 64 logical registers on 192 physical: the headline claim.
+	if !strings.Contains("ok", "ok") {
+		t.Fatal()
+	}
+}
+
+func TestVCAInvariantsAfterRun(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	cfg := DefaultConfig(RenameVCA, WindowVCA, 1, 72)
+	cfg.MaxCycles = 50_000_000
+	m, err := New(cfg, []*program.Program{p}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.vca.CheckInvariants(); err != nil {
+		t.Errorf("post-run VCA invariants: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"vca/internal/branch"
+	"vca/internal/isa"
+)
+
+// fetchBufCap bounds how far fetch may run ahead of rename: it must cover
+// the front-end pipeline (FrontLat stages of Width instructions) plus
+// slack, or the front end starves structurally.
+func (m *Machine) fetchBufCap() int {
+	return m.cfg.Width * (m.cfg.FrontLat + 2)
+}
+
+// fetchStage picks one thread per cycle (ICOUNT policy: fewest in-flight
+// instructions) and fetches up to Width instructions along the predicted
+// path. Instructions arrive at the rename stage FrontLat cycles later
+// (+ instruction-cache miss time).
+func (m *Machine) fetchStage() {
+	th := m.pickFetchThread()
+	if th == nil {
+		return
+	}
+
+	// One IL1 probe per fetch group; misses delay the group's arrival.
+	il1 := m.hier.InstFetch(th.cacheAddr(th.pc))
+	extra := uint64(0)
+	if il1 > m.cfg.Hier.IL1.HitLat {
+		extra = uint64(il1 - m.cfg.Hier.IL1.HitLat)
+	}
+	readyAt := m.cycle + uint64(m.cfg.FrontLat) + extra
+
+	for n := 0; n < m.cfg.Width; n++ {
+		if m.fetchBufCount(th) >= m.fetchBufCap() {
+			break
+		}
+		inst := th.prog.InstAt(th.pc)
+		m.seq++
+		u := &uop{
+			seq:      m.seq,
+			thread:   th.id,
+			pc:       th.pc,
+			inst:     inst,
+			class:    inst.Op.OpClass(),
+			destPhys: -1,
+			destPrev: -1,
+		}
+		u.srcPhys[0], u.srcPhys[1] = -1, -1
+
+		nextPC := th.pc + 4
+		endGroup := false
+		if inst.Op.IsControl() {
+			u.isCtl = true
+			cond, call, ret, indirect := branch.Classify(inst)
+			switch {
+			case cond:
+				taken, ck := m.bp.PredictCond(th.id, th.pc)
+				u.ck = ck
+				u.predTaken = taken
+				if taken {
+					t, _ := inst.ControlTarget(th.pc)
+					nextPC = t
+					endGroup = true
+				}
+			case ret:
+				t, ck := m.bp.PredictReturn(th.id, th.pc)
+				u.ck = ck
+				u.predTaken = true
+				nextPC = t
+				endGroup = true
+			case indirect:
+				t, hit, ck := m.bp.PredictIndirect(th.id, th.pc)
+				u.ck = ck
+				u.predTaken = true
+				if hit {
+					nextPC = t
+				} // else guess fall-through; repaired at resolve
+				if call {
+					m.bp.PushRAS(th.id, th.pc+4)
+				}
+				endGroup = true
+			default: // direct jmp/jsr
+				u.ck = m.bp.CheckpointFor(th.id)
+				u.predTaken = true
+				t, _ := inst.ControlTarget(th.pc)
+				nextPC = t
+				if call {
+					m.bp.PushRAS(th.id, th.pc+4)
+				}
+				endGroup = true
+			}
+		}
+		u.predNPC = nextPC
+
+		m.fetchQ = append(m.fetchQ, &fetchEntry{u: u, readyAt: readyAt})
+		th.inFlight++
+		m.stats.Fetched++
+		th.pc = nextPC
+		if endGroup {
+			break
+		}
+	}
+}
+
+// pickFetchThread implements ICOUNT: the runnable thread with the fewest
+// in-flight instructions fetches.
+func (m *Machine) pickFetchThread() *thread {
+	var best *thread
+	for _, th := range m.threads {
+		if th.done || m.cycle < th.fetchBlockedUntil || len(th.pendingInject) > 0 {
+			continue
+		}
+		if m.fetchBufCount(th) >= m.fetchBufCap() {
+			continue
+		}
+		if best == nil || th.inFlight < best.inFlight {
+			best = th
+		}
+	}
+	return best
+}
+
+func (m *Machine) fetchBufCount(th *thread) int {
+	n := 0
+	for _, fe := range m.fetchQ {
+		if fe.u.thread == th.id {
+			n++
+		}
+	}
+	return n
+}
+
+// syscallSrcs returns the architectural registers a syscall reads.
+func syscallSrcs(code int32) []isa.Reg {
+	switch code {
+	case isa.SysExit, isa.SysPutChar, isa.SysPutInt:
+		return []isa.Reg{isa.RegA0}
+	case isa.SysPutFloat:
+		return []isa.Reg{isa.RegFA0}
+	case isa.SysPutStr:
+		return []isa.Reg{isa.RegA0, isa.RegA1}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"vca/internal/isa"
+	"vca/internal/mem"
+)
+
+// issueStage selects ready instructions from the IQ in age order, subject
+// to functional-unit and data-cache-port limits, and executes them (the
+// simulator computes values at issue; completion is signaled after the
+// operation's latency by the writeback stage). Leftover data-cache ports
+// issue the head of the ASTQ (§2.2.2).
+func (m *Machine) issueStage() {
+	intALU := m.cfg.IntALUs
+	mulDiv := m.cfg.IntMulDivs
+	fpu := m.cfg.FPUs
+	width := m.cfg.Width
+
+	kept := m.iq[:0]
+	for _, u := range m.iq {
+		if width == 0 {
+			kept = append(kept, u)
+			continue
+		}
+		issued := false
+		switch {
+		case !m.allSrcsReady(u):
+		case u.isLoad():
+			issued = m.tryIssueLoad(u)
+		case u.isStore():
+			issued = m.tryIssueStore(u)
+		case u.class == isa.ClassIntMul || u.class == isa.ClassIntDiv:
+			if mulDiv > 0 {
+				mulDiv--
+				m.execute(u)
+				issued = true
+			}
+		case u.class == isa.ClassFPALU || u.class == isa.ClassFPMul || u.class == isa.ClassFPDiv:
+			if fpu > 0 {
+				fpu--
+				m.execute(u)
+				issued = true
+			}
+		default: // integer ALU, control, syscall, invalid
+			if intALU > 0 {
+				intALU--
+				m.execute(u)
+				issued = true
+			}
+		}
+		if issued {
+			width--
+			u.issued = true
+			u.inIQ = false
+			if !u.injected {
+				m.threads[u.thread].inFlight--
+			}
+			m.inExec = append(m.inExec, u)
+		} else {
+			kept = append(kept, u)
+		}
+	}
+	m.iq = kept
+
+	// ASTQ: spill/fill operations use leftover memory ports, in FIFO
+	// order.
+	for m.dl1Ports > 0 && len(m.astq) > 0 {
+		e := m.astq[0]
+		m.astq = m.astq[1:]
+		m.dl1Ports--
+		th := m.threads[e.thread]
+		lat := m.hier.DataAccess(th.cacheAddr(e.op.Addr), e.op.IsSpill, mem.CauseSpillFill)
+		if e.op.IsSpill {
+			th.mem.Write(e.op.Addr, 8, e.op.Value)
+			m.stats.SpillsIssued++
+		} else {
+			m.stats.FillsIssued++
+		}
+		e.issued = true
+		e.doneAt = m.cycle + uint64(lat)
+		m.inastq = append(m.inastq, e)
+	}
+}
+
+// tryIssueLoad issues a load if memory ordering allows: every older store
+// of the same thread must have a resolved address (conservative
+// disambiguation); an exact-covering older store forwards its data.
+// Injected window-trap loads address the register backing store, which
+// program stores never alias, so they skip the ordering check.
+func (m *Machine) tryIssueLoad(u *uop) bool {
+	if m.dl1Ports == 0 {
+		return false
+	}
+	base := m.readSrc(u, 0)
+	ea := u.inst.MemEA(base)
+	size := u.inst.Op.MemBytes()
+	if u.injected {
+		ea, size = u.injAddr, 8
+	}
+
+	var fwd *uop
+	if !u.injected {
+		for _, s := range m.lsq {
+			if s.thread != u.thread || s.seq >= u.seq {
+				continue
+			}
+			if !s.issued {
+				return false // unresolved older store address
+			}
+			// Resolved: check overlap.
+			sEnd, lEnd := s.ea+uint64(s.memBytes), ea+uint64(size)
+			if s.ea < lEnd && ea < sEnd {
+				if s.ea <= ea && lEnd <= sEnd {
+					fwd = s // youngest covering store wins (keep scanning)
+				} else {
+					return false // partial overlap: wait for the store to commit
+				}
+			}
+		}
+	}
+
+	m.dl1Ports--
+	th := m.threads[u.thread]
+	u.ea, u.memBytes = ea, size
+	lat := m.hier.DataAccess(th.cacheAddr(ea), false, u.cause())
+	var raw uint64
+	if fwd != nil {
+		raw = fwd.storeData >> (8 * (ea - fwd.ea))
+		if size < 8 {
+			raw &= 1<<(8*size) - 1
+		}
+	} else {
+		raw = th.mem.Read(ea, size)
+	}
+	u.result = loadExtend(u.inst.Op, raw, u.injected)
+	u.doneAt = m.cycle + 1 + uint64(lat)
+	return true
+}
+
+func (u *uop) cause() mem.AccessCause {
+	if u.injected {
+		return mem.CauseWindowTrap
+	}
+	return mem.CauseProgram
+}
+
+func loadExtend(op isa.Op, raw uint64, injected bool) uint64 {
+	if injected {
+		return raw
+	}
+	if op.MemSigned() {
+		return uint64(int64(int32(raw)))
+	}
+	return raw
+}
+
+// tryIssueStore resolves a store's address and captures its data; the
+// cache write happens at commit.
+func (m *Machine) tryIssueStore(u *uop) bool {
+	if u.injected {
+		u.ea, u.memBytes = u.injAddr, 8
+		u.storeData = m.readSrc(u, 0)
+	} else {
+		u.ea = u.inst.MemEA(m.readSrc(u, 0))
+		u.memBytes = u.inst.Op.MemBytes()
+		u.storeData = m.readSrc(u, 1)
+		if u.memBytes < 8 {
+			u.storeData &= 1<<(8*u.memBytes) - 1
+		}
+	}
+	u.doneAt = m.cycle + 1
+	return true
+}
+
+// execute computes a non-memory uop's result and schedules completion.
+func (m *Machine) execute(u *uop) {
+	a := m.readSrc(u, 0)
+	b := m.readSrc(u, 1)
+	if u.inst.HasImmOperand() {
+		b = u.inst.ImmOperand()
+	}
+	u.doneAt = m.cycle + uint64(u.inst.Op.Latency())
+
+	switch u.class {
+	case isa.ClassBranch:
+		u.taken = isa.BranchTaken(u.inst.Op, a)
+		if u.taken {
+			u.actualNPC, _ = u.inst.ControlTarget(u.pc)
+		} else {
+			u.actualNPC = u.pc + 4
+		}
+	case isa.ClassJump:
+		u.taken = true
+		if u.inst.Op == isa.OpJmp {
+			u.actualNPC, _ = u.inst.ControlTarget(u.pc)
+		} else {
+			u.actualNPC = a
+		}
+	case isa.ClassCall:
+		u.taken = true
+		u.result = u.pc + 4 // ra
+		if u.inst.Op == isa.OpJsr {
+			u.actualNPC, _ = u.inst.ControlTarget(u.pc)
+		} else {
+			u.actualNPC = a
+		}
+	case isa.ClassRet:
+		u.taken = true
+		u.actualNPC = a
+	case isa.ClassSyscall:
+		u.sysVals[0], u.sysVals[1] = a, b
+	case isa.ClassInvalid:
+		// Wrong-path garbage; completes as a no-op and is squashed
+		// before commit (commit errors out otherwise).
+	default:
+		u.result = isa.EvalALU(u.inst.Op, a, b)
+	}
+}
+
+// writebackStage completes executions and ASTQ operations whose latency
+// has elapsed: destination registers become ready, dependents wake, and
+// control instructions resolve (possibly triggering recovery).
+func (m *Machine) writebackStage() {
+	kept := m.inExec[:0]
+	var resolved []*uop
+	for _, u := range m.inExec {
+		if u.doneAt > m.cycle {
+			kept = append(kept, u)
+			continue
+		}
+		u.done = true
+		if u.destPhys >= 0 {
+			m.physVal[u.destPhys] = u.result
+			m.physReady[u.destPhys] = true
+		}
+		if u.isCtl {
+			resolved = append(resolved, u)
+		}
+	}
+	m.inExec = kept
+
+	// Resolve oldest-first; a recovery may squash younger branches that
+	// resolved in the same cycle — they must then be ignored.
+	sortBySeq(resolved)
+	for _, u := range resolved {
+		if !u.squashed {
+			m.resolveControl(u)
+		}
+	}
+
+	keptA := m.inastq[:0]
+	for _, e := range m.inastq {
+		if e.doneAt > m.cycle {
+			keptA = append(keptA, e)
+			continue
+		}
+		if !e.op.IsSpill {
+			// Fill completes: deliver the value unless the register was
+			// recycled after its consumers were squashed.
+			if m.vca.FillLive(e.op.Addr, e.op.Phys) {
+				th := m.threads[e.thread]
+				m.physVal[e.op.Phys] = th.mem.Read(e.op.Addr, 8)
+				m.physReady[e.op.Phys] = true
+			}
+		}
+	}
+	m.inastq = keptA
+}
+
+func sortBySeq(us []*uop) {
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j].seq < us[j-1].seq; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+}
+
+// resolveControl trains the predictor and recovers from mispredictions.
+func (m *Machine) resolveControl(u *uop) {
+	mispred := u.actualNPC != u.predNPC
+	if u.class == isa.ClassBranch {
+		m.bp.ResolveCond(u.pc, u.ck, u.taken, mispred)
+	} else if u.inst.Op == isa.OpJmpR || u.inst.Op == isa.OpJsrR || u.inst.Op == isa.OpRet {
+		m.bp.UpdateBTB(u.pc, u.actualNPC)
+	}
+	if mispred {
+		m.stats.Mispredicts++
+		m.recoverFrom(u)
+	}
+}

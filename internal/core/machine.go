@@ -1,0 +1,336 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"vca/internal/branch"
+	"vca/internal/emu"
+	"vca/internal/isa"
+	"vca/internal/mem"
+	"vca/internal/program"
+	"vca/internal/rename"
+)
+
+// thread is one hardware thread context: a program, its memory image, the
+// front-end state, and (depending on the machine) window bookkeeping.
+type thread struct {
+	id   int
+	prog *program.Program
+	text []isa.Inst
+	mem  *mem.Memory
+
+	pc       uint64
+	done     bool
+	exitCode int64
+	output   bytes.Buffer
+
+	committed uint64
+	inFlight  int // front-end + IQ occupancy, for ICOUNT fetch
+
+	fetchBlockedUntil  uint64
+	renameBlockedUntil uint64
+
+	// VCA base pointers (§2.1.4/2.1.5). specWBP is the rename-time
+	// (speculative) window base pointer; commitWBP tracks committed state
+	// for diagnostics.
+	gbp, specWBP, commitWBP uint64
+
+	// Conventional register windows (§4.1).
+	specDepth   int
+	commitDepth int
+	winBase     int // oldest resident window depth
+
+	pendingInject []*uop // window-trap memory ops awaiting rename
+
+	windowed bool // this thread's binary uses the windowed ABI
+
+	ref *emu.Machine // co-simulation golden model
+
+	memTag uint64 // distinguishes per-thread addresses in shared caches
+}
+
+// Machine is the cycle-level simulated processor.
+type Machine struct {
+	cfg     Config
+	threads []*thread
+	hier    *mem.Hierarchy
+	bp      *branch.Predictor
+
+	conv *rename.Conventional
+	vca  *rename.VCA
+	nwin int // conventional window count
+
+	physVal   []uint64
+	physReady []bool
+
+	cycle  uint64
+	seq    uint64
+	rob    []*uop
+	iq     []*uop
+	lsq    []*uop
+	inExec []*uop
+	fetchQ []*fetchEntry // decoded, predicted, awaiting rename
+	astq   []*astqEntry
+	inastq []*astqEntry // issued ASTQ ops in flight
+
+	// Per-cycle resource budgets (reset each cycle; rename credits may
+	// carry debt from a multi-operation instruction).
+	dl1Ports   int
+	portCredit int
+	astqCredit int
+
+	stats Stats
+	err   error
+}
+
+type fetchEntry struct {
+	u       *uop
+	readyAt uint64 // cycle at which it reaches the rename stage
+}
+
+type astqEntry struct {
+	op     rename.MemOp
+	thread int
+	doneAt uint64
+	issued bool
+}
+
+// Stats aggregates the measurements the experiments consume.
+type Stats struct {
+	Cycles            uint64
+	Committed         []uint64 // per thread
+	Fetched           uint64
+	Squashed          uint64
+	Mispredicts       uint64
+	WindowTraps       uint64
+	SpillsIssued      uint64
+	FillsIssued       uint64
+	RenameStallCycles uint64
+	IQFullStalls      uint64
+	ROBFullStalls     uint64
+}
+
+// New builds a machine running the given programs (one per thread; their
+// count must equal cfg.Threads). Windowed binaries must be run on a
+// machine with a window model and vice versa.
+func New(cfg Config, progs []*program.Program, windowed bool) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) != cfg.Threads {
+		return nil, fmt.Errorf("core: %d programs for %d threads", len(progs), cfg.Threads)
+	}
+	if windowed != (cfg.Window != WindowNone) {
+		return nil, fmt.Errorf("core: windowed-binary flag %v does not match window model %v", windowed, cfg.Window)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+
+	m := &Machine{
+		cfg:  cfg,
+		hier: mem.NewHierarchy(cfg.Hier),
+		bp:   branch.New(cfg.BP),
+	}
+	m.stats.Committed = make([]uint64, cfg.Threads)
+	m.physVal = make([]uint64, cfg.PhysRegs)
+	m.physReady = make([]bool, cfg.PhysRegs)
+
+	// Rename substrate.
+	switch cfg.Rename {
+	case RenameConventional:
+		logical := isa.NumArchRegs
+		if cfg.Window == WindowConventional {
+			m.nwin = (cfg.PhysRegs - 64 - isa.GlobalSlots) / isa.WindowSlots
+			if m.nwin < 1 {
+				return nil, fmt.Errorf("core: %d physical registers cannot hold any register window (need >= %d)",
+					cfg.PhysRegs, 64+isa.GlobalSlots+isa.WindowSlots)
+			}
+			logical = isa.GlobalSlots + m.nwin*isa.WindowSlots
+		}
+		conv, err := rename.NewConventional(cfg.Threads, logical, cfg.PhysRegs)
+		if err != nil {
+			return nil, err
+		}
+		m.conv = conv
+	case RenameVCA:
+		vcfg := cfg.VCA
+		vcfg.PhysRegs = cfg.PhysRegs
+		m.vca = rename.NewVCA(vcfg)
+		m.vca.ReadValue = func(p int) uint64 { return m.physVal[p] }
+	}
+
+	// Threads.
+	for t := 0; t < cfg.Threads; t++ {
+		p := progs[t]
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		th := &thread{
+			id:       t,
+			prog:     p,
+			text:     p.Predecode(),
+			mem:      mem.NewMemory(),
+			pc:       p.Entry,
+			windowed: windowed,
+			memTag:   uint64(t) << 44,
+		}
+		p.LoadInto(th.mem)
+		gbp, wbp := program.ThreadRegSpace(t)
+		th.gbp, th.specWBP, th.commitWBP = gbp, wbp, wbp
+		m.threads = append(m.threads, th)
+
+		m.initRegs(th)
+
+		if cfg.CoSim {
+			th.ref = emu.New(p, emu.Config{Windowed: windowed})
+		}
+	}
+	return m, nil
+}
+
+// initRegs installs initial architectural values (everything zero except
+// sp). Conventional machines write the pre-allocated physical registers;
+// VCA machines write the memory-mapped backing store, from which values
+// fill on demand.
+func (m *Machine) initRegs(th *thread) {
+	setReg := func(r isa.Reg, v uint64) {
+		switch m.cfg.Rename {
+		case RenameConventional:
+			log := m.logicalOf(th, r, true)
+			p := m.conv.Lookup(th.id, log)
+			m.physVal[p] = v
+			m.physReady[p] = true
+		case RenameVCA:
+			th.mem.Write(m.regAddr(th, r), 8, v)
+		}
+	}
+	if m.cfg.Rename == RenameConventional {
+		// All pre-allocated mappings start ready with value zero.
+		for l := 0; l < m.convLogicalCount(); l++ {
+			p := m.conv.Lookup(th.id, l)
+			m.physVal[p] = 0
+			m.physReady[p] = true
+		}
+	}
+	setReg(isa.RegSP, program.StackTop)
+}
+
+func (m *Machine) convLogicalCount() int {
+	if m.cfg.Window == WindowConventional {
+		return isa.GlobalSlots + m.nwin*isa.WindowSlots
+	}
+	return isa.NumArchRegs
+}
+
+// logicalOf maps an architectural register to a conventional logical
+// index, applying the window mapping when enabled. committed selects
+// commit-time depth instead of the speculative rename-time depth.
+func (m *Machine) logicalOf(th *thread, r isa.Reg, committed bool) int {
+	if m.cfg.Window != WindowConventional {
+		return int(r)
+	}
+	if !r.IsWindowed() {
+		return r.GlobalSlot()
+	}
+	d := th.specDepth
+	if committed {
+		d = th.commitDepth
+	}
+	return isa.GlobalSlots + (d%m.nwin)*isa.WindowSlots + r.WindowSlot()
+}
+
+// winSlotLogical returns the logical index of window slot s at depth d.
+func (m *Machine) winSlotLogical(d, s int) int {
+	return isa.GlobalSlots + (d%m.nwin)*isa.WindowSlots + s
+}
+
+// regAddr computes the VCA logical register memory address (§2.1.1): the
+// register index selects the windowed or global base pointer, which is
+// summed with the slot offset.
+func (m *Machine) regAddr(th *thread, r isa.Reg) uint64 {
+	if m.cfg.Window != WindowNone && r.IsWindowed() {
+		return th.specWBP + 8*uint64(r.WindowSlot())
+	}
+	if m.cfg.Window == WindowNone {
+		return th.gbp + 8*uint64(r)
+	}
+	return th.gbp + 8*uint64(r.GlobalSlot())
+}
+
+// windowAddr gives the backing-store address of window depth d for
+// conventional window traps (shared layout with VCA window stacks).
+func (m *Machine) windowAddr(th *thread, d int) uint64 {
+	_, wbpTop := program.ThreadRegSpace(th.id)
+	return wbpTop - uint64(d)*isa.WindowBytes
+}
+
+// cacheAddr tags a thread-local address for the shared cache hierarchy.
+func (th *thread) cacheAddr(addr uint64) uint64 { return addr ^ th.memTag }
+
+// Done reports whether every thread has exited.
+func (m *Machine) Done() bool {
+	for _, th := range m.threads {
+		if !th.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates until completion, the StopAfter commit budget, an error,
+// or MaxCycles. It returns the collected statistics.
+func (m *Machine) Run() (*Result, error) {
+	for m.cycle = 1; m.cycle <= m.cfg.MaxCycles; m.cycle++ {
+		m.dl1Ports = m.cfg.Hier.DL1Ports
+
+		m.commitStage()
+		if m.err != nil {
+			return nil, m.err
+		}
+		m.writebackStage()
+		m.issueStage()
+		m.renameStage()
+		m.fetchStage()
+
+		if m.Done() {
+			break
+		}
+		if m.cfg.StopAfter > 0 {
+			for _, th := range m.threads {
+				if th.committed >= m.cfg.StopAfter {
+					return m.result(), nil
+				}
+			}
+		}
+	}
+	if m.cycle > m.cfg.MaxCycles {
+		return nil, fmt.Errorf("core: exceeded %d cycles (hang?)", m.cfg.MaxCycles)
+	}
+	return m.result(), nil
+}
+
+// readSrc returns the current value of a renamed source (zero registers
+// and absent operands read as zero).
+func (m *Machine) readSrc(u *uop, i int) uint64 {
+	p := u.srcPhys[i]
+	if p == rename.PhysNone {
+		return 0
+	}
+	return m.physVal[p]
+}
+
+func (m *Machine) srcReady(u *uop, i int) bool {
+	p := u.srcPhys[i]
+	return p == rename.PhysNone || m.physReady[p]
+}
+
+func (m *Machine) allSrcsReady(u *uop) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if !m.srcReady(u, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"vca/internal/minic"
+	"vca/internal/program"
+)
+
+// TestVCARegPressurePlumbing verifies PhysRegs reaches the VCA renamer
+// and that pressure shows up as physical-register evictions.
+func TestVCARegPressurePlumbing(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	for _, regs := range []int{40, 64, 256} {
+		cfg := DefaultConfig(RenameVCA, WindowVCA, 1, regs)
+		cfg.MaxCycles = 50_000_000
+		m, err := New(cfg, []*program.Program{p}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.vca.FreeCount() != regs {
+			t.Fatalf("free count %d != %d", m.vca.FreeCount(), regs)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regs=%d cycles=%d spills=%d fills=%d tableEvicts=%d physEvicts=%d",
+			regs, res.Cycles, res.SpillsIssued, res.FillsIssued,
+			res.VCAStats.TableConflictEvicts, res.VCAStats.PhysEvicts)
+	}
+}
+
+// TestSMTWindowedMatrix co-simulates windowed VCA SMT across thread and
+// register-count combinations (regression: cross-thread spill routing).
+func TestSMTWindowedMatrix(t *testing.T) {
+	for _, n := range []int{2, 4} {
+		for _, regs := range []int{128, 192, 320} {
+			var progs []*program.Program
+			names := []string{"fib", "memory", "calls", "countdown"}[:n]
+			for _, name := range names {
+				progs = append(progs, buildProg(t, name, testSources[name], minic.ABIWindowed))
+			}
+			cfg := DefaultConfig(RenameVCA, WindowVCA, n, regs)
+			cfg.MaxCycles = 50_000_000
+			m, err := New(cfg, progs, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Errorf("threads=%d regs=%d: %v", n, regs, err)
+			} else {
+				t.Logf("threads=%d regs=%d ok", n, regs)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+
+	"vca/internal/isa"
+	"vca/internal/program"
+	"vca/internal/rename"
+)
+
+// renameStage renames up to Width instructions in order: injected window
+// trap operations first (per thread), then fetched instructions that have
+// traversed the front end. VCA machines additionally respect the rename
+// table port budget and the ASTQ write budget (§3), stalling in order when
+// either is exhausted.
+func (m *Machine) renameStage() {
+	// Per-cycle VCA budgets (carrying over any overshoot as debt).
+	if m.cfg.Rename == RenameVCA {
+		m.portCredit += m.cfg.VCA.Ports
+		if m.portCredit > m.cfg.VCA.Ports {
+			m.portCredit = m.cfg.VCA.Ports
+		}
+		m.astqCredit += m.cfg.VCA.ASTQWrites
+		if m.astqCredit > m.cfg.VCA.ASTQWrites {
+			m.astqCredit = m.cfg.VCA.ASTQWrites
+		}
+	}
+
+	budget := m.cfg.Width
+
+	// Injected window-trap memory operations rename with priority.
+	for _, th := range m.threads {
+		for budget > 0 && len(th.pendingInject) > 0 {
+			u := th.pendingInject[0]
+			if !m.renameOne(th, u) {
+				return
+			}
+			th.pendingInject = th.pendingInject[1:]
+			budget--
+		}
+	}
+
+	for budget > 0 && len(m.fetchQ) > 0 {
+		fe := m.fetchQ[0]
+		if fe.readyAt > m.cycle {
+			return
+		}
+		th := m.threads[fe.u.thread]
+		if m.cycle < th.renameBlockedUntil {
+			return // recovery walk in progress (in-order stall)
+		}
+		if !m.renameOne(th, fe.u) {
+			m.stats.RenameStallCycles++
+			return
+		}
+		m.fetchQ = m.fetchQ[1:]
+		budget--
+	}
+}
+
+// renameOne renames and dispatches a single uop. It returns false when a
+// structural hazard stalls rename this cycle (the uop stays queued).
+func (m *Machine) renameOne(th *thread, u *uop) bool {
+	if len(m.rob) >= m.cfg.ROBSize {
+		m.stats.ROBFullStalls++
+		return false
+	}
+	if len(m.iq) >= m.cfg.IQSize {
+		m.stats.IQFullStalls++
+		return false
+	}
+	if u.isStore() && m.lsqCount() >= m.cfg.LSQSize {
+		return false
+	}
+
+	srcs, dest := m.operandsOf(th, u)
+	ok := false
+	switch m.cfg.Rename {
+	case RenameConventional:
+		ok = m.renameConventional(th, u, srcs, dest)
+	case RenameVCA:
+		ok = m.renameVCA(th, u, srcs, dest)
+	}
+	if !ok {
+		return false
+	}
+
+	// Window bookkeeping: calls/returns rotate the speculative window
+	// after their own operands rename (a return reads its target register
+	// in the callee's window).
+	if !u.injected {
+		switch m.cfg.Window {
+		case WindowVCA, WindowIdeal:
+			// Clamp rotation to the thread's register space: wrong-path
+			// returns at depth zero (or runaway wrong-path recursion)
+			// must not escape into another context's backing store.
+			delta := u.inst.WindowDelta()
+			_, wbpTop := program.ThreadRegSpace(th.id)
+			next := th.specWBP + uint64(delta)
+			if delta != 0 && next <= wbpTop && next > th.gbp+4096 {
+				u.wbpDelta = delta
+				th.specWBP = next
+			}
+		case WindowConventional:
+			switch u.class {
+			case isa.ClassCall:
+				u.depDelta = 1
+			case isa.ClassRet:
+				if th.specDepth > 0 {
+					u.depDelta = -1
+				}
+			}
+			th.specDepth += u.depDelta
+		}
+	}
+
+	m.rob = append(m.rob, u)
+	m.iq = append(m.iq, u)
+	u.inIQ = true
+	if u.isStore() {
+		m.lsq = append(m.lsq, u)
+		u.inLSQ = true
+	}
+	return true
+}
+
+func (m *Machine) lsqCount() int { return len(m.lsq) }
+
+// operandsOf computes a uop's architectural operands positionally:
+// srcs[0] is SrcA, srcs[1] is SrcB; RegNone marks absent operands and
+// hardwired zero registers (which read as zero and are never renamed).
+func (m *Machine) operandsOf(th *thread, u *uop) (srcs [2]isa.Reg, dest isa.Reg) {
+	srcs[0], srcs[1] = isa.RegNone, isa.RegNone
+	if u.injected {
+		// Injected trap ops address logical slots directly; handled by
+		// the per-substrate rename paths.
+		return srcs, isa.RegNone
+	}
+	if u.class == isa.ClassSyscall {
+		for i, r := range syscallSrcs(u.inst.Imm) {
+			srcs[i] = r
+		}
+		return srcs, isa.RegNone
+	}
+	norm := func(r isa.Reg) isa.Reg {
+		if r == isa.RegNone || r.IsZero() {
+			return isa.RegNone
+		}
+		return r
+	}
+	srcs[0] = norm(u.inst.SrcA())
+	srcs[1] = norm(u.inst.SrcB())
+	return srcs, u.inst.DestRenamed()
+}
+
+// renameConventional maps sources through the map table and allocates the
+// destination from the free list.
+func (m *Machine) renameConventional(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) bool {
+	if u.injected {
+		if u.injStore {
+			u.nsrc = 2
+			u.srcRegs[0] = isa.RegNone
+			u.srcPhys[0] = m.conv.Lookup(th.id, u.injLogical)
+			return true
+		}
+		newP, prev, ok := m.conv.AllocateDest(th.id, u.injLogical)
+		if !ok {
+			return false
+		}
+		u.destReg = isa.RegNone
+		u.destLog = u.injLogical
+		u.destPhys, u.destPrev = newP, prev
+		m.physReady[newP] = false
+		return true
+	}
+
+	for i, r := range srcs {
+		u.srcRegs[i] = r
+		if r != isa.RegNone {
+			u.srcPhys[i] = m.conv.Lookup(th.id, m.logicalOf(th, r, false))
+		}
+	}
+	u.nsrc = 2
+	if dest != isa.RegNone {
+		log := m.logicalOf(th, dest, false)
+		newP, prev, ok := m.conv.AllocateDest(th.id, log)
+		if !ok {
+			return false
+		}
+		u.destReg = dest
+		u.destLog = log
+		u.destPhys, u.destPrev = newP, prev
+		m.physReady[newP] = false
+	} else {
+		u.destReg = isa.RegNone
+	}
+	return true
+}
+
+// renameVCA maps operands through the tagged rename table, generating
+// spills and fills (§2.1.1). Ideal-window machines apply the generated
+// operations instantaneously and for free.
+func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) bool {
+	ideal := m.cfg.Window == WindowIdeal
+
+	if !ideal {
+		if m.astqCredit <= 0 || m.portCredit <= 0 {
+			return false
+		}
+		if len(m.astq) >= m.cfg.ASTQSize {
+			return false
+		}
+	}
+
+	// Compute logical register addresses; duplicate addresses combine
+	// into one lookup/port.
+	var addrs [2]uint64
+	for i, r := range srcs {
+		if r != isa.RegNone {
+			addrs[i] = m.regAddr(th, r)
+		}
+	}
+	var destAddr uint64
+	if dest != isa.RegNone {
+		destAddr = m.regAddr(th, dest)
+	}
+	lookups := 0
+	seen := map[uint64]bool{}
+	for i, r := range srcs {
+		if r != isa.RegNone && !seen[addrs[i]] {
+			seen[addrs[i]] = true
+			lookups++
+		}
+	}
+	if dest != isa.RegNone && !seen[destAddr] {
+		lookups++
+	}
+	if !ideal && m.portCredit < lookups {
+		return false
+	}
+
+	var ops []rename.MemOp
+	var pinned []int
+	undo := func() {
+		for _, p := range pinned {
+			m.vca.ReleaseSource(p)
+			m.vca.ReleaseRetired(p)
+		}
+	}
+
+	for i, r := range srcs {
+		if r == isa.RegNone {
+			continue
+		}
+		phys, _, ok := m.vca.RenameSource(addrs[i], &ops)
+		if !ok {
+			undo()
+			m.applyVCAOps(th, ops, ideal) // evictions already happened
+			return false
+		}
+		pinned = append(pinned, phys)
+		u.srcRegs[i] = r
+		u.srcPhys[i] = phys
+	}
+	u.nsrc = 2
+
+	if dest != isa.RegNone {
+		newP, prev, ok := m.vca.RenameDest(destAddr, &ops)
+		if !ok {
+			undo()
+			m.applyVCAOps(th, ops, ideal)
+			return false
+		}
+		u.destReg = dest
+		u.destAddr = destAddr
+		u.destPhys, u.destPrev = newP, prev
+		m.physReady[newP] = false
+	} else {
+		u.destReg = isa.RegNone
+	}
+
+	m.portCredit -= lookups
+	m.astqCredit -= len(ops)
+	m.applyVCAOps(th, ops, ideal)
+	return true
+}
+
+// applyVCAOps routes renamer-generated spills and fills either to the
+// ASTQ (normal VCA) or applies them instantly (ideal windows). Each
+// operation belongs to the thread that owns the logical register address —
+// an eviction during thread A's rename may spill thread B's register,
+// which must land in B's backing store.
+func (m *Machine) applyVCAOps(th *thread, ops []rename.MemOp, ideal bool) {
+	ops = append(ops, m.vca.DrainRSIDOps()...)
+	for _, op := range ops {
+		owner := m.ownerOf(op.Addr)
+		if ideal {
+			if op.IsSpill {
+				owner.mem.Write(op.Addr, 8, op.Value)
+			} else {
+				m.physVal[op.Phys] = owner.mem.Read(op.Addr, 8)
+				m.physReady[op.Phys] = true
+			}
+			continue
+		}
+		if !op.IsSpill {
+			m.physReady[op.Phys] = false
+		}
+		m.astq = append(m.astq, &astqEntry{op: op, thread: owner.id})
+	}
+}
+
+// ownerOf maps a logical-register backing address to its thread context.
+func (m *Machine) ownerOf(addr uint64) *thread {
+	t := int((addr - program.RegSpaceBase) / program.RegSpaceStride)
+	if t < 0 || t >= len(m.threads) {
+		panic(fmt.Sprintf("core: register address %#x belongs to no thread", addr))
+	}
+	return m.threads[t]
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"vca/internal/isa"
+	"vca/internal/rename"
+)
+
+// recoverFrom handles a mispredicted control instruction: squash every
+// younger instruction of the same thread, repair rename state
+// (youngest-first rollback), restore the branch predictor, and redirect
+// fetch. VCA machines additionally charge the commit-table walk that
+// rebuilds the rename table (§2.1.3).
+func (m *Machine) recoverFrom(u *uop) {
+	th := m.threads[u.thread]
+	// The Pentium-4-style walk (§2.1.3) iterates from the ROB head up to
+	// the mispredicted branch, replaying older instructions' renames into
+	// the commit-table copy; its cost is the number of older in-flight
+	// instructions, and it overlaps the front-end refill.
+	walked := 0
+	for _, v := range m.rob {
+		if v.seq >= u.seq {
+			break
+		}
+		walked++
+	}
+	m.flushYounger(th, u.seq)
+
+	// Front-end repair: restore to the checkpoint and re-apply this
+	// instruction's own effect with the now-known outcome.
+	switch {
+	case u.class == isa.ClassBranch:
+		m.bp.RecoverCond(th.id, u.ck, u.taken)
+	case u.class == isa.ClassCall:
+		m.bp.Recover(th.id, u.ck)
+		m.bp.PushRAS(th.id, u.pc+4)
+	case u.class == isa.ClassRet:
+		m.bp.Recover(th.id, u.ck)
+		m.bp.PopRAS(th.id)
+	default:
+		m.bp.Recover(th.id, u.ck)
+	}
+
+	th.pc = u.actualNPC
+	th.fetchBlockedUntil = m.cycle + 1
+	if m.cfg.RecoveryWalk && walked > 0 {
+		walk := uint64((walked + m.cfg.Width - 1) / m.cfg.Width)
+		blocked := m.cycle + walk
+		if blocked > th.renameBlockedUntil {
+			th.renameBlockedUntil = blocked
+		}
+	}
+}
+
+// flushYounger squashes all instructions of thread th younger than seq,
+// rolling back rename state youngest-first. It returns the number of
+// renamed (ROB-resident) instructions squashed.
+func (m *Machine) flushYounger(th *thread, seq uint64) int {
+	// Un-renamed instructions in the fetch buffer just disappear.
+	keptF := m.fetchQ[:0]
+	for _, fe := range m.fetchQ {
+		if fe.u.thread == th.id && fe.u.seq > seq {
+			th.inFlight--
+			m.stats.Squashed++
+			continue
+		}
+		keptF = append(keptF, fe)
+	}
+	m.fetchQ = keptF
+
+	// Collect ROB victims (they are in ascending seq order).
+	var victims []*uop
+	keptR := m.rob[:0]
+	for _, v := range m.rob {
+		if v.thread == th.id && v.seq > seq {
+			victims = append(victims, v)
+			continue
+		}
+		keptR = append(keptR, v)
+	}
+	m.rob = keptR
+
+	// Roll back youngest-first.
+	for i := len(victims) - 1; i >= 0; i-- {
+		m.rollbackUop(th, victims[i])
+	}
+
+	if len(victims) > 0 {
+		m.purgeStructures(th.id, seq)
+	}
+	m.stats.Squashed += uint64(len(victims))
+	return len(victims)
+}
+
+// rollbackUop undoes one squashed instruction's rename-time state.
+func (m *Machine) rollbackUop(th *thread, v *uop) {
+	v.squashed = true
+	if !v.issued && !v.injected {
+		th.inFlight--
+	}
+	switch m.cfg.Rename {
+	case RenameConventional:
+		if v.destPhys != rename.PhysNone && v.destPhys >= 0 {
+			m.conv.RollbackDest(th.id, v.destLog, v.destPhys, v.destPrev)
+		}
+	case RenameVCA:
+		for i := 0; i < v.nsrc; i++ {
+			p := v.srcPhys[i]
+			if p >= 0 {
+				m.vca.ReleaseSource(p)
+				m.vca.ReleaseRetired(p)
+			}
+		}
+		if v.destPhys >= 0 {
+			m.vca.RollbackDest(v.destAddr, v.destPhys, v.destPrev)
+		}
+	}
+	th.specWBP -= uint64(v.wbpDelta)
+	th.specDepth -= v.depDelta
+}
+
+// purgeStructures removes squashed uops from the IQ, LSQ, and in-flight
+// execution list.
+func (m *Machine) purgeStructures(tid int, seq uint64) {
+	keep := func(v *uop) bool { return v.thread != tid || v.seq <= seq }
+	iq := m.iq[:0]
+	for _, v := range m.iq {
+		if keep(v) {
+			iq = append(iq, v)
+		}
+	}
+	m.iq = iq
+	lsq := m.lsq[:0]
+	for _, v := range m.lsq {
+		if keep(v) {
+			lsq = append(lsq, v)
+		}
+	}
+	m.lsq = lsq
+	ex := m.inExec[:0]
+	for _, v := range m.inExec {
+		if keep(v) {
+			ex = append(ex, v)
+		}
+	}
+	m.inExec = ex
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"vca/internal/isa"
+)
+
+// TraceWriter, when set on a Config, receives one line per committed
+// instruction — the standard way to debug a simulated program or to diff
+// two machine models instruction by instruction:
+//
+//	cyc 001234 t0 0001_0040 addi sp, sp, -32        sp=0x7ffffe0
+//	cyc 001236 t0 0001_0044 stq ra, 24(sp)          [0x7fffff8]=0x10008
+//
+// Injected window-trap operations are tagged with '*'.
+
+// traceCommit emits one trace line for a committing uop.
+func (m *Machine) traceCommit(w io.Writer, th *thread, u *uop) {
+	tag := ' '
+	if u.injected {
+		tag = '*'
+	}
+	var effect string
+	switch {
+	case u.isStore():
+		effect = fmt.Sprintf("[%#x]=%#x", u.ea, u.storeData)
+	case u.destPhys >= 0 && u.destReg != isa.RegNone:
+		effect = fmt.Sprintf("%v=%#x", u.destReg, m.physVal[u.destPhys])
+	case u.isCtl:
+		effect = fmt.Sprintf("-> %#x", u.actualNPC)
+	}
+	disasm := "window-trap op"
+	if !u.injected {
+		disasm = u.inst.DisasmAt(u.pc)
+	}
+	fmt.Fprintf(w, "cyc %06d t%d %08x%c %-28s %s\n",
+		m.cycle, th.id, u.pc, tag, disasm, effect)
+}

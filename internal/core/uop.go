@@ -1,0 +1,68 @@
+package core
+
+import (
+	"vca/internal/branch"
+	"vca/internal/isa"
+)
+
+// uop is one in-flight instruction (or injected window-trap memory
+// operation). A uop lives in the ROB from rename to commit or squash.
+type uop struct {
+	seq    uint64
+	thread int
+	pc     uint64
+	inst   isa.Inst
+	class  isa.Class
+
+	// Injected window-trap traffic (conventional windows, §4.1).
+	injected   bool
+	injStore   bool
+	injLogical int    // logical register slot
+	injAddr    uint64 // backing-store address
+
+	// Rename results.
+	nsrc     int
+	srcRegs  [2]isa.Reg
+	srcPhys  [2]int
+	destReg  isa.Reg
+	destPhys int
+	destPrev int
+	destLog  int    // conventional logical index
+	destAddr uint64 // VCA logical register address
+	wbpDelta int64  // VCA window rotation applied at rename
+	depDelta int    // conventional speculative window depth delta
+
+	// Execution.
+	issued    bool
+	done      bool
+	doneAt    uint64
+	inIQ      bool
+	inLSQ     bool
+	ea        uint64
+	memBytes  int
+	storeData uint64
+	result    uint64
+
+	// Control flow.
+	isCtl     bool
+	predNPC   uint64
+	predTaken bool
+	ck        branch.Checkpoint
+	actualNPC uint64
+	taken     bool
+
+	// Syscall operand capture (performed at execute, applied at commit).
+	sysVals [2]uint64
+
+	squashed bool
+}
+
+func (u *uop) isLoad() bool {
+	return (u.class == isa.ClassLoad && !u.injected) || (u.injected && !u.injStore)
+}
+
+func (u *uop) isStore() bool {
+	return (u.class == isa.ClassStore && !u.injected) || (u.injected && u.injStore)
+}
+
+func (u *uop) isMem() bool { return u.isLoad() || u.isStore() }

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vca/internal/minic"
+	"vca/internal/program"
+)
+
+// TestWindowTrapTrafficExact checks that every conventional-window trap
+// copies exactly one whole window: 32 slots per overflow (stores) and per
+// underflow (loads), all tagged CauseWindowTrap in the cache stats.
+func TestWindowTrapTrafficExact(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	cfg := DefaultConfig(RenameConventional, WindowConventional, 1, 160) // 2 windows
+	res := runCore(t, cfg, p, true)
+	if res.WindowTraps == 0 {
+		t.Fatal("expected traps")
+	}
+	trapAccesses := res.DL1.Accesses[2] // CauseWindowTrap
+	if trapAccesses != 32*res.WindowTraps {
+		t.Errorf("trap accesses %d, want exactly 32 x %d traps = %d",
+			trapAccesses, res.WindowTraps, 32*res.WindowTraps)
+	}
+}
+
+// TestVCAExtremePressureLiveness: a VCA machine with barely more physical
+// registers than one instruction's operands must still finish (forward
+// progress through pin-drain, §2.1.2).
+func TestVCAExtremePressureLiveness(t *testing.T) {
+	p := buildProg(t, "countdown", srcCountdown, minic.ABIFlat)
+	cfg := DefaultConfig(RenameVCA, WindowNone, 1, 8)
+	cfg.MaxCycles = 100_000_000
+	res := runCore(t, cfg, p, false)
+	if !res.Threads[0].Done {
+		t.Fatal("program did not finish under extreme register pressure")
+	}
+	if res.SpillsIssued == 0 || res.FillsIssued == 0 {
+		t.Error("extreme pressure must generate spills and fills")
+	}
+}
+
+// TestRenameAssocSweep: fewer rename-table ways must never make the
+// machine faster, and must increase table-conflict evictions.
+func TestRenameAssocSweep(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	// Associativity 1 can deadlock an instruction whose two sources map
+	// to the same set (§2.1.1); the machine must refuse to build.
+	bad := DefaultConfig(RenameVCA, WindowVCA, 1, 192)
+	bad.VCA.Ways = 1
+	if _, err := New(bad, []*program.Program{p}, true); err == nil {
+		t.Error("1-way VCA rename table must be rejected (deadlock risk)")
+	}
+
+	var prevCycles uint64
+	var prevEvicts uint64
+	first := true
+	for _, ways := range []int{6, 4, 3, 2} {
+		cfg := DefaultConfig(RenameVCA, WindowVCA, 1, 192)
+		cfg.VCA.Ways = ways
+		cfg.MaxCycles = 100_000_000
+		m, err := New(cfg, []*program.Program{p}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("ways=%d: %v", ways, err)
+		}
+		evicts := res.VCAStats.TableConflictEvicts
+		t.Logf("ways=%d cycles=%d tableEvicts=%d", ways, res.Cycles, evicts)
+		if !first {
+			if float64(res.Cycles) < float64(prevCycles)*0.98 {
+				t.Errorf("ways=%d (%d cycles) notably faster than more-associative config (%d)",
+					ways, res.Cycles, prevCycles)
+			}
+			if evicts < prevEvicts {
+				t.Errorf("ways=%d evictions %d decreased vs %d", ways, evicts, prevEvicts)
+			}
+		}
+		prevCycles, prevEvicts = res.Cycles, evicts
+		first = false
+	}
+}
+
+// TestASTQDepthEffect: a one-entry ASTQ must not beat the four-entry
+// configuration the paper settled on (§2.2.2).
+func TestASTQDepthEffect(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	run := func(depth int) uint64 {
+		cfg := DefaultConfig(RenameVCA, WindowVCA, 1, 64)
+		cfg.ASTQSize = depth
+		cfg.MaxCycles = 100_000_000
+		m, err := New(cfg, []*program.Program{p}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		return res.Cycles
+	}
+	c1, c4 := run(1), run(4)
+	t.Logf("astq=1: %d cycles, astq=4: %d cycles", c1, c4)
+	if float64(c1) < float64(c4)*0.99 {
+		t.Errorf("one-entry ASTQ (%d) beat four entries (%d)", c1, c4)
+	}
+}
+
+// TestSpillFillTrafficAccounted: VCA spill/fill cache accesses must equal
+// the issued operation counts exactly.
+func TestSpillFillTrafficAccounted(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIWindowed)
+	cfg := DefaultConfig(RenameVCA, WindowVCA, 1, 64)
+	res := runCore(t, cfg, p, true)
+	got := res.DL1.Accesses[1] // CauseSpillFill
+	want := res.SpillsIssued + res.FillsIssued
+	if got != want {
+		t.Errorf("spill/fill cache accesses %d, want %d", got, want)
+	}
+	if got == 0 {
+		t.Error("expected register traffic at 64 registers")
+	}
+}
+
+// TestPerThreadOutputsIsolated: SMT threads must not interleave output or
+// architectural state.
+func TestPerThreadOutputsIsolated(t *testing.T) {
+	p1 := buildProg(t, "fib", srcFib, minic.ABIFlat)
+	p2 := buildProg(t, "countdown", srcCountdown, minic.ABIFlat)
+	cfg := DefaultConfig(RenameVCA, WindowNone, 2, 96)
+	cfg.MaxCycles = 100_000_000
+	m, err := New(cfg, []*program.Program{p1, p2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads[0].Output != refRun(t, p1, false) {
+		t.Error("thread 0 output corrupted")
+	}
+	if res.Threads[1].Output != refRun(t, p2, false) {
+		t.Error("thread 1 output corrupted")
+	}
+}
+
+// TestTraceOutput checks the commit-trace facility produces one parsable
+// line per committed instruction.
+func TestTraceOutput(t *testing.T) {
+	p := buildProg(t, "countdown", srcCountdown, minic.ABIFlat)
+	var buf strings.Builder
+	cfg := DefaultConfig(RenameConventional, WindowNone, 1, 128)
+	cfg.TraceWriter = &buf
+	cfg.MaxCycles = 10_000_000
+	m, err := New(cfg, []*program.Program{p}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if uint64(lines) != res.Threads[0].Committed {
+		t.Errorf("%d trace lines for %d committed instructions", lines, res.Threads[0].Committed)
+	}
+	if !strings.Contains(buf.String(), "addi") || !strings.Contains(buf.String(), "cyc ") {
+		t.Error("trace content missing expected fields")
+	}
+}

@@ -1,0 +1,343 @@
+// Package emu is the functional (in-order, one-instruction-per-step)
+// reference implementation of the ISA. The paper's methodology (§3.1) uses
+// "fast functional simulation" to measure complete dynamic path lengths of
+// the windowed and non-windowed binaries (Table 2); this package plays
+// that role, and additionally serves as the golden model for commit-time
+// co-simulation against the out-of-order core.
+package emu
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"vca/internal/isa"
+	"vca/internal/mem"
+	"vca/internal/program"
+)
+
+// Config controls functional execution.
+type Config struct {
+	// Windowed selects register-window semantics: calls and returns
+	// rotate the windowed register subset (r0-r15/f0-f15). Run windowed
+	// binaries with Windowed=true and flat binaries with false.
+	Windowed bool
+	// StackTop is the initial stack pointer (default program.StackTop).
+	StackTop uint64
+	// MaxInsts aborts runaway programs (default 2^40).
+	MaxInsts uint64
+}
+
+// StopReason says why Run returned.
+type StopReason int
+
+const (
+	StopExited StopReason = iota
+	StopMaxInsts
+	StopError
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopExited:
+		return "exited"
+	case StopMaxInsts:
+		return "max-instructions"
+	case StopError:
+		return "error"
+	}
+	return "?"
+}
+
+// Stats are the dynamic execution statistics the clustering methodology
+// (§3.2) and Table 2 consume.
+type Stats struct {
+	Insts        uint64
+	CondBranches uint64
+	TakenCond    uint64
+	Loads        uint64
+	Stores       uint64
+	Calls        uint64
+	Returns      uint64
+	FPOps        uint64
+	IntOps       uint64
+	MaxCallDepth int
+	Syscalls     uint64
+}
+
+// frame is one register-window frame of functional state.
+type frame [isa.WindowSlots]uint64
+
+// Machine is a functional processor state bound to one program.
+type Machine struct {
+	cfg  Config
+	prog *program.Program
+	mem  *mem.Memory
+	text []isa.Inst
+
+	pc      uint64
+	globals [isa.GlobalSlots]uint64
+	// Windowed machines keep a logical stack of window frames; flat
+	// machines use windows[0] only.
+	windows []frame
+	depth   int // index of current frame
+
+	Stats    Stats
+	Output   bytes.Buffer
+	exited   bool
+	exitCode int64
+}
+
+// StepInfo reports everything one architectural step did; the cycle-level
+// core compares committed instructions against it.
+type StepInfo struct {
+	PC      uint64
+	Inst    isa.Inst
+	Dest    isa.Reg // RegNone when no register result
+	DestVal uint64
+	IsStore bool
+	Addr    uint64 // effective address for loads/stores
+	Taken   bool   // control transfer taken
+	NextPC  uint64
+}
+
+// New creates a machine, loads the program image, and initializes sp and
+// the call stack.
+func New(p *program.Program, cfg Config) *Machine {
+	if cfg.StackTop == 0 {
+		cfg.StackTop = program.StackTop
+	}
+	if cfg.MaxInsts == 0 {
+		cfg.MaxInsts = 1 << 40
+	}
+	m := &Machine{
+		cfg:     cfg,
+		prog:    p,
+		mem:     mem.NewMemory(),
+		text:    p.Predecode(),
+		pc:      p.Entry,
+		windows: make([]frame, 1, 64),
+	}
+	p.LoadInto(m.mem)
+	m.WriteReg(isa.RegSP, cfg.StackTop)
+	return m
+}
+
+// Mem exposes the functional memory (for co-simulation checks and
+// examples that want to inspect results).
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// Exited reports whether the program has executed the exit syscall, and
+// with which status.
+func (m *Machine) Exited() (bool, int64) { return m.exited, m.exitCode }
+
+// CallDepth returns the current register-window depth (0 in the outermost
+// frame). Flat machines always report 0.
+func (m *Machine) CallDepth() int { return m.depth }
+
+// ReadReg returns the architectural value of r in the current context.
+func (m *Machine) ReadReg(r isa.Reg) uint64 {
+	switch {
+	case r == isa.RegNone || r.IsZero():
+		return 0
+	case r.IsWindowed() && m.cfg.Windowed:
+		return m.windows[m.depth][r.WindowSlot()]
+	case r.IsWindowed():
+		return m.windows[0][r.WindowSlot()]
+	default:
+		return m.globals[r.GlobalSlot()]
+	}
+}
+
+// WriteReg sets the architectural value of r in the current context.
+// Writes to zero registers are discarded.
+func (m *Machine) WriteReg(r isa.Reg, v uint64) {
+	switch {
+	case r == isa.RegNone || r.IsZero():
+	case r.IsWindowed() && m.cfg.Windowed:
+		m.windows[m.depth][r.WindowSlot()] = v
+	case r.IsWindowed():
+		m.windows[0][r.WindowSlot()] = v
+	default:
+		m.globals[r.GlobalSlot()] = v
+	}
+}
+
+func (m *Machine) pushWindow() {
+	if !m.cfg.Windowed {
+		return
+	}
+	m.depth++
+	if m.depth == len(m.windows) {
+		m.windows = append(m.windows, frame{})
+	} else {
+		m.windows[m.depth] = frame{}
+	}
+	if m.depth > m.Stats.MaxCallDepth {
+		m.Stats.MaxCallDepth = m.depth
+	}
+}
+
+func (m *Machine) popWindow() error {
+	if !m.cfg.Windowed {
+		return nil
+	}
+	if m.depth == 0 {
+		return fmt.Errorf("emu: register window underflow at pc %#x", m.pc)
+	}
+	m.depth--
+	return nil
+}
+
+// Step executes one instruction and reports what it did.
+func (m *Machine) Step() (StepInfo, error) {
+	if m.exited {
+		return StepInfo{}, fmt.Errorf("emu: program has exited")
+	}
+	if !m.prog.InText(m.pc) {
+		return StepInfo{}, fmt.Errorf("emu: pc %#x outside text (%s)", m.pc, m.prog.SymbolFor(m.pc))
+	}
+	inst := m.text[(m.pc-m.prog.TextBase)/4]
+	info := StepInfo{PC: m.pc, Inst: inst, Dest: isa.RegNone, NextPC: m.pc + 4}
+	if !inst.Op.Valid() {
+		return info, fmt.Errorf("emu: invalid instruction at %#x (%s)", m.pc, m.prog.SymbolFor(m.pc))
+	}
+	m.Stats.Insts++
+
+	switch inst.Op.OpClass() {
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv, isa.ClassFPALU, isa.ClassFPMul, isa.ClassFPDiv:
+		a := m.ReadReg(inst.SrcA())
+		var b uint64
+		if inst.HasImmOperand() {
+			b = inst.ImmOperand()
+		} else {
+			b = m.ReadReg(inst.SrcB())
+		}
+		v := isa.EvalALU(inst.Op, a, b)
+		d := inst.Dest()
+		m.WriteReg(d, v)
+		info.Dest, info.DestVal = d, v
+		if inst.Op.OpClass() == isa.ClassIntALU || inst.Op.OpClass() == isa.ClassIntMul || inst.Op.OpClass() == isa.ClassIntDiv {
+			m.Stats.IntOps++
+		} else {
+			m.Stats.FPOps++
+		}
+
+	case isa.ClassLoad:
+		addr := inst.MemEA(m.ReadReg(inst.SrcA()))
+		raw := m.mem.Read(addr, inst.Op.MemBytes())
+		if inst.Op.MemSigned() {
+			raw = uint64(int64(int32(raw)))
+		}
+		d := inst.Dest()
+		m.WriteReg(d, raw)
+		info.Dest, info.DestVal, info.Addr = d, raw, addr
+		m.Stats.Loads++
+
+	case isa.ClassStore:
+		addr := inst.MemEA(m.ReadReg(inst.SrcA()))
+		v := m.ReadReg(inst.SrcB())
+		size := inst.Op.MemBytes()
+		if size < 8 {
+			v &= 1<<(8*size) - 1 // report the stored (truncated) value
+		}
+		m.mem.Write(addr, size, v)
+		info.IsStore, info.Addr, info.DestVal = true, addr, v
+		m.Stats.Stores++
+
+	case isa.ClassBranch:
+		m.Stats.CondBranches++
+		if isa.BranchTaken(inst.Op, m.ReadReg(inst.SrcA())) {
+			t, _ := inst.ControlTarget(m.pc)
+			info.NextPC, info.Taken = t, true
+			m.Stats.TakenCond++
+		}
+
+	case isa.ClassJump:
+		if inst.Op == isa.OpJmp {
+			t, _ := inst.ControlTarget(m.pc)
+			info.NextPC = t
+		} else {
+			info.NextPC = m.ReadReg(inst.SrcA())
+		}
+		info.Taken = true
+
+	case isa.ClassCall:
+		ret := m.pc + 4
+		var t uint64
+		if inst.Op == isa.OpJsr {
+			t, _ = inst.ControlTarget(m.pc)
+		} else {
+			t = m.ReadReg(inst.SrcA())
+		}
+		// ra is global, so it is written before the window rotates (and
+		// would be visible either way).
+		m.WriteReg(isa.RegRA, ret)
+		m.pushWindow()
+		info.Dest, info.DestVal = isa.RegRA, ret
+		info.NextPC, info.Taken = t, true
+		m.Stats.Calls++
+
+	case isa.ClassRet:
+		t := m.ReadReg(inst.SrcA())
+		if err := m.popWindow(); err != nil {
+			return info, err
+		}
+		info.NextPC, info.Taken = t, true
+		m.Stats.Returns++
+
+	case isa.ClassSyscall:
+		if err := m.syscall(inst.Imm); err != nil {
+			return info, err
+		}
+		m.Stats.Syscalls++
+
+	default:
+		return info, fmt.Errorf("emu: unhandled class for %v at %#x", inst.Op, m.pc)
+	}
+
+	m.pc = info.NextPC
+	return info, nil
+}
+
+// Run executes until exit, error, or the instruction budget is exhausted.
+func (m *Machine) Run() (StopReason, error) {
+	for m.Stats.Insts < m.cfg.MaxInsts {
+		if _, err := m.Step(); err != nil {
+			return StopError, err
+		}
+		if m.exited {
+			return StopExited, nil
+		}
+	}
+	return StopMaxInsts, nil
+}
+
+func (m *Machine) syscall(code int32) error {
+	switch code {
+	case isa.SysExit:
+		m.exited = true
+		m.exitCode = int64(m.ReadReg(isa.RegA0))
+	case isa.SysPutChar:
+		m.Output.WriteByte(byte(m.ReadReg(isa.RegA0)))
+	case isa.SysPutInt:
+		fmt.Fprintf(&m.Output, "%d", int64(m.ReadReg(isa.RegA0)))
+	case isa.SysPutFloat:
+		fmt.Fprintf(&m.Output, "%g", f64(m.ReadReg(isa.RegFA0)))
+	case isa.SysPutStr:
+		addr := m.ReadReg(isa.RegA0)
+		n := int(m.ReadReg(isa.RegA1))
+		if n < 0 || n > 1<<20 {
+			return fmt.Errorf("emu: unreasonable putstr length %d", n)
+		}
+		m.Output.Write(m.mem.ReadBytes(addr, n))
+	default:
+		return fmt.Errorf("emu: unknown syscall %d at pc %#x", code, m.pc)
+	}
+	return nil
+}
+
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vca/internal/cluster"
+	"vca/internal/minic"
+	"vca/internal/stats"
+	"vca/internal/workload"
+)
+
+// featureVector characterizes one multiprogrammed workload for the §3.2
+// clustering: for each per-benchmark statistic we take the mean and the
+// absolute difference across members (order-independent), giving the
+// 14-dimensional vectors the paper reduces with PCA.
+func featureVector(members []workload.Benchmark) ([]float64, error) {
+	per := make([][]float64, len(members))
+	for i, b := range members {
+		p, err := b.Profile(minic.ABIFlat)
+		if err != nil {
+			return nil, err
+		}
+		s := p.Stats
+		insts := float64(s.Insts)
+		per[i] = []float64{
+			float64(s.Loads+s.Stores) / insts,
+			float64(s.CondBranches) / insts,
+			float64(s.TakenCond) / float64(s.CondBranches+1),
+			float64(s.Calls) / insts,
+			float64(s.FPOps) / insts,
+			insts,
+			float64(s.MaxCallDepth),
+		}
+	}
+	dims := len(per[0])
+	out := make([]float64, 0, 2*dims)
+	for d := 0; d < dims; d++ {
+		var mean, spread float64
+		for _, p := range per {
+			mean += p[d]
+		}
+		mean /= float64(len(per))
+		for _, p := range per {
+			diff := p[d] - mean
+			if diff < 0 {
+				diff = -diff
+			}
+			spread += diff
+		}
+		out = append(out, mean, spread/float64(len(per)))
+	}
+	return out, nil
+}
+
+// SelectSMTWorkloads applies the §3.2 methodology: enumerate all
+// two-benchmark combinations, characterize each with a statistics vector,
+// reduce with PCA, cluster with average linkage, and keep cluster
+// representatives. Four-thread workloads are built the same way from
+// pairs of selected two-thread workloads ("We repeated this process on
+// all pairs of two-thread workloads").
+func SelectSMTWorkloads(k2, k4 int) (two [][]workload.Benchmark, four [][]workload.Benchmark, err error) {
+	benches := workload.All()
+	var pairs [][]workload.Benchmark
+	for i := 0; i < len(benches); i++ {
+		for j := i + 1; j < len(benches); j++ {
+			pairs = append(pairs, []workload.Benchmark{benches[i], benches[j]})
+		}
+	}
+	feats := make([][]float64, len(pairs))
+	if err := parallelFor(len(pairs), func(i int) error {
+		f, err := featureVector(pairs[i])
+		feats[i] = f
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	reps, err := cluster.SelectWorkloads(feats, k2, 6)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range reps {
+		two = append(two, pairs[r])
+	}
+
+	// Four-thread candidates: pairs of selected two-thread workloads with
+	// four distinct members.
+	var quads [][]workload.Benchmark
+	for i := 0; i < len(two); i++ {
+		for j := i + 1; j < len(two); j++ {
+			members := append(append([]workload.Benchmark{}, two[i]...), two[j]...)
+			if distinct(members) {
+				quads = append(quads, members)
+			}
+		}
+	}
+	if len(quads) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no distinct four-thread workloads")
+	}
+	qfeats := make([][]float64, len(quads))
+	if err := parallelFor(len(quads), func(i int) error {
+		f, err := featureVector(quads[i])
+		qfeats[i] = f
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	qreps, err := cluster.SelectWorkloads(qfeats, k4, 6)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range qreps {
+		four = append(four, quads[r])
+	}
+	return two, four, nil
+}
+
+func distinct(ms []workload.Benchmark) bool {
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name] {
+			return false
+		}
+		seen[m.Name] = true
+	}
+	return true
+}
+
+// SMTSizes is the Figure 7/8 x-axis.
+var SMTSizes = []int{64, 128, 192, 256, 320, 384, 448}
+
+// SMTCell is one (series, size) point: mean weighted speedup over the
+// selected workloads, and the mean weighted cache-access metric (§4.3).
+type SMTCell struct {
+	Series   string // e.g. "vca 2T", "baseline 4T"
+	Arch     Arch
+	Threads  int
+	PhysRegs int
+	Valid    bool
+	Speedup  float64
+	Accesses float64 // weighted cache accesses
+}
+
+// SMTOptions configures the SMT sweeps.
+type SMTOptions struct {
+	K2, K4    int    // cluster counts for 2- and 4-thread workloads
+	StopAfter uint64 // per-thread commit budget for detailed runs
+	Windowed  bool   // Figure 8: VCA runs windowed binaries
+	OneThread bool   // include 1T series (Figure 8)
+	Sizes     []int
+}
+
+// DefaultSMTOptions mirrors the paper's setup at this repository's scale.
+func DefaultSMTOptions() SMTOptions {
+	return SMTOptions{K2: 6, K4: 5, StopAfter: 250_000, Sizes: SMTSizes}
+}
+
+// SMTSweep produces Figure 7 (Windowed=false) or Figure 8
+// (Windowed=true, OneThread=true). Speedups are relative to
+// single-threaded execution on the baseline with 256 registers.
+func SMTSweep(opts SMTOptions) ([]SMTCell, error) {
+	if opts.K2 == 0 {
+		opts = DefaultSMTOptions()
+	}
+	two, four, err := SelectSMTWorkloads(opts.K2, opts.K4)
+	if err != nil {
+		return nil, err
+	}
+
+	// Single-thread reference times on the baseline with 256 registers
+	// (per §4.2: "speedups are relative to single-threaded execution on
+	// the baseline architecture with 256 physical registers").
+	benches := workload.All()
+	refTimes := make([]float64, len(benches))
+	refAPIs := make([]float64, len(benches))
+	if err := parallelFor(len(benches), func(i int) error {
+		met, err := RunSingle(benches[i], ArchBaseline, 256, 2, opts.StopAfter)
+		if err != nil {
+			return err
+		}
+		flat, err := benches[i].Profile(minic.ABIFlat)
+		if err != nil {
+			return err
+		}
+		refTimes[i] = stats.ExecTime(met.CPI, flat.Stats.Insts)
+		refAPIs[i] = met.AccPerInst
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	refTime := map[string]float64{}
+	refAPI := map[string]float64{}
+	for i, b := range benches {
+		refTime[b.Name] = refTimes[i]
+		refAPI[b.Name] = refAPIs[i]
+	}
+
+	vcaArch := ArchVCAFlat
+	if opts.Windowed {
+		vcaArch = ArchVCAWindow
+	}
+
+	type series struct {
+		name    string
+		arch    Arch
+		threads int
+		sets    [][]workload.Benchmark
+	}
+	var all []series
+	if opts.OneThread {
+		var ones [][]workload.Benchmark
+		for _, b := range workload.CallFrequent() {
+			ones = append(ones, []workload.Benchmark{b})
+		}
+		all = append(all,
+			series{"vca 1T", vcaArch, 1, ones},
+			series{"baseline 1T", ArchBaseline, 1, ones},
+		)
+	}
+	all = append(all,
+		series{"vca 2T", vcaArch, 2, two},
+		series{"vca 4T", vcaArch, 4, four},
+		series{"baseline 2T", ArchBaseline, 2, two},
+		series{"baseline 4T", ArchBaseline, 4, four},
+	)
+
+	type job struct {
+		s    series
+		regs int
+	}
+	var jobs []job
+	for _, s := range all {
+		for _, r := range opts.Sizes {
+			jobs = append(jobs, job{s, r})
+		}
+	}
+	cells := make([]SMTCell, len(jobs))
+	err = parallelFor(len(jobs), func(j int) error {
+		jb := jobs[j]
+		cell := SMTCell{Series: jb.s.name, Arch: jb.s.arch, Threads: jb.s.threads, PhysRegs: jb.regs}
+		var sps, was []float64
+		for _, members := range jb.s.sets {
+			met, err := RunSMT(members, jb.s.arch, jb.regs, 2, opts.StopAfter)
+			if err != nil {
+				return fmt.Errorf("%s/%d: %w", jb.s.name, jb.regs, err)
+			}
+			if !met.Valid {
+				cells[j] = cell
+				return nil
+			}
+			var singles, smts, sAPI, mAPI []float64
+			for ti, b := range members {
+				prof, err := b.Profile(jb.s.arch.ABI())
+				if err != nil {
+					return err
+				}
+				singles = append(singles, refTime[b.Name])
+				smts = append(smts, stats.ExecTime(met.PerThreadCPI[ti], prof.Stats.Insts))
+				sAPI = append(sAPI, refAPI[b.Name])
+				mAPI = append(mAPI, met.PerThreadAPI[ti])
+			}
+			sp, err := stats.WeightedSpeedup(singles, smts)
+			if err != nil {
+				return err
+			}
+			wa, err := stats.WeightedCacheAccesses(sAPI, mAPI)
+			if err != nil {
+				return err
+			}
+			sps = append(sps, sp)
+			was = append(was, wa)
+		}
+		cell.Valid = true
+		cell.Speedup = stats.Mean(sps)
+		cell.Accesses = stats.Mean(was)
+		cells[j] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// SMTCellFor locates a cell by series name and size.
+func SMTCellFor(cells []SMTCell, series string, regs int) (SMTCell, bool) {
+	for _, c := range cells {
+		if c.Series == series && c.PhysRegs == regs {
+			return c, c.Valid
+		}
+	}
+	return SMTCell{}, false
+}

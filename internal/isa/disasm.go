@@ -1,0 +1,48 @@
+package isa
+
+import "fmt"
+
+// String disassembles the instruction into assembler syntax. PC-relative
+// displacements are shown raw (in words); use DisasmAt for resolved
+// addresses.
+func (i Inst) String() string {
+	switch i.Op.Fmt() {
+	case FmtR:
+		if !opTable[i.Op].srcB { // unary: fsqrt, fmov, cvt*
+			return fmt.Sprintf("%s %s, %s", i.Op, i.Dest(), i.SrcA())
+		}
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Dest(), i.SrcA(), i.SrcB())
+	case FmtI:
+		switch i.Op.OpClass() {
+		case ClassLoad:
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Dest(), i.Imm, i.SrcA())
+		case ClassStore:
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.SrcB(), i.Imm, i.SrcA())
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Dest(), i.SrcA(), i.Imm)
+		}
+	case FmtBr:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.SrcA(), i.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case FmtJR:
+		return fmt.Sprintf("%s (%s)", i.Op, regOf(i.A, false))
+	case FmtSys:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	}
+	return "??"
+}
+
+// DisasmAt disassembles with pc-relative targets resolved to absolute
+// addresses, for trace output.
+func (i Inst) DisasmAt(pc uint64) string {
+	if t, ok := i.ControlTarget(pc); ok {
+		switch i.Op.Fmt() {
+		case FmtBr:
+			return fmt.Sprintf("%s %s, 0x%x", i.Op, i.SrcA(), t)
+		case FmtJ:
+			return fmt.Sprintf("%s 0x%x", i.Op, t)
+		}
+	}
+	return i.String()
+}

@@ -1,0 +1,135 @@
+package isa
+
+import "fmt"
+
+// Instruction word layout (32 bits):
+//
+//	[31:24] opcode
+//	FmtR:   [23:19]=A  [18:14]=B  [13:9]=C
+//	FmtI:   [23:19]=A  [18:14]=B  [13:0]=imm14 (signed)
+//	FmtBr:  [23:19]=A  [18:0]=disp19 (signed, in words)
+//	FmtJ:   [23:0]=disp24 (signed, in words)
+//	FmtJR:  [23:19]=A
+//	FmtSys: [15:0]=code16
+//
+// Field A/B/C are 5-bit per-file register indices; whether they index the
+// integer or FP file is a property of the opcode (see opTable).
+
+// Immediate field ranges.
+const (
+	Imm14Min  = -(1 << 13)
+	Imm14Max  = 1<<13 - 1
+	Imm14Mask = 1<<14 - 1
+	Disp19Min = -(1 << 18)
+	Disp19Max = 1<<18 - 1
+	Disp24Min = -(1 << 23)
+	Disp24Max = 1<<23 - 1
+)
+
+// Word is a raw, encoded instruction.
+type Word uint32
+
+// Inst is a decoded instruction: opcode plus raw operand fields. Use the
+// operand accessors (SrcA, SrcB, Dest, ...) rather than the raw fields when
+// you need architectural register ids.
+type Inst struct {
+	Op      Op
+	A, B, C uint8 // raw 5-bit register fields
+	Imm     int32 // imm14 / disp19 / disp24 / code16, sign-extended as appropriate
+}
+
+// EncodeR builds a register-register instruction C := A op B.
+func EncodeR(op Op, a, b, c uint8) Word {
+	return Word(op)<<24 | Word(a&31)<<19 | Word(b&31)<<14 | Word(c&31)<<9
+}
+
+// EncodeI builds a register-immediate instruction (also loads and stores).
+func EncodeI(op Op, a, b uint8, imm int32) (Word, error) {
+	if imm < Imm14Min || imm > Imm14Max {
+		return 0, fmt.Errorf("isa: immediate %d out of 14-bit range for %v", imm, op)
+	}
+	return Word(op)<<24 | Word(a&31)<<19 | Word(b&31)<<14 | Word(uint32(imm)&Imm14Mask), nil
+}
+
+// EncodeBr builds a conditional branch with a word displacement.
+func EncodeBr(op Op, a uint8, disp int32) (Word, error) {
+	if disp < Disp19Min || disp > Disp19Max {
+		return 0, fmt.Errorf("isa: branch displacement %d out of 19-bit range", disp)
+	}
+	return Word(op)<<24 | Word(a&31)<<19 | Word(uint32(disp)&(1<<19-1)), nil
+}
+
+// EncodeJ builds a pc-relative jump or call with a word displacement.
+func EncodeJ(op Op, disp int32) (Word, error) {
+	if disp < Disp24Min || disp > Disp24Max {
+		return 0, fmt.Errorf("isa: jump displacement %d out of 24-bit range", disp)
+	}
+	return Word(op)<<24 | Word(uint32(disp)&(1<<24-1)), nil
+}
+
+// EncodeJR builds a register-indirect jump, call, or return.
+func EncodeJR(op Op, a uint8) Word {
+	return Word(op)<<24 | Word(a&31)<<19
+}
+
+// EncodeSys builds a syscall.
+func EncodeSys(code uint16) Word {
+	return Word(OpSyscall)<<24 | Word(code)
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a raw instruction word. Unassigned opcode bytes decode to
+// an Inst with Op == OpInvalid.
+func Decode(w Word) Inst {
+	op := Op(w >> 24)
+	if op >= numOps {
+		op = OpInvalid
+	}
+	inst := Inst{Op: op}
+	switch op.Fmt() {
+	case FmtR:
+		inst.A = uint8(w>>19) & 31
+		inst.B = uint8(w>>14) & 31
+		inst.C = uint8(w>>9) & 31
+	case FmtI:
+		inst.A = uint8(w>>19) & 31
+		inst.B = uint8(w>>14) & 31
+		inst.Imm = signExtend(uint32(w)&Imm14Mask, 14)
+	case FmtBr:
+		inst.A = uint8(w>>19) & 31
+		inst.Imm = signExtend(uint32(w)&(1<<19-1), 19)
+	case FmtJ:
+		inst.Imm = signExtend(uint32(w)&(1<<24-1), 24)
+	case FmtJR:
+		inst.A = uint8(w>>19) & 31
+	case FmtSys:
+		inst.Imm = int32(uint32(w) & 0xFFFF)
+	}
+	return inst
+}
+
+// Encode re-encodes a decoded instruction. Decode(Encode(i)) == i for any
+// valid instruction (the property tests rely on this).
+func (i Inst) Encode() (Word, error) {
+	switch i.Op.Fmt() {
+	case FmtR:
+		return EncodeR(i.Op, i.A, i.B, i.C), nil
+	case FmtI:
+		return EncodeI(i.Op, i.A, i.B, i.Imm)
+	case FmtBr:
+		return EncodeBr(i.Op, i.A, i.Imm)
+	case FmtJ:
+		return EncodeJ(i.Op, i.Imm)
+	case FmtJR:
+		return EncodeJR(i.Op, i.A), nil
+	case FmtSys:
+		if i.Op == OpSyscall {
+			return EncodeSys(uint16(i.Imm)), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", i.Op)
+}

@@ -1,0 +1,231 @@
+package isa
+
+import "math"
+
+// regOf converts a raw 5-bit field to a unified register id.
+func regOf(field uint8, fp bool) Reg {
+	if fp {
+		return FPReg(int(field))
+	}
+	return Reg(field)
+}
+
+// SrcA returns the first source register, or RegNone. For memory ops this
+// is the base address register; for branches, the tested register; for
+// indirect jumps/calls/returns, the target register.
+func (i Inst) SrcA() Reg {
+	info := &opTable[i.Op]
+	if !info.srcA {
+		return RegNone
+	}
+	return regOf(i.A, info.srcAFP)
+}
+
+// SrcB returns the second source register, or RegNone. For stores this is
+// the value being stored.
+func (i Inst) SrcB() Reg {
+	info := &opTable[i.Op]
+	if !info.srcB {
+		return RegNone
+	}
+	return regOf(i.B, info.srcBFP)
+}
+
+// Dest returns the destination register, or RegNone. Writes to the
+// hardwired zero registers are architectural no-ops; callers that allocate
+// rename resources should treat a zero-register destination as RegNone
+// (DestRenamed does this).
+func (i Inst) Dest() Reg {
+	info := &opTable[i.Op]
+	if !info.dst {
+		return RegNone
+	}
+	switch i.Op.OpClass() {
+	case ClassCall:
+		return RegRA
+	case ClassLoad:
+		return regOf(i.B, info.dstFP)
+	default: // FmtR register-register, FmtI register-immediate
+		if i.Op.Fmt() == FmtI {
+			return regOf(i.B, info.dstFP)
+		}
+		return regOf(i.C, info.dstFP)
+	}
+}
+
+// DestRenamed returns the destination register for rename purposes:
+// RegNone when the architectural destination is a hardwired zero register.
+func (i Inst) DestRenamed() Reg {
+	d := i.Dest()
+	if d != RegNone && d.IsZero() {
+		return RegNone
+	}
+	return d
+}
+
+// HasImmOperand reports whether the second ALU operand comes from the
+// immediate field rather than SrcB.
+func (i Inst) HasImmOperand() bool {
+	return i.Op.Fmt() == FmtI && !i.Op.IsMem()
+}
+
+// ImmOperand returns the immediate as the 64-bit second operand. Logical
+// and shift immediates are zero-extended (so the assembler can splice
+// 14-bit chunks when synthesizing large constants); arithmetic and compare
+// immediates are sign-extended.
+func (i Inst) ImmOperand() uint64 {
+	switch i.Op {
+	case OpAndI, OpOrI, OpXorI, OpSllI, OpSrlI, OpSraI:
+		return uint64(uint32(i.Imm) & Imm14Mask)
+	default:
+		return uint64(int64(i.Imm))
+	}
+}
+
+// EvalALU computes the result of any ALU, FP, or conversion instruction
+// from its (already selected) operand values. Operand and result floating
+// point values are IEEE-754 bit patterns. Control-flow and memory ops must
+// not be passed here.
+func EvalALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd, OpAddI:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return uint64(sdiv(int64(a), int64(b)))
+	case OpRem:
+		return uint64(srem(int64(a), int64(b)))
+	case OpAnd, OpAndI:
+		return a & b
+	case OpOr, OpOrI:
+		return a | b
+	case OpXor, OpXorI:
+		return a ^ b
+	case OpSll, OpSllI:
+		return a << (b & 63)
+	case OpSrl, OpSrlI:
+		return a >> (b & 63)
+	case OpSra, OpSraI:
+		return uint64(int64(a) >> (b & 63))
+	case OpCmpEq, OpCmpEqI:
+		return boolVal(a == b)
+	case OpCmpLt, OpCmpLtI:
+		return boolVal(int64(a) < int64(b))
+	case OpCmpLe, OpCmpLeI:
+		return boolVal(int64(a) <= int64(b))
+	case OpCmpULt, OpCmpULtI:
+		return boolVal(a < b)
+
+	case OpFAdd:
+		return fbits(ffloat(a) + ffloat(b))
+	case OpFSub:
+		return fbits(ffloat(a) - ffloat(b))
+	case OpFMul:
+		return fbits(ffloat(a) * ffloat(b))
+	case OpFDiv:
+		return fbits(ffloat(a) / ffloat(b))
+	case OpFSqrt:
+		return fbits(math.Sqrt(ffloat(a)))
+	case OpFMov:
+		return a
+	case OpFCmpEq:
+		return boolVal(ffloat(a) == ffloat(b))
+	case OpFCmpLt:
+		return boolVal(ffloat(a) < ffloat(b))
+	case OpFCmpLe:
+		return boolVal(ffloat(a) <= ffloat(b))
+	case OpCvtIF:
+		return fbits(float64(int64(a)))
+	case OpCvtFI:
+		return uint64(int64(ffloat(a)))
+	}
+	return 0
+}
+
+// sdiv is signed division with the ISA's defined edge cases: division by
+// zero yields 0, and MinInt64/-1 wraps to MinInt64 (two's complement).
+func sdiv(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return 0
+	case a == math.MinInt64 && b == -1:
+		return math.MinInt64
+	}
+	return a / b
+}
+
+// srem is signed remainder: x rem 0 yields x; MinInt64 rem -1 yields 0.
+func srem(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt64 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func ffloat(bits uint64) float64 { return math.Float64frombits(bits) }
+func fbits(f float64) uint64     { return math.Float64bits(f) }
+
+// BranchTaken evaluates a conditional branch against the tested register
+// value (signed comparisons against zero, as in Alpha).
+func BranchTaken(op Op, a uint64) bool {
+	v := int64(a)
+	switch op {
+	case OpBeq:
+		return v == 0
+	case OpBne:
+		return v != 0
+	case OpBlt:
+		return v < 0
+	case OpBle:
+		return v <= 0
+	case OpBgt:
+		return v > 0
+	case OpBge:
+		return v >= 0
+	}
+	return false
+}
+
+// ControlTarget returns the statically-known target of a pc-relative
+// control instruction (branches, jmp, jsr). pc is the instruction's own
+// address. Indirect ops (jmpr, jsrr, ret) have no static target and return
+// ok == false.
+func (i Inst) ControlTarget(pc uint64) (target uint64, ok bool) {
+	switch i.Op.Fmt() {
+	case FmtBr, FmtJ:
+		return pc + 4 + uint64(int64(i.Imm))*4, true
+	}
+	return 0, false
+}
+
+// MemEA computes a memory instruction's effective address from its base
+// register value.
+func (i Inst) MemEA(base uint64) uint64 {
+	return base + uint64(int64(i.Imm))
+}
+
+// WindowDelta returns the change a control instruction makes to the window
+// base pointer on a windowed machine, in bytes: calls push a frame
+// (-WindowBytes), returns pop one (+WindowBytes), everything else 0.
+func (i Inst) WindowDelta() int64 {
+	switch i.Op.OpClass() {
+	case ClassCall:
+		return -WindowBytes
+	case ClassRet:
+		return +WindowBytes
+	}
+	return 0
+}

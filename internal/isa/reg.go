@@ -1,0 +1,180 @@
+// Package isa defines the simulated instruction-set architecture used
+// throughout the repository: a 64-bit, fixed-width (32-bit instructions)
+// RISC machine in the style of the Alpha ISA the paper targets, extended —
+// exactly as the paper's §3.1 describes — with a register-window variant in
+// which call and return instructions rotate the windowed subset of the
+// register file.
+//
+// The ISA has 32 integer registers (r31 hardwired to zero) and 32
+// floating-point registers (f31 hardwired to +0.0). Following the paper,
+// every register used to communicate values across a function-call boundary
+// (arguments, return values, sp, ra, gp, assembler temporaries) is global
+// (non-windowed); the callee-saved set r0–r15 / f0–f15 is windowed.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs give the architectural register file shape.
+// NumArchRegs is the unified count used by rename machinery: integer
+// registers occupy ids [0,32) and floating-point registers [32,64).
+const (
+	NumIntRegs  = 32
+	NumFPRegs   = 32
+	NumArchRegs = NumIntRegs + NumFPRegs
+)
+
+// Reg is a unified architectural register id: 0–31 integer, 32–63 floating
+// point. The two hardwired-zero registers are ZeroInt (r31) and ZeroFP (f63
+// in unified numbering, i.e. f31).
+type Reg uint8
+
+// Hardwired zero registers and common ABI registers (unified numbering).
+const (
+	ZeroInt Reg = 31
+	ZeroFP  Reg = 32 + 31
+
+	// Integer ABI registers. r0–r15 are the windowed/callee-saved set.
+	RegV0 Reg = 16 // return value (alias of first argument register)
+	RegA0 Reg = 16 // arguments a0–a5 = r16–r21
+	RegA1 Reg = 17
+	RegA2 Reg = 18
+	RegA3 Reg = 19
+	RegA4 Reg = 20
+	RegA5 Reg = 21
+	RegT0 Reg = 22 // caller-saved temporaries t0–t3 = r22–r25
+	RegT1 Reg = 23
+	RegT2 Reg = 24
+	RegT3 Reg = 25
+	RegRA Reg = 26 // return address
+	RegAT Reg = 27 // assembler temporary
+	RegGP Reg = 28 // global pointer
+	RegSP Reg = 29 // stack pointer
+	RegT4 Reg = 30 // extra caller-saved temporary
+
+	// Floating-point ABI registers (unified ids). f0–f15 windowed.
+	RegFA0 Reg = 32 + 16 // fp arguments fa0–fa3 = f16–f19
+	RegFA1 Reg = 32 + 17
+	RegFA2 Reg = 32 + 18
+	RegFA3 Reg = 32 + 19
+	RegFV0 Reg = 32 + 16 // fp return value
+	RegFT0 Reg = 32 + 20 // fp temporaries ft0–ft10 = f20–f30
+)
+
+// RegNone marks "no register" in decoded-instruction operand slots.
+const RegNone Reg = 0xFF
+
+// IsInt reports whether r names an integer register.
+func (r Reg) IsInt() bool { return r < NumIntRegs }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumArchRegs }
+
+// IsZero reports whether r is one of the two hardwired zero registers.
+// Zero registers are never renamed and never allocated physical storage.
+func (r Reg) IsZero() bool { return r == ZeroInt || r == ZeroFP }
+
+// IntReg and FPReg build unified ids from per-file indices.
+func IntReg(i int) Reg { return Reg(i) }
+func FPReg(i int) Reg  { return Reg(NumIntRegs + i) }
+
+// FileIndex returns the index of r within its own register file (0–31).
+func (r Reg) FileIndex() int {
+	if r.IsFP() {
+		return int(r) - NumIntRegs
+	}
+	return int(r)
+}
+
+// Register windows. The windowed subset is r0–r15 and f0–f15: 32 slots per
+// window frame, 8 bytes each. Calls move the window base pointer down by
+// WindowBytes; returns move it back up (the register stack grows downward,
+// like the memory stack).
+const (
+	WindowedPerFile = 16
+	WindowSlots     = 2 * WindowedPerFile // 32 slots: 16 int + 16 fp
+	WindowBytes     = WindowSlots * 8     // 256 bytes per window frame
+	GlobalSlots     = NumArchRegs - WindowSlots
+)
+
+// IsWindowed reports whether r belongs to the windowed register class: the
+// class whose logical identity changes on every call and return when
+// register windows are enabled (§2.1.5).
+func (r Reg) IsWindowed() bool {
+	return int(r) < WindowedPerFile ||
+		(r.IsFP() && r.FileIndex() < WindowedPerFile)
+}
+
+// WindowSlot returns r's slot within a window frame (0–31). It panics if r
+// is not windowed; callers must check IsWindowed first.
+func (r Reg) WindowSlot() int {
+	switch {
+	case int(r) < WindowedPerFile:
+		return int(r)
+	case r.IsFP() && r.FileIndex() < WindowedPerFile:
+		return WindowedPerFile + r.FileIndex()
+	}
+	panic(fmt.Sprintf("isa: WindowSlot of non-windowed register %v", r))
+}
+
+// GlobalSlot returns r's slot within the global (non-windowed) register
+// space (0–31). It panics if r is windowed.
+func (r Reg) GlobalSlot() int {
+	switch {
+	case r.IsInt() && int(r) >= WindowedPerFile:
+		return int(r) - WindowedPerFile
+	case r.IsFP() && r.FileIndex() >= WindowedPerFile:
+		return WindowedPerFile + r.FileIndex() - WindowedPerFile
+	}
+	panic(fmt.Sprintf("isa: GlobalSlot of windowed register %v", r))
+}
+
+var intRegNames = [NumIntRegs]string{
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "s12", "s13", "s14", "s15",
+	"a0", "a1", "a2", "a3", "a4", "a5",
+	"t0", "t1", "t2", "t3",
+	"ra", "at", "gp", "sp", "t4", "zero",
+}
+
+var fpRegNames = [NumFPRegs]string{
+	"fs0", "fs1", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "fs12", "fs13", "fs14", "fs15",
+	"fa0", "fa1", "fa2", "fa3",
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5",
+	"ft6", "ft7", "ft8", "ft9", "ft10", "fzero",
+}
+
+// String returns the ABI name of the register (e.g. "sp", "a0", "fs3").
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsInt():
+		return intRegNames[r]
+	case r.IsFP():
+		return fpRegNames[r.FileIndex()]
+	}
+	return fmt.Sprintf("reg%d?", uint8(r))
+}
+
+// RegByName resolves an ABI register name (or raw "rN"/"fN" form) to a
+// unified register id. It returns RegNone, false for unknown names.
+func RegByName(name string) (Reg, bool) {
+	if r, ok := regNameTable[name]; ok {
+		return r, true
+	}
+	return RegNone, false
+}
+
+var regNameTable = func() map[string]Reg {
+	m := make(map[string]Reg, 4*NumIntRegs)
+	for i := 0; i < NumIntRegs; i++ {
+		m[intRegNames[i]] = Reg(i)
+		m[fmt.Sprintf("r%d", i)] = Reg(i)
+		m[fpRegNames[i]] = FPReg(i)
+		m[fmt.Sprintf("f%d", i)] = FPReg(i)
+	}
+	m["v0"] = RegV0
+	m["fv0"] = RegFV0
+	return m
+}()

@@ -1,0 +1,93 @@
+// Package mem provides the simulated memory system: a sparse 64-bit
+// physical memory holding program data, and a timing-only set-associative
+// write-back cache hierarchy (IL1/DL1/L2 + main memory) matching the
+// paper's Table 1. Caches model latency and traffic; data always lives in
+// Memory, so functional correctness never depends on cache state.
+package mem
+
+// pageBits gives 4 KiB pages for the sparse memory map.
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse little-endian byte-addressable memory. The zero value
+// is ready to use; unwritten locations read as zero.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte stores one byte.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read loads size bytes little-endian (size 1–8). Accesses may straddle
+// pages.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes little-endian (size 1–8).
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.ByteAt(addr + uint64(i))
+	}
+	return out
+}
+
+// WriteBytes copies data into memory starting at addr. It satisfies
+// program.Loader.
+func (m *Memory) WriteBytes(addr uint64, data []byte) {
+	for i, b := range data {
+		m.SetByte(addr+uint64(i), b)
+	}
+}
+
+// Footprint returns the number of distinct pages touched, a cheap working-
+// set statistic used by the workload clustering step.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Clone returns a deep copy (used by tests that fork architectural state).
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}

@@ -1,0 +1,234 @@
+package minic
+
+// Type is a minic type. Arrays decay to pointers in expressions.
+type Type struct {
+	Kind TypeKind
+	Elem *Type // pointer/array element
+	Len  int   // array length
+}
+
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeFloat
+	TypeChar
+	TypePtr
+	TypeArray
+)
+
+var (
+	tyVoid  = &Type{Kind: TypeVoid}
+	tyInt   = &Type{Kind: TypeInt}
+	tyFloat = &Type{Kind: TypeFloat}
+	tyChar  = &Type{Kind: TypeChar}
+)
+
+func ptrTo(e *Type) *Type { return &Type{Kind: TypePtr, Elem: e} }
+func arrayOf(e *Type, n int) *Type {
+	return &Type{Kind: TypeArray, Elem: e, Len: n}
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeChar:
+		return "char"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// isScalarInt reports int-like types held in integer registers.
+func (t *Type) isScalarInt() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePtr
+}
+
+func (t *Type) isFloat() bool { return t.Kind == TypeFloat }
+
+// size returns the in-memory size of a value of this type.
+func (t *Type) size() int {
+	switch t.Kind {
+	case TypeChar:
+		return 1
+	case TypeArray:
+		return t.Len * t.Elem.size()
+	default:
+		return 8
+	}
+}
+
+func sameType(a, b *Type) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Kind == TypePtr || a.Kind == TypeArray {
+		return sameType(a.Elem, b.Elem)
+	}
+	return true
+}
+
+// Expressions.
+
+type expr interface{ exprType() *Type }
+
+type exprBase struct {
+	ty   *Type
+	line int
+}
+
+func (e *exprBase) exprType() *Type { return e.ty }
+
+type intLit struct {
+	exprBase
+	val int64
+}
+
+type floatLit struct {
+	exprBase
+	val float64
+}
+
+// varRef names a global or local variable (or array, which decays).
+type varRef struct {
+	exprBase
+	name string
+	sym  *symbol
+}
+
+type binop struct {
+	exprBase
+	op   string // "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||", "&", "|", "^", "<<", ">>"
+	l, r expr
+}
+
+type unop struct {
+	exprBase
+	op string // "-", "!", "*", "&"
+	x  expr
+}
+
+type callExpr struct {
+	exprBase
+	name string
+	args []expr
+	fn   *funcDecl
+}
+
+type indexExpr struct {
+	exprBase
+	base expr
+	idx  expr
+}
+
+type castExpr struct {
+	exprBase
+	x expr
+}
+
+// Statements.
+
+type stmt interface{ stmtNode() }
+
+type stmtBase struct{ line int }
+
+func (stmtBase) stmtNode() {}
+
+type declStmt struct {
+	stmtBase
+	sym  *symbol
+	init expr // may be nil
+}
+
+type assignStmt struct {
+	stmtBase
+	lhs expr // varRef, indexExpr, or unop{*}
+	rhs expr
+}
+
+type ifStmt struct {
+	stmtBase
+	cond      expr
+	then, els stmt // els may be nil
+}
+
+type whileStmt struct {
+	stmtBase
+	cond expr
+	body stmt
+	post stmt // for-loop increment; runs after body and on continue
+}
+
+type blockStmt struct {
+	stmtBase
+	stmts []stmt
+}
+
+type returnStmt struct {
+	stmtBase
+	val expr // nil for void
+}
+
+type exprStmt struct {
+	stmtBase
+	x expr
+}
+
+type breakStmt struct{ stmtBase }
+type continueStmt struct{ stmtBase }
+
+type printStmt struct {
+	stmtBase
+	kind string // "int", "float", "char", "str"
+	arg  expr   // nil for str
+	str  string
+}
+
+// Declarations.
+
+// symbol is a named variable: global, local, or parameter.
+type symbol struct {
+	name    string
+	ty      *Type
+	global  bool
+	init    int64   // global scalar initializer bits
+	finit   float64 // for float globals
+	hasInit bool
+
+	// Back-end allocation (filled by codegen).
+	reg       int  // allocated callee-saved register index, -1 if none
+	stackOff  int  // frame offset when reg == -1 or addressable
+	addrTaken bool // needs memory (arrays, &x)
+}
+
+type funcDecl struct {
+	name    string
+	ret     *Type
+	params  []*symbol
+	body    *blockStmt
+	line    int
+	isLeaf  bool // no calls in body (computed by codegen pre-scan)
+	locals  []*symbol
+	strLits []strLit // filled by codegen, in emission order
+}
+
+// strLit is a string literal placed in .data.
+type strLit struct {
+	label string
+	text  string
+}
+
+type unit struct {
+	globals []*symbol
+	funcs   []*funcDecl
+	strings map[string]string // literal -> label
+}

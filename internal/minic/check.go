@@ -1,0 +1,478 @@
+package minic
+
+import "fmt"
+
+// checker resolves names, propagates types, and inserts implicit
+// conversions (int<->float) so codegen sees a fully-typed tree.
+type checker struct {
+	unit   *unit
+	funcs  map[string]*funcDecl
+	scopes []map[string]*symbol
+	fn     *funcDecl
+	loops  int
+}
+
+func check(u *unit) error {
+	c := &checker{unit: u, funcs: map[string]*funcDecl{}}
+	global := map[string]*symbol{}
+	for _, g := range u.globals {
+		if _, dup := global[g.name]; dup {
+			return fmt.Errorf("duplicate global %q", g.name)
+		}
+		global[g.name] = g
+	}
+	for _, f := range u.funcs {
+		if _, dup := c.funcs[f.name]; dup {
+			return fmt.Errorf("duplicate function %q", f.name)
+		}
+		if _, dup := global[f.name]; dup {
+			return fmt.Errorf("%q is both a global and a function", f.name)
+		}
+		c.funcs[f.name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return fmt.Errorf("no main function")
+	}
+	c.scopes = []map[string]*symbol{global}
+	for _, f := range u.funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(s *symbol) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[s.name]; dup {
+		return fmt.Errorf("duplicate variable %q", s.name)
+	}
+	top[s.name] = s
+	return nil
+}
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(f *funcDecl) error {
+	c.fn = f
+	c.push()
+	defer c.pop()
+	for _, p := range f.params {
+		if p.ty.Kind == TypeArray || p.ty.Kind == TypeVoid {
+			return fmt.Errorf("function %s: invalid parameter type %s", f.name, p.ty)
+		}
+		if err := c.define(p); err != nil {
+			return fmt.Errorf("function %s: %v", f.name, err)
+		}
+	}
+	return c.checkStmt(f.body)
+}
+
+func (c *checker) checkStmt(s stmt) error {
+	switch s := s.(type) {
+	case *blockStmt:
+		c.push()
+		defer c.pop()
+		for _, inner := range s.stmts {
+			if err := c.checkStmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *declStmt:
+		if s.sym.ty.Kind == TypeVoid {
+			return c.errf(s.line, "cannot declare void variable %q", s.sym.name)
+		}
+		if s.init != nil {
+			init, err := c.checkExpr(s.init)
+			if err != nil {
+				return err
+			}
+			s.init, err = c.convert(init, s.sym.ty, s.line)
+			if err != nil {
+				return err
+			}
+		}
+		if err := c.define(s.sym); err != nil {
+			return c.errf(s.line, "%v", err)
+		}
+		c.fn.locals = append(c.fn.locals, s.sym)
+		return nil
+
+	case *assignStmt:
+		lhs, err := c.checkExpr(s.lhs)
+		if err != nil {
+			return err
+		}
+		if !isLvalue(lhs) {
+			return c.errf(s.line, "left side of assignment is not assignable")
+		}
+		s.lhs = lhs
+		rhs, err := c.checkExpr(s.rhs)
+		if err != nil {
+			return err
+		}
+		s.rhs, err = c.convert(rhs, lhs.exprType(), s.line)
+		return err
+
+	case *ifStmt:
+		cond, err := c.checkExpr(s.cond)
+		if err != nil {
+			return err
+		}
+		s.cond, err = c.toCondition(cond, s.line)
+		if err != nil {
+			return err
+		}
+		if err := c.checkStmt(s.then); err != nil {
+			return err
+		}
+		if s.els != nil {
+			return c.checkStmt(s.els)
+		}
+		return nil
+
+	case *whileStmt:
+		cond, err := c.checkExpr(s.cond)
+		if err != nil {
+			return err
+		}
+		s.cond, err = c.toCondition(cond, s.line)
+		if err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		if err := c.checkStmt(s.body); err != nil {
+			return err
+		}
+		if s.post != nil {
+			return c.checkStmt(s.post)
+		}
+		return nil
+
+	case *returnStmt:
+		if c.fn.ret.Kind == TypeVoid {
+			if s.val != nil {
+				return c.errf(s.line, "void function %s returns a value", c.fn.name)
+			}
+			return nil
+		}
+		if s.val == nil {
+			return c.errf(s.line, "function %s must return %s", c.fn.name, c.fn.ret)
+		}
+		val, err := c.checkExpr(s.val)
+		if err != nil {
+			return err
+		}
+		s.val, err = c.convert(val, c.fn.ret, s.line)
+		return err
+
+	case *breakStmt:
+		if c.loops == 0 {
+			return c.errf(s.line, "break outside loop")
+		}
+		return nil
+
+	case *continueStmt:
+		if c.loops == 0 {
+			return c.errf(s.line, "continue outside loop")
+		}
+		return nil
+
+	case *exprStmt:
+		x, err := c.checkExpr(s.x)
+		if err != nil {
+			return err
+		}
+		s.x = x
+		return nil
+
+	case *printStmt:
+		if s.arg == nil {
+			return nil
+		}
+		arg, err := c.checkExpr(s.arg)
+		if err != nil {
+			return err
+		}
+		want := tyInt
+		if s.kind == "float" {
+			want = tyFloat
+		}
+		s.arg, err = c.convert(arg, want, s.line)
+		return err
+	}
+	return fmt.Errorf("checker: unknown statement %T", s)
+}
+
+func (c *checker) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func isLvalue(e expr) bool {
+	switch e := e.(type) {
+	case *varRef:
+		return e.ty.Kind != TypeArray
+	case *indexExpr:
+		return true
+	case *unop:
+		return e.op == "*"
+	}
+	return false
+}
+
+// convert coerces e to want, inserting casts for int<->float and treating
+// char as int in registers.
+func (c *checker) convert(e expr, want *Type, line int) (expr, error) {
+	have := e.exprType()
+	switch {
+	case sameType(have, want):
+		return e, nil
+	case have.isScalarInt() && want.isScalarInt():
+		// int/char/pointer interconvert freely in registers (narrowing
+		// happens at stores).
+		return e, nil
+	case have.isScalarInt() && want.isFloat():
+		return &castExpr{exprBase: exprBase{ty: tyFloat, line: line}, x: e}, nil
+	case have.isFloat() && want.isScalarInt():
+		return &castExpr{exprBase: exprBase{ty: tyInt, line: line}, x: e}, nil
+	case have.Kind == TypeArray && want.Kind == TypePtr && sameType(have.Elem, want.Elem):
+		return e, nil // decay
+	}
+	return nil, c.errf(line, "cannot convert %s to %s", have, want)
+}
+
+// toCondition coerces an expression to an integer truth value.
+func (c *checker) toCondition(e expr, line int) (expr, error) {
+	t := e.exprType()
+	switch {
+	case t.isScalarInt():
+		return e, nil
+	case t.isFloat():
+		// f != 0.0
+		z := &floatLit{exprBase: exprBase{ty: tyFloat, line: line}}
+		return &binop{exprBase: exprBase{ty: tyInt, line: line}, op: "!=", l: e, r: z}, nil
+	}
+	return nil, c.errf(line, "%s is not a condition", t)
+}
+
+func (c *checker) checkExpr(e expr) (expr, error) {
+	switch e := e.(type) {
+	case *intLit:
+		e.ty = tyInt
+		return e, nil
+
+	case *floatLit:
+		e.ty = tyFloat
+		return e, nil
+
+	case *varRef:
+		sym := c.lookup(e.name)
+		if sym == nil {
+			return nil, c.errf(e.line, "undefined variable %q", e.name)
+		}
+		e.sym = sym
+		e.ty = sym.ty
+		return e, nil
+
+	case *castExpr:
+		x, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		e.x = x
+		xt := x.exprType()
+		if !xt.isScalarInt() && !xt.isFloat() {
+			return nil, c.errf(e.line, "cannot cast %s", xt)
+		}
+		return e, nil
+
+	case *unop:
+		x, err := c.checkExpr(e.x)
+		if err != nil {
+			return nil, err
+		}
+		e.x = x
+		xt := x.exprType()
+		switch e.op {
+		case "-":
+			if !xt.isScalarInt() && !xt.isFloat() {
+				return nil, c.errf(e.line, "cannot negate %s", xt)
+			}
+			e.ty = xt
+			if xt.Kind == TypeChar {
+				e.ty = tyInt
+			}
+		case "!":
+			cond, err := c.toCondition(x, e.line)
+			if err != nil {
+				return nil, err
+			}
+			e.x = cond
+			e.ty = tyInt
+		case "*":
+			base := xt
+			if base.Kind == TypeArray {
+				base = ptrTo(base.Elem)
+			}
+			if base.Kind != TypePtr {
+				return nil, c.errf(e.line, "cannot dereference %s", xt)
+			}
+			e.ty = base.Elem
+		case "&":
+			lv, ok := x.(*varRef)
+			if !ok {
+				if ix, isIdx := x.(*indexExpr); isIdx {
+					e.ty = ptrTo(ix.ty)
+					return e, nil
+				}
+				return nil, c.errf(e.line, "can only take the address of a variable or element")
+			}
+			lv.sym.addrTaken = true
+			t := lv.ty
+			if t.Kind == TypeArray {
+				t = t.Elem
+			}
+			e.ty = ptrTo(t)
+		default:
+			return nil, c.errf(e.line, "unknown unary operator %q", e.op)
+		}
+		return e, nil
+
+	case *indexExpr:
+		base, err := c.checkExpr(e.base)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := c.checkExpr(e.idx)
+		if err != nil {
+			return nil, err
+		}
+		e.base, e.idx = base, idx
+		bt := base.exprType()
+		if bt.Kind != TypeArray && bt.Kind != TypePtr {
+			return nil, c.errf(e.line, "cannot index %s", bt)
+		}
+		if !idx.exprType().isScalarInt() {
+			return nil, c.errf(e.line, "array index must be integral")
+		}
+		e.ty = bt.Elem
+		return e, nil
+
+	case *callExpr:
+		fn, ok := c.funcs[e.name]
+		if !ok {
+			return nil, c.errf(e.line, "undefined function %q", e.name)
+		}
+		if len(e.args) != len(fn.params) {
+			return nil, c.errf(e.line, "%s wants %d arguments, got %d", e.name, len(fn.params), len(e.args))
+		}
+		for i, a := range e.args {
+			arg, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			e.args[i], err = c.convert(arg, fn.params[i].ty, e.line)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.fn = fn
+		e.ty = fn.ret
+		return e, nil
+
+	case *binop:
+		l, err := c.checkExpr(e.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.checkExpr(e.r)
+		if err != nil {
+			return nil, err
+		}
+		e.l, e.r = l, r
+		lt, rt := l.exprType(), r.exprType()
+
+		switch e.op {
+		case "&&", "||":
+			e.l, err = c.toCondition(l, e.line)
+			if err != nil {
+				return nil, err
+			}
+			e.r, err = c.toCondition(r, e.line)
+			if err != nil {
+				return nil, err
+			}
+			e.ty = tyInt
+			return e, nil
+
+		case "==", "!=", "<", "<=", ">", ">=":
+			if lt.isFloat() || rt.isFloat() {
+				if e.l, err = c.convert(l, tyFloat, e.line); err != nil {
+					return nil, err
+				}
+				if e.r, err = c.convert(r, tyFloat, e.line); err != nil {
+					return nil, err
+				}
+			} else if !lt.isScalarInt() || !rt.isScalarInt() {
+				return nil, c.errf(e.line, "cannot compare %s and %s", lt, rt)
+			}
+			e.ty = tyInt
+			return e, nil
+
+		case "%", "&", "|", "^", "<<", ">>":
+			if !lt.isScalarInt() || !rt.isScalarInt() {
+				return nil, c.errf(e.line, "%q needs integer operands", e.op)
+			}
+			e.ty = tyInt
+			return e, nil
+
+		case "+", "-":
+			// Pointer arithmetic: ptr ± int.
+			base := decay(lt)
+			if base.Kind == TypePtr && rt.isScalarInt() && rt.Kind != TypePtr {
+				e.ty = base
+				return e, nil
+			}
+			fallthrough
+		case "*", "/":
+			if lt.isFloat() || rt.isFloat() {
+				if e.l, err = c.convert(l, tyFloat, e.line); err != nil {
+					return nil, err
+				}
+				if e.r, err = c.convert(r, tyFloat, e.line); err != nil {
+					return nil, err
+				}
+				e.ty = tyFloat
+				return e, nil
+			}
+			if !lt.isScalarInt() || !rt.isScalarInt() {
+				return nil, c.errf(e.line, "cannot apply %q to %s and %s", e.op, lt, rt)
+			}
+			e.ty = tyInt
+			return e, nil
+		}
+		return nil, c.errf(e.line, "unknown operator %q", e.op)
+	}
+	return nil, fmt.Errorf("checker: unknown expression %T", e)
+}
+
+// decay converts array types to pointers for expression purposes.
+func decay(t *Type) *Type {
+	if t.Kind == TypeArray {
+		return ptrTo(t.Elem)
+	}
+	return t
+}

@@ -1,0 +1,565 @@
+package minic
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vca/internal/isa"
+)
+
+// ABI selects the calling convention the code generator targets.
+type ABI int
+
+const (
+	// ABIFlat is the conventional ABI: callee-saved registers (s0-s15,
+	// fs0-fs15) are preserved with explicit stores and loads in every
+	// function that uses them — the traffic register windows eliminate.
+	ABIFlat ABI = iota
+	// ABIWindowed targets a register-windowed machine: call/return rotate
+	// the windowed registers, so callee-saved state needs no save/restore
+	// code. Binaries built this way must run with window support enabled.
+	ABIWindowed
+)
+
+func (a ABI) String() string {
+	if a == ABIWindowed {
+		return "windowed"
+	}
+	return "flat"
+}
+
+const (
+	numIntTemps   = 5  // t0-t4
+	numFPTemps    = 11 // ft0-ft10
+	numSpillSlots = 6
+	numTempSave   = 16
+	maxIntArgs    = 6
+	maxFPArgs     = 4
+)
+
+var intTempRegs = []isa.Reg{isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4}
+
+func fpTempReg(i int) isa.Reg { return isa.RegFT0 + isa.Reg(i) }
+
+// opclass distinguishes operand register files.
+type opclass int
+
+const (
+	clsInt opclass = iota
+	clsFP
+)
+
+func classOf(t *Type) opclass {
+	if t.isFloat() {
+		return clsFP
+	}
+	return clsInt
+}
+
+// operand is one entry of the expression evaluation stack.
+type operand struct {
+	cls     opclass
+	reg     isa.Reg
+	spilled bool
+	slot    int // spill-area slot when spilled
+}
+
+// gen is the per-unit code generator.
+type gen struct {
+	abi       ABI
+	unit      *unit
+	out       []string
+	labels    int
+	flits     map[uint64]string // float literal pool (dedup)
+	flitOrder []uint64          // deterministic emission order
+	errs      []error
+}
+
+// generate produces the complete assembly text for a checked unit.
+func generate(u *unit, abi ABI) (string, error) {
+	g := &gen{abi: abi, unit: u, flits: map[uint64]string{}}
+
+	g.emit("        .text")
+	g.emit("_start: jsr main")
+	g.emit("        mov a0, v0")
+	g.emit("        syscall %d", isa.SysExit)
+	for _, f := range u.funcs {
+		g.genFunc(f)
+	}
+	g.genData()
+
+	if len(g.errs) > 0 {
+		var sb strings.Builder
+		for _, e := range g.errs {
+			fmt.Fprintln(&sb, e)
+		}
+		return "", fmt.Errorf("minic codegen:\n%s", sb.String())
+	}
+	return strings.Join(g.out, "\n") + "\n", nil
+}
+
+func (g *gen) emit(format string, args ...any) {
+	g.out = append(g.out, fmt.Sprintf(format, args...))
+}
+
+func (g *gen) errf(format string, args ...any) {
+	g.errs = append(g.errs, fmt.Errorf(format, args...))
+}
+
+func (g *gen) label(fn *funcDecl) string {
+	g.labels++
+	return fmt.Sprintf("%s.L%d", fn.name, g.labels)
+}
+
+func (g *gen) floatLabel(v float64) string {
+	bits := math.Float64bits(v)
+	if l, ok := g.flits[bits]; ok {
+		return l
+	}
+	l := fmt.Sprintf("flit.%d", len(g.flits))
+	g.flits[bits] = l
+	g.flitOrder = append(g.flitOrder, bits)
+	return l
+}
+
+func globalLabel(name string) string { return "g." + name }
+
+func (g *gen) genData() {
+	g.emit("        .data")
+	for _, s := range g.unit.globals {
+		g.emit("        .align 8")
+		switch {
+		case s.ty.Kind == TypeArray:
+			g.emit("%s: .space %d", globalLabel(s.name), s.ty.size())
+		case s.ty.isFloat():
+			g.emit("%s: .quad 0x%x", globalLabel(s.name), math.Float64bits(s.finit))
+		default:
+			g.emit("%s: .quad %d", globalLabel(s.name), s.init)
+		}
+	}
+	for _, f := range g.unit.funcs {
+		for _, sl := range f.strLits {
+			g.emit("%s: .ascii %q", sl.label, sl.text)
+		}
+	}
+	for _, bits := range g.flitOrder {
+		g.emit("        .align 8")
+		g.emit("%s: .quad 0x%x", g.flits[bits], bits)
+	}
+}
+
+// fngen is the per-function generator state.
+type fngen struct {
+	*gen
+	fn   *funcDecl
+	leaf bool
+
+	// Register allocation results.
+	usedS  []int // callee-saved integer registers allocated (indices)
+	usedFS []int
+	// Free windowed registers usable as call-crossing temp homes in the
+	// windowed ABI.
+	freeWinInt []isa.Reg
+	freeWinFP  []isa.Reg
+
+	// Frame layout (offsets from post-prologue sp).
+	frame       int
+	spillOff    int
+	tempSaveOff int
+	saveBase    int  // where saved ra/s/fs registers start (flat ABI)
+	negSpill    bool // leaf with no frame: spills below sp
+	retLabel    string
+
+	// Expression machinery.
+	stack    []operand
+	freeInt  []isa.Reg
+	freeFP   []isa.Reg
+	slotUsed [numSpillSlots]bool
+
+	breakLbl, contLbl []string
+}
+
+// scanCalls reports whether any statement in the tree performs a call.
+func scanCalls(s stmt) bool {
+	found := false
+	walkStmt(s, func(e expr) {
+		if _, ok := e.(*callExpr); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// scanPrints reports whether the tree contains print builtins, which
+// clobber a0/a1/fa0 and therefore forbid argument-register variable homes.
+func scanPrints(s stmt) bool {
+	found := false
+	var ws func(stmt)
+	ws = func(s stmt) {
+		switch s := s.(type) {
+		case *printStmt:
+			found = true
+		case *blockStmt:
+			for _, inner := range s.stmts {
+				ws(inner)
+			}
+		case *ifStmt:
+			ws(s.then)
+			if s.els != nil {
+				ws(s.els)
+			}
+		case *whileStmt:
+			ws(s.body)
+			if s.post != nil {
+				ws(s.post)
+			}
+		}
+	}
+	if s != nil {
+		ws(s)
+	}
+	return found
+}
+
+// walkStmt applies f to every expression in the statement tree.
+func walkStmt(s stmt, f func(expr)) {
+	var we func(expr)
+	we = func(e expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch e := e.(type) {
+		case *binop:
+			we(e.l)
+			we(e.r)
+		case *unop:
+			we(e.x)
+		case *castExpr:
+			we(e.x)
+		case *indexExpr:
+			we(e.base)
+			we(e.idx)
+		case *callExpr:
+			for _, a := range e.args {
+				we(a)
+			}
+		}
+	}
+	var ws func(stmt)
+	ws = func(s stmt) {
+		switch s := s.(type) {
+		case *blockStmt:
+			for _, inner := range s.stmts {
+				ws(inner)
+			}
+		case *declStmt:
+			we(s.init)
+		case *assignStmt:
+			we(s.lhs)
+			we(s.rhs)
+		case *ifStmt:
+			we(s.cond)
+			ws(s.then)
+			if s.els != nil {
+				ws(s.els)
+			}
+		case *whileStmt:
+			we(s.cond)
+			ws(s.body)
+			if s.post != nil {
+				ws(s.post)
+			}
+		case *returnStmt:
+			we(s.val)
+		case *exprStmt:
+			we(s.x)
+		case *printStmt:
+			we(s.arg)
+		}
+	}
+	if s != nil {
+		ws(s)
+	}
+}
+
+func (g *gen) genFunc(f *funcDecl) {
+	fg := &fngen{gen: g, fn: f}
+	fg.leaf = !scanCalls(f.body)
+	f.isLeaf = fg.leaf
+
+	fg.allocateHomes()
+	fg.layoutFrame()
+	fg.retLabel = fg.label(f)
+
+	fg.freeInt = append([]isa.Reg(nil), intTempRegs...)
+	for i := 0; i < numFPTemps; i++ {
+		fg.freeFP = append(fg.freeFP, fpTempReg(i))
+	}
+
+	g.emit("%s:", f.name)
+	fg.prologue()
+	fg.genStmt(f.body)
+	// Fall off the end: void functions return; value functions return 0.
+	fg.epilogue()
+}
+
+// allocateHomes assigns params and scalar locals to callee-saved registers
+// (or frame slots when addressable or when registers run out).
+func (fg *fngen) allocateHomes() {
+	f := fg.fn
+	maxS, maxFS := 16, 16
+	if fg.abi == ABIWindowed && !fg.leaf {
+		maxS = 15 // s15 reserved as the ra stash
+	}
+	nextS, nextFS := 0, 0
+
+	home := func(s *symbol) {
+		if s.ty.Kind == TypeArray || s.addrTaken {
+			s.reg = -1
+			return
+		}
+		if classOf(s.ty) == clsFP {
+			if nextFS < maxFS {
+				s.reg = nextFS
+				nextFS++
+				fg.usedFS = append(fg.usedFS, s.reg)
+				return
+			}
+		} else if nextS < maxS {
+			s.reg = nextS
+			nextS++
+			fg.usedS = append(fg.usedS, s.reg)
+			return
+		}
+		s.reg = -1
+	}
+
+	// Leaf functions keep parameters in their argument registers and home
+	// scalar locals in the remaining caller-saved argument registers —
+	// leaving callee-saved registers (and thus, in the flat ABI, their
+	// save/restore traffic) for functions that actually need them. Print
+	// builtins clobber a0/a1/fa0, so functions containing them use
+	// callee-saved homes even when leaf.
+	if fg.leaf && !scanPrints(fg.fn.body) {
+		ia, fa := 0, 0
+		for _, p := range f.params {
+			if classOf(p.ty) == clsFP {
+				p.reg = 100 + fa // encoded: fp arg-register home
+				fa++
+			} else {
+				p.reg = 200 + ia // encoded: int arg-register home
+				ia++
+			}
+		}
+		for _, l := range f.locals {
+			if l.ty.Kind == TypeArray || l.addrTaken {
+				l.reg = -1
+				continue
+			}
+			if classOf(l.ty) == clsFP && fa < maxFPArgs {
+				l.reg = 100 + fa
+				fa++
+			} else if classOf(l.ty) == clsInt && ia < maxIntArgs {
+				l.reg = 200 + ia
+				ia++
+			} else {
+				home(l)
+			}
+		}
+	} else {
+		for _, p := range f.params {
+			home(p)
+		}
+		for _, l := range f.locals {
+			home(l)
+		}
+	}
+
+	// Remaining windowed registers double as call-crossing temp homes in
+	// the windowed ABI.
+	if fg.abi == ABIWindowed {
+		for i := nextS; i < maxS; i++ {
+			fg.freeWinInt = append(fg.freeWinInt, isa.IntReg(i))
+		}
+		for i := nextFS; i < maxFS; i++ {
+			fg.freeWinFP = append(fg.freeWinFP, isa.FPReg(i))
+		}
+	}
+
+	ia, fa := 0, 0
+	for _, p := range f.params {
+		if classOf(p.ty) == clsFP {
+			fa++
+		} else {
+			ia++
+		}
+	}
+	if ia > maxIntArgs || fa > maxFPArgs {
+		fg.errf("function %s: too many parameters (max %d int, %d float)", f.name, maxIntArgs, maxFPArgs)
+	}
+}
+
+// layoutFrame computes the stack frame. Layout (offsets from sp):
+//
+//	[0, 48)            expression spill slots
+//	[48, 176)          temp-save slots for values live across calls
+//	[176, ...)         memory-homed scalars, then arrays
+//	...                saved fs / s registers (flat ABI)
+//	...                saved ra (flat ABI, non-leaf)
+//
+// Leaf functions with no memory locals keep spill slots below sp (a red
+// zone) and need no frame at all.
+func (fg *fngen) layoutFrame() {
+	off := 0
+	fg.spillOff = off
+	off += numSpillSlots * 8
+	if !fg.leaf {
+		fg.tempSaveOff = off
+		off += numTempSave * 8
+	}
+
+	memBytes := 0
+	place := func(s *symbol) {
+		if s.reg >= 0 {
+			return
+		}
+		size := (s.ty.size() + 7) &^ 7
+		s.stackOff = off + memBytes
+		memBytes += size
+	}
+	for _, p := range fg.fn.params {
+		place(p)
+	}
+	for _, l := range fg.fn.locals {
+		place(l)
+	}
+	off += memBytes
+
+	fg.saveBase = off
+	if fg.abi == ABIFlat {
+		off += 8 * (len(fg.usedS) + len(fg.usedFS))
+		if !fg.leaf {
+			off += 8 // ra
+		}
+	}
+
+	if fg.leaf && memBytes == 0 && (fg.abi == ABIWindowed || len(fg.usedS)+len(fg.usedFS) == 0) {
+		// No frame at all: spill slots live in the red zone below sp.
+		fg.negSpill = true
+		fg.frame = 0
+		return
+	}
+	fg.frame = (off + 15) &^ 15
+	if fg.frame > 8000 {
+		fg.errf("function %s: frame too large (%d bytes); move arrays to globals", fg.fn.name, fg.frame)
+	}
+}
+
+func (fg *fngen) spillSlotOff(slot int) int {
+	if fg.negSpill {
+		return -8 * (slot + 1)
+	}
+	return fg.spillOff + 8*slot
+}
+
+// sReg/fsReg map allocation indices to registers.
+func sReg(i int) isa.Reg  { return isa.IntReg(i) }
+func fsReg(i int) isa.Reg { return isa.FPReg(i) }
+
+// homeReg returns the register home of a symbol, decoding the leaf
+// arg-register encoding.
+func homeReg(s *symbol) (isa.Reg, bool) {
+	switch {
+	case s.reg < 0:
+		return 0, false
+	case s.reg >= 200:
+		return isa.RegA0 + isa.Reg(s.reg-200), true
+	case s.reg >= 100:
+		return isa.RegFA0 + isa.Reg(s.reg-100), true
+	case classOf(s.ty) == clsFP:
+		return fsReg(s.reg), true
+	default:
+		return sReg(s.reg), true
+	}
+}
+
+func (fg *fngen) prologue() {
+	if fg.frame > 0 {
+		fg.emit("        subi sp, sp, %d", fg.frame)
+	}
+	if fg.abi == ABIFlat {
+		off := fg.saveBase
+		if !fg.leaf {
+			fg.emit("        stq ra, %d(sp)", off)
+			off += 8
+		}
+		for _, i := range fg.usedS {
+			fg.emit("        stq %s, %d(sp)", sReg(i), off)
+			off += 8
+		}
+		for _, i := range fg.usedFS {
+			fg.emit("        stf %s, %d(sp)", fsReg(i), off)
+			off += 8
+		}
+	} else if !fg.leaf {
+		fg.emit("        mov s15, ra")
+	}
+
+	// Move parameters to their homes.
+	ia, fa := 0, 0
+	for _, p := range fg.fn.params {
+		var src isa.Reg
+		isFP := classOf(p.ty) == clsFP
+		if isFP {
+			src = isa.RegFA0 + isa.Reg(fa)
+			fa++
+		} else {
+			src = isa.RegA0 + isa.Reg(ia)
+			ia++
+		}
+		if r, ok := homeReg(p); ok {
+			if r != src {
+				if isFP {
+					fg.emit("        fmov %s, %s", r, src)
+				} else {
+					fg.emit("        mov %s, %s", r, src)
+				}
+			}
+		} else {
+			if isFP {
+				fg.emit("        stf %s, %d(sp)", src, p.stackOff)
+			} else {
+				fg.emit("        stq %s, %d(sp)", src, p.stackOff)
+			}
+		}
+	}
+}
+
+func (fg *fngen) epilogue() {
+	fg.emit("%s:", fg.retLabel)
+	if fg.abi == ABIFlat {
+		off := fg.saveBase
+		if !fg.leaf {
+			fg.emit("        ldq ra, %d(sp)", off)
+			off += 8
+		}
+		for _, i := range fg.usedS {
+			fg.emit("        ldq %s, %d(sp)", sReg(i), off)
+			off += 8
+		}
+		for _, i := range fg.usedFS {
+			fg.emit("        ldf %s, %d(sp)", fsReg(i), off)
+			off += 8
+		}
+	}
+	if fg.frame > 0 {
+		fg.emit("        addi sp, sp, %d", fg.frame)
+	}
+	if fg.abi == ABIWindowed && !fg.leaf {
+		fg.emit("        ret (s15)")
+	} else {
+		fg.emit("        ret")
+	}
+}

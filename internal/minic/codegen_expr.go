@@ -1,0 +1,804 @@
+package minic
+
+import (
+	"fmt"
+
+	"vca/internal/isa"
+)
+
+// Expression evaluation uses a compile-time operand stack mapped onto the
+// caller-saved temporaries (t0-t4, ft0-ft10). When temporaries run out,
+// the deepest in-register operand spills to a frame slot; values live
+// across calls are saved either to frame slots (flat ABI) or to unused
+// windowed registers (windowed ABI — the window itself preserves them).
+//
+// Conditions in if/while are compiled as jump code, so && and || in
+// condition position short-circuit. In value position they are compiled
+// branchless (non-short-circuit); see the package comment.
+
+func (fg *fngen) allocReg(cls opclass) isa.Reg {
+	free := &fg.freeInt
+	if cls == clsFP {
+		free = &fg.freeFP
+	}
+	if n := len(*free); n > 0 {
+		r := (*free)[n-1]
+		*free = (*free)[:n-1]
+		return r
+	}
+	// Spill the deepest in-register operand of this class.
+	for i := range fg.stack {
+		o := &fg.stack[i]
+		if !o.spilled && o.cls == cls {
+			slot := fg.takeSlot()
+			fg.storeSlot(o.cls, o.reg, slot)
+			r := o.reg
+			o.spilled, o.slot = true, slot
+			return r
+		}
+	}
+	fg.errf("function %s: expression too complex (out of %v temporaries)", fg.fn.name, cls)
+	return isa.RegT0
+}
+
+func (fg *fngen) freeReg(cls opclass, r isa.Reg) {
+	if cls == clsFP {
+		fg.freeFP = append(fg.freeFP, r)
+	} else {
+		fg.freeInt = append(fg.freeInt, r)
+	}
+}
+
+func (fg *fngen) takeSlot() int {
+	for i := range fg.slotUsed {
+		if !fg.slotUsed[i] {
+			fg.slotUsed[i] = true
+			return i
+		}
+	}
+	fg.errf("function %s: out of spill slots", fg.fn.name)
+	return 0
+}
+
+func (fg *fngen) storeSlot(cls opclass, r isa.Reg, slot int) {
+	if cls == clsFP {
+		fg.emit("        stf %s, %d(sp)", r, fg.spillSlotOff(slot))
+	} else {
+		fg.emit("        stq %s, %d(sp)", r, fg.spillSlotOff(slot))
+	}
+}
+
+func (fg *fngen) loadSlot(cls opclass, r isa.Reg, slot int) {
+	if cls == clsFP {
+		fg.emit("        ldf %s, %d(sp)", r, fg.spillSlotOff(slot))
+	} else {
+		fg.emit("        ldq %s, %d(sp)", r, fg.spillSlotOff(slot))
+	}
+}
+
+// pushNew allocates a fresh register, pushes it, and returns it.
+func (fg *fngen) pushNew(cls opclass) isa.Reg {
+	r := fg.allocReg(cls)
+	fg.stack = append(fg.stack, operand{cls: cls, reg: r})
+	return r
+}
+
+// pushExisting pushes a register the caller already owns.
+func (fg *fngen) pushExisting(cls opclass, r isa.Reg) {
+	fg.stack = append(fg.stack, operand{cls: cls, reg: r})
+}
+
+// popOp removes the top operand, reloading it into a register if spilled.
+// The caller owns the register and must drop() it (or push it back).
+func (fg *fngen) popOp() operand {
+	n := len(fg.stack) - 1
+	o := fg.stack[n]
+	fg.stack = fg.stack[:n]
+	if o.spilled {
+		r := fg.allocReg(o.cls)
+		fg.loadSlot(o.cls, r, o.slot)
+		fg.slotUsed[o.slot] = false
+		o.spilled, o.reg = false, r
+	}
+	return o
+}
+
+func (fg *fngen) drop(o operand) { fg.freeReg(o.cls, o.reg) }
+
+// ---- expression generation (leaves one operand on the stack) ----
+
+func (fg *fngen) genExpr(e expr) {
+	switch e := e.(type) {
+	case *intLit:
+		r := fg.pushNew(clsInt)
+		fg.emit("        li %s, %d", r, e.val)
+
+	case *floatLit:
+		lbl := fg.floatLabel(e.val)
+		a := fg.allocReg(clsInt)
+		fg.emit("        la %s, %s", a, lbl)
+		r := fg.pushNew(clsFP)
+		fg.emit("        ldf %s, 0(%s)", r, a)
+		fg.freeReg(clsInt, a)
+
+	case *varRef:
+		fg.genVarLoad(e.sym)
+
+	case *castExpr:
+		fg.genExpr(e.x)
+		from := classOf(e.x.exprType())
+		to := classOf(e.ty)
+		switch {
+		case from == to:
+			if e.ty.Kind == TypeChar {
+				o := fg.popOp()
+				fg.emit("        andi %s, %s, 255", o.reg, o.reg)
+				fg.pushExisting(clsInt, o.reg)
+			}
+		case to == clsFP:
+			o := fg.popOp()
+			r := fg.allocReg(clsFP)
+			fg.emit("        cvtif %s, %s", r, o.reg)
+			fg.drop(o)
+			fg.pushExisting(clsFP, r)
+		default:
+			o := fg.popOp()
+			r := fg.allocReg(clsInt)
+			fg.emit("        cvtfi %s, %s", r, o.reg)
+			fg.drop(o)
+			fg.pushExisting(clsInt, r)
+		}
+
+	case *unop:
+		fg.genUnop(e)
+
+	case *indexExpr:
+		fg.genAddr(e)
+		fg.genLoadFromAddr(e.ty)
+
+	case *callExpr:
+		fg.genCall(e)
+
+	case *binop:
+		fg.genBinop(e)
+
+	default:
+		fg.errf("codegen: unknown expression %T", e)
+	}
+}
+
+// genVarLoad pushes the value of a variable (or the address, for arrays).
+func (fg *fngen) genVarLoad(s *symbol) {
+	if s.ty.Kind == TypeArray {
+		// Array name decays to its address.
+		r := fg.pushNew(clsInt)
+		if s.global {
+			fg.emit("        la %s, %s", r, globalLabel(s.name))
+		} else {
+			fg.emit("        addi %s, sp, %d", r, s.stackOff)
+		}
+		return
+	}
+	cls := classOf(s.ty)
+	if home, ok := homeReg(s); ok {
+		r := fg.pushNew(cls)
+		if cls == clsFP {
+			fg.emit("        fmov %s, %s", r, home)
+		} else {
+			fg.emit("        mov %s, %s", r, home)
+		}
+		return
+	}
+	if s.global {
+		a := fg.allocReg(clsInt)
+		fg.emit("        la %s, %s", a, globalLabel(s.name))
+		r := fg.pushNew(cls)
+		fg.emit("        %s %s, 0(%s)", loadOp(s.ty), r, a)
+		fg.freeReg(clsInt, a)
+		return
+	}
+	r := fg.pushNew(cls)
+	fg.emit("        %s %s, %d(sp)", loadOp(s.ty), r, s.stackOff)
+}
+
+func loadOp(t *Type) string {
+	switch {
+	case t.isFloat():
+		return "ldf"
+	case t.Kind == TypeChar:
+		return "ldbu"
+	default:
+		return "ldq"
+	}
+}
+
+func storeOp(t *Type) string {
+	switch {
+	case t.isFloat():
+		return "stf"
+	case t.Kind == TypeChar:
+		return "stb"
+	default:
+		return "stq"
+	}
+}
+
+// genAddr pushes the address of an lvalue (or array element).
+func (fg *fngen) genAddr(e expr) {
+	switch e := e.(type) {
+	case *varRef:
+		s := e.sym
+		r := fg.pushNew(clsInt)
+		switch {
+		case s.global:
+			fg.emit("        la %s, %s", r, globalLabel(s.name))
+		case s.reg >= 0:
+			fg.errf("codegen: address of register-homed %q", s.name)
+		default:
+			fg.emit("        addi %s, sp, %d", r, s.stackOff)
+		}
+
+	case *indexExpr:
+		bt := e.base.exprType()
+		if bt.Kind == TypeArray {
+			fg.genAddr(e.base)
+		} else {
+			fg.genExpr(e.base) // pointer value is the address
+		}
+		fg.genExpr(e.idx)
+		idx := fg.popOp()
+		base := fg.popOp()
+		if e.ty.size() == 8 {
+			fg.emit("        slli %s, %s, 3", idx.reg, idx.reg)
+		}
+		fg.emit("        add %s, %s, %s", base.reg, base.reg, idx.reg)
+		fg.drop(idx)
+		fg.pushExisting(clsInt, base.reg)
+
+	case *unop:
+		if e.op == "*" {
+			fg.genExpr(e.x)
+			return
+		}
+		if e.op == "&" {
+			fg.genAddr(e.x)
+			return
+		}
+		fg.errf("codegen: cannot take address of unary %q", e.op)
+
+	default:
+		fg.errf("codegen: not an lvalue: %T", e)
+	}
+}
+
+// genLoadFromAddr replaces the address on top of the stack with the loaded
+// value of type t.
+func (fg *fngen) genLoadFromAddr(t *Type) {
+	a := fg.popOp()
+	if t.isFloat() {
+		r := fg.allocReg(clsFP)
+		fg.emit("        ldf %s, 0(%s)", r, a.reg)
+		fg.drop(a)
+		fg.pushExisting(clsFP, r)
+		return
+	}
+	fg.emit("        %s %s, 0(%s)", loadOp(t), a.reg, a.reg)
+	fg.pushExisting(clsInt, a.reg)
+}
+
+func (fg *fngen) genUnop(e *unop) {
+	switch e.op {
+	case "-":
+		fg.genExpr(e.x)
+		o := fg.popOp()
+		if o.cls == clsFP {
+			fg.emit("        fsub %s, fzero, %s", o.reg, o.reg)
+		} else {
+			fg.emit("        neg %s, %s", o.reg, o.reg)
+		}
+		fg.pushExisting(o.cls, o.reg)
+	case "!":
+		fg.genExpr(e.x)
+		o := fg.popOp()
+		fg.emit("        cmpeqi %s, %s, 0", o.reg, o.reg)
+		fg.pushExisting(clsInt, o.reg)
+	case "*":
+		fg.genExpr(e.x)
+		fg.genLoadFromAddr(e.ty)
+	case "&":
+		fg.genAddr(e.x)
+	default:
+		fg.errf("codegen: unary %q", e.op)
+	}
+}
+
+func (fg *fngen) genBinop(e *binop) {
+	switch e.op {
+	case "&&", "||":
+		// Value position: branchless, non-short-circuit.
+		fg.genExpr(e.l)
+		fg.normalizeBool()
+		fg.genExpr(e.r)
+		fg.normalizeBool()
+		b := fg.popOp()
+		a := fg.popOp()
+		if e.op == "&&" {
+			fg.emit("        and %s, %s, %s", a.reg, a.reg, b.reg)
+		} else {
+			fg.emit("        or %s, %s, %s", a.reg, a.reg, b.reg)
+		}
+		fg.drop(b)
+		fg.pushExisting(clsInt, a.reg)
+		return
+
+	case "==", "!=", "<", "<=", ">", ">=":
+		fg.genExpr(e.l)
+		fg.genExpr(e.r)
+		fg.genCompare(e.op, classOf(e.l.exprType()) == clsFP)
+		return
+	}
+
+	fg.genExpr(e.l)
+	fg.genExpr(e.r)
+	b := fg.popOp()
+	a := fg.popOp()
+
+	if e.ty.Kind == TypePtr {
+		// Pointer arithmetic: scale the integer side by the element size.
+		if e.ty.Elem.size() == 8 {
+			fg.emit("        slli %s, %s, 3", b.reg, b.reg)
+		}
+		op := "add"
+		if e.op == "-" {
+			op = "sub"
+		}
+		fg.emit("        %s %s, %s, %s", op, a.reg, a.reg, b.reg)
+		fg.drop(b)
+		fg.pushExisting(clsInt, a.reg)
+		return
+	}
+
+	if a.cls == clsFP {
+		var op string
+		switch e.op {
+		case "+":
+			op = "fadd"
+		case "-":
+			op = "fsub"
+		case "*":
+			op = "fmul"
+		case "/":
+			op = "fdiv"
+		default:
+			fg.errf("codegen: float %q", e.op)
+			op = "fadd"
+		}
+		fg.emit("        %s %s, %s, %s", op, a.reg, a.reg, b.reg)
+		fg.drop(b)
+		fg.pushExisting(clsFP, a.reg)
+		return
+	}
+
+	var op string
+	switch e.op {
+	case "+":
+		op = "add"
+	case "-":
+		op = "sub"
+	case "*":
+		op = "mul"
+	case "/":
+		op = "div"
+	case "%":
+		op = "rem"
+	case "&":
+		op = "and"
+	case "|":
+		op = "or"
+	case "^":
+		op = "xor"
+	case "<<":
+		op = "sll"
+	case ">>":
+		op = "sra"
+	default:
+		fg.errf("codegen: int %q", e.op)
+		op = "add"
+	}
+	fg.emit("        %s %s, %s, %s", op, a.reg, a.reg, b.reg)
+	fg.drop(b)
+	fg.pushExisting(clsInt, a.reg)
+}
+
+// normalizeBool converts the top-of-stack integer into 0/1.
+func (fg *fngen) normalizeBool() {
+	o := fg.popOp()
+	fg.emit("        cmpult %s, zero, %s", o.reg, o.reg)
+	fg.pushExisting(clsInt, o.reg)
+}
+
+// genCompare pops two operands and pushes the 0/1 comparison result.
+func (fg *fngen) genCompare(op string, isFP bool) {
+	b := fg.popOp()
+	a := fg.popOp()
+	x, y := a.reg, b.reg
+	var mnem string
+	var negate bool
+	if isFP {
+		switch op {
+		case "==":
+			mnem = "fcmpeq"
+		case "!=":
+			mnem, negate = "fcmpeq", true
+		case "<":
+			mnem = "fcmplt"
+		case "<=":
+			mnem = "fcmple"
+		case ">":
+			mnem = "fcmplt"
+			x, y = y, x
+		case ">=":
+			mnem = "fcmple"
+			x, y = y, x
+		}
+		r := fg.allocReg(clsInt)
+		fg.emit("        %s %s, %s, %s", mnem, r, x, y)
+		if negate {
+			fg.emit("        cmpeqi %s, %s, 0", r, r)
+		}
+		fg.drop(a)
+		fg.drop(b)
+		fg.pushExisting(clsInt, r)
+		return
+	}
+	switch op {
+	case "==":
+		mnem = "cmpeq"
+	case "!=":
+		mnem, negate = "cmpeq", true
+	case "<":
+		mnem = "cmplt"
+	case "<=":
+		mnem = "cmple"
+	case ">":
+		mnem = "cmplt"
+		x, y = y, x
+	case ">=":
+		mnem = "cmple"
+		x, y = y, x
+	}
+	fg.emit("        %s %s, %s, %s", mnem, x, x, y)
+	if negate {
+		fg.emit("        cmpeqi %s, %s, 0", x, x)
+	}
+	if x == a.reg {
+		fg.drop(b)
+		fg.pushExisting(clsInt, a.reg)
+	} else {
+		fg.drop(a)
+		fg.pushExisting(clsInt, b.reg)
+	}
+}
+
+// genCall evaluates arguments, saves live temporaries, and emits the call.
+func (fg *fngen) genCall(e *callExpr) {
+	for _, a := range e.args {
+		fg.genExpr(a)
+	}
+
+	// Assign argument registers by class position.
+	argRegs := make([]isa.Reg, len(e.args))
+	ia, fa := 0, 0
+	for i, p := range e.fn.params {
+		if classOf(p.ty) == clsFP {
+			argRegs[i] = isa.RegFA0 + isa.Reg(fa)
+			fa++
+		} else {
+			argRegs[i] = isa.RegA0 + isa.Reg(ia)
+			ia++
+		}
+	}
+	// Pop args, last first, into their registers.
+	for i := len(e.args) - 1; i >= 0; i-- {
+		o := fg.popOp()
+		if o.cls == clsFP {
+			fg.emit("        fmov %s, %s", argRegs[i], o.reg)
+		} else {
+			fg.emit("        mov %s, %s", argRegs[i], o.reg)
+		}
+		fg.drop(o)
+	}
+
+	// Save operands that are live across the call. Spilled entries are
+	// already in the frame; in-register ones go to windowed registers
+	// (windowed ABI) or temp-save frame slots (flat ABI).
+	type saved struct {
+		idx   int
+		toReg isa.Reg
+		inReg bool
+	}
+	var saves []saved
+	winInt, winFP := 0, 0
+	for i := range fg.stack {
+		o := &fg.stack[i]
+		if o.spilled {
+			continue
+		}
+		var dst isa.Reg
+		useReg := false
+		if fg.abi == ABIWindowed {
+			if o.cls == clsFP && winFP < len(fg.freeWinFP) {
+				dst, useReg = fg.freeWinFP[winFP], true
+				winFP++
+			} else if o.cls == clsInt && winInt < len(fg.freeWinInt) {
+				dst, useReg = fg.freeWinInt[winInt], true
+				winInt++
+			}
+		}
+		if useReg {
+			if o.cls == clsFP {
+				fg.emit("        fmov %s, %s", dst, o.reg)
+			} else {
+				fg.emit("        mov %s, %s", dst, o.reg)
+			}
+		} else {
+			off := fg.tempSaveOff + 8*i
+			if o.cls == clsFP {
+				fg.emit("        stf %s, %d(sp)", o.reg, off)
+			} else {
+				fg.emit("        stq %s, %d(sp)", o.reg, off)
+			}
+		}
+		saves = append(saves, saved{idx: i, toReg: dst, inReg: useReg})
+	}
+
+	fg.emit("        jsr %s", e.fn.name)
+
+	for _, s := range saves {
+		o := &fg.stack[s.idx]
+		if s.inReg {
+			if o.cls == clsFP {
+				fg.emit("        fmov %s, %s", o.reg, s.toReg)
+			} else {
+				fg.emit("        mov %s, %s", o.reg, s.toReg)
+			}
+		} else {
+			off := fg.tempSaveOff + 8*s.idx
+			if o.cls == clsFP {
+				fg.emit("        ldf %s, %d(sp)", o.reg, off)
+			} else {
+				fg.emit("        ldq %s, %d(sp)", o.reg, off)
+			}
+		}
+	}
+
+	if e.fn.ret.Kind != TypeVoid {
+		cls := classOf(e.fn.ret)
+		r := fg.pushNew(cls)
+		if cls == clsFP {
+			fg.emit("        fmov %s, %s", r, isa.RegFV0)
+		} else {
+			fg.emit("        mov %s, %s", r, isa.RegV0)
+		}
+	}
+}
+
+// ---- statements ----
+
+func (fg *fngen) genStmt(s stmt) {
+	switch s := s.(type) {
+	case *blockStmt:
+		for _, inner := range s.stmts {
+			fg.genStmt(inner)
+		}
+
+	case *declStmt:
+		if s.init != nil {
+			fg.genAssignTo(s.sym, s.init)
+			return
+		}
+		// Zero-initialize for deterministic simulation.
+		fg.genZero(s.sym)
+
+	case *assignStmt:
+		fg.genAssign(s)
+
+	case *ifStmt:
+		els := fg.label(fg.fn)
+		fg.genCondBr(s.cond, els, false)
+		fg.genStmt(s.then)
+		if s.els == nil {
+			fg.emit("%s:", els)
+			return
+		}
+		end := fg.label(fg.fn)
+		fg.emit("        jmp %s", end)
+		fg.emit("%s:", els)
+		fg.genStmt(s.els)
+		fg.emit("%s:", end)
+
+	case *whileStmt:
+		cond := fg.label(fg.fn)
+		end := fg.label(fg.fn)
+		cont := cond
+		if s.post != nil {
+			cont = fg.label(fg.fn)
+		}
+		fg.breakLbl = append(fg.breakLbl, end)
+		fg.contLbl = append(fg.contLbl, cont)
+		fg.emit("%s:", cond)
+		fg.genCondBr(s.cond, end, false)
+		fg.genStmt(s.body)
+		if s.post != nil {
+			fg.emit("%s:", cont)
+			fg.genStmt(s.post)
+		}
+		fg.emit("        jmp %s", cond)
+		fg.emit("%s:", end)
+		fg.breakLbl = fg.breakLbl[:len(fg.breakLbl)-1]
+		fg.contLbl = fg.contLbl[:len(fg.contLbl)-1]
+
+	case *breakStmt:
+		fg.emit("        jmp %s", fg.breakLbl[len(fg.breakLbl)-1])
+
+	case *continueStmt:
+		fg.emit("        jmp %s", fg.contLbl[len(fg.contLbl)-1])
+
+	case *returnStmt:
+		if s.val != nil {
+			fg.genExpr(s.val)
+			o := fg.popOp()
+			if o.cls == clsFP {
+				fg.emit("        fmov %s, %s", isa.RegFV0, o.reg)
+			} else {
+				fg.emit("        mov %s, %s", isa.RegV0, o.reg)
+			}
+			fg.drop(o)
+		}
+		fg.emit("        jmp %s", fg.retLabel)
+
+	case *exprStmt:
+		fg.genExpr(s.x)
+		if s.x.exprType().Kind != TypeVoid {
+			o := fg.popOp()
+			fg.drop(o)
+		}
+
+	case *printStmt:
+		fg.genPrint(s)
+
+	default:
+		fg.errf("codegen: unknown statement %T", s)
+	}
+}
+
+func (fg *fngen) genZero(sym *symbol) {
+	if sym.ty.Kind == TypeArray {
+		return // arrays start zeroed only as globals; locals are written before use
+	}
+	if home, ok := homeReg(sym); ok {
+		if classOf(sym.ty) == clsFP {
+			fg.emit("        fmov %s, fzero", home)
+		} else {
+			fg.emit("        mov %s, zero", home)
+		}
+		return
+	}
+	if classOf(sym.ty) == clsFP {
+		fg.emit("        stf fzero, %d(sp)", sym.stackOff)
+	} else {
+		fg.emit("        %s zero, %d(sp)", storeOp(sym.ty), sym.stackOff)
+	}
+}
+
+// genAssignTo stores an evaluated expression into a symbol's home.
+func (fg *fngen) genAssignTo(sym *symbol, rhs expr) {
+	fg.genExpr(rhs)
+	o := fg.popOp()
+	if home, ok := homeReg(sym); ok {
+		switch {
+		case classOf(sym.ty) == clsFP:
+			fg.emit("        fmov %s, %s", home, o.reg)
+		case sym.ty.Kind == TypeChar:
+			fg.emit("        andi %s, %s, 255", home, o.reg)
+		default:
+			fg.emit("        mov %s, %s", home, o.reg)
+		}
+		fg.drop(o)
+		return
+	}
+	if sym.global {
+		a := fg.allocReg(clsInt)
+		fg.emit("        la %s, %s", a, globalLabel(sym.name))
+		fg.emit("        %s %s, 0(%s)", storeOp(sym.ty), o.reg, a)
+		fg.freeReg(clsInt, a)
+	} else {
+		fg.emit("        %s %s, %d(sp)", storeOp(sym.ty), o.reg, sym.stackOff)
+	}
+	fg.drop(o)
+}
+
+func (fg *fngen) genAssign(s *assignStmt) {
+	if vr, ok := s.lhs.(*varRef); ok {
+		fg.genAssignTo(vr.sym, s.rhs)
+		return
+	}
+	// Memory destination: evaluate value, then address, then store.
+	fg.genExpr(s.rhs)
+	fg.genAddr(s.lhs)
+	a := fg.popOp()
+	v := fg.popOp()
+	fg.emit("        %s %s, 0(%s)", storeOp(s.lhs.exprType()), v.reg, a.reg)
+	fg.drop(a)
+	fg.drop(v)
+}
+
+// genCondBr compiles e as jump code: branch to label when e is true
+// (branchIfTrue) or false. Short-circuits && and ||.
+func (fg *fngen) genCondBr(e expr, label string, branchIfTrue bool) {
+	if b, ok := e.(*binop); ok {
+		switch b.op {
+		case "&&":
+			if !branchIfTrue {
+				fg.genCondBr(b.l, label, false)
+				fg.genCondBr(b.r, label, false)
+			} else {
+				skip := fg.label(fg.fn)
+				fg.genCondBr(b.l, skip, false)
+				fg.genCondBr(b.r, label, true)
+				fg.emit("%s:", skip)
+			}
+			return
+		case "||":
+			if branchIfTrue {
+				fg.genCondBr(b.l, label, true)
+				fg.genCondBr(b.r, label, true)
+			} else {
+				skip := fg.label(fg.fn)
+				fg.genCondBr(b.l, skip, true)
+				fg.genCondBr(b.r, label, false)
+				fg.emit("%s:", skip)
+			}
+			return
+		}
+	}
+	if u, ok := e.(*unop); ok && u.op == "!" {
+		fg.genCondBr(u.x, label, !branchIfTrue)
+		return
+	}
+	fg.genExpr(e)
+	o := fg.popOp()
+	if branchIfTrue {
+		fg.emit("        bne %s, %s", o.reg, label)
+	} else {
+		fg.emit("        beq %s, %s", o.reg, label)
+	}
+	fg.drop(o)
+}
+
+func (fg *fngen) genPrint(s *printStmt) {
+	switch s.kind {
+	case "str":
+		lbl := fmt.Sprintf("str.%s.%d", fg.fn.name, len(fg.fn.strLits))
+		fg.fn.strLits = append(fg.fn.strLits, strLit{label: lbl, text: s.str})
+		fg.emit("        la a0, %s", lbl)
+		fg.emit("        li a1, %d", len(s.str))
+		fg.emit("        syscall %d", isa.SysPutStr)
+	case "float":
+		fg.genExpr(s.arg)
+		o := fg.popOp()
+		fg.emit("        fmov fa0, %s", o.reg)
+		fg.emit("        syscall %d", isa.SysPutFloat)
+		fg.drop(o)
+	default: // int, char
+		fg.genExpr(s.arg)
+		o := fg.popOp()
+		fg.emit("        mov a0, %s", o.reg)
+		code := isa.SysPutInt
+		if s.kind == "char" {
+			code = isa.SysPutChar
+		}
+		fg.emit("        syscall %d", code)
+		fg.drop(o)
+	}
+}

@@ -1,0 +1,39 @@
+package minic
+
+import (
+	"fmt"
+
+	"vca/internal/asm"
+	"vca/internal/program"
+)
+
+// Compile translates minic source to assembly text under the given ABI.
+func Compile(src string, abi ABI) (string, error) {
+	u, err := parse(src)
+	if err != nil {
+		return "", fmt.Errorf("minic: %w", err)
+	}
+	if err := check(u); err != nil {
+		return "", fmt.Errorf("minic: %w", err)
+	}
+	text, err := generate(u, abi)
+	if err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// Build compiles and assembles source into a loadable program. The
+// resulting image must run on a machine whose window support matches the
+// ABI (emu.Config.Windowed / the core's window model).
+func Build(name, src string, abi ABI) (*program.Program, error) {
+	text, err := Compile(src, abi)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	p, err := asm.AssembleWith(text, asm.Options{Name: fmt.Sprintf("%s.%s", name, abi)})
+	if err != nil {
+		return nil, fmt.Errorf("%s (%s ABI): assembling compiler output: %w", name, abi, err)
+	}
+	return p, nil
+}

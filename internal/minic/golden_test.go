@@ -1,0 +1,225 @@
+package minic
+
+import "testing"
+
+// Golden algorithm suite: classic programs exercising the whole language
+// surface, each verified under both ABIs against known-correct answers.
+
+func TestGoldenQuicksort(t *testing.T) {
+	runBoth(t, `
+int a[64];
+int seed = 7;
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed % 1000;
+}
+void qsort(int lo, int hi) {
+	if (lo >= hi) { return; }
+	int pivot = a[(lo + hi) / 2];
+	int i = lo;
+	int j = hi;
+	while (i <= j) {
+		while (a[i] < pivot) { i = i + 1; }
+		while (a[j] > pivot) { j = j - 1; }
+		if (i <= j) {
+			int t = a[i]; a[i] = a[j]; a[j] = t;
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	qsort(lo, j);
+	qsort(i, hi);
+}
+int main() {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { a[i] = rnd(); }
+	qsort(0, 63);
+	int sorted = 1;
+	for (i = 1; i < 64; i = i + 1) {
+		if (a[i - 1] > a[i]) { sorted = 0; }
+	}
+	print_int(sorted);
+	print_int(a[0] <= a[63]);
+	return 0;
+}`, "11")
+}
+
+func TestGoldenSieve(t *testing.T) {
+	runBoth(t, `
+char comp[1000];
+int main() {
+	int count = 0;
+	int i;
+	for (i = 2; i < 1000; i = i + 1) {
+		if (!comp[i]) {
+			count = count + 1;
+			int j;
+			for (j = i + i; j < 1000; j = j + i) { comp[j] = 1; }
+		}
+	}
+	print_int(count);   // 168 primes below 1000
+	return 0;
+}`, "168")
+}
+
+func TestGoldenGCD(t *testing.T) {
+	runBoth(t, `
+int gcd(int x, int y) {
+	if (y == 0) { return x; }
+	return gcd(y, x % y);
+}
+int main() {
+	print_int(gcd(1071, 462));  // 21
+	print_int(gcd(17, 5));      // 1
+	print_int(gcd(100, 100));   // 100
+	return 0;
+}`, "211100")
+}
+
+func TestGoldenMatMul(t *testing.T) {
+	runBoth(t, `
+int a[16];
+int b[16];
+int c[16];
+int main() {
+	int i;
+	for (i = 0; i < 16; i = i + 1) { a[i] = i; b[i] = 16 - i; }
+	int r;
+	for (r = 0; r < 4; r = r + 1) {
+		int col;
+		for (col = 0; col < 4; col = col + 1) {
+			int s = 0;
+			int k;
+			for (k = 0; k < 4; k = k + 1) {
+				s = s + a[r * 4 + k] * b[k * 4 + col];
+			}
+			c[r * 4 + col] = s;
+		}
+	}
+	int sum = 0;
+	for (i = 0; i < 16; i = i + 1) { sum = sum + c[i]; }
+	print_int(sum);
+	return 0;
+}`, "3760")
+}
+
+func TestGoldenNewtonSqrt(t *testing.T) {
+	runBoth(t, `
+float nsqrt(float v) {
+	float g = v;
+	int i;
+	for (i = 0; i < 20; i = i + 1) { g = 0.5 * (g + v / g); }
+	return g;
+}
+int main() {
+	print_int((int)(nsqrt(2.0) * 100000.0));  // 141421
+	print_str(" ");
+	print_int((int)nsqrt(144.0));             // 12
+	return 0;
+}`, "141421 12")
+}
+
+func TestGoldenStringReverse(t *testing.T) {
+	runBoth(t, `
+char buf[32];
+int strlen_(char* s) {
+	int n = 0;
+	while (s[n] != 0) { n = n + 1; }
+	return n;
+}
+void reverse(char* s, int n) {
+	int i = 0;
+	int j = n - 1;
+	while (i < j) {
+		char t = s[i];
+		s[i] = s[j];
+		s[j] = t;
+		i = i + 1;
+		j = j - 1;
+	}
+}
+int main() {
+	buf[0] = 'h'; buf[1] = 'e'; buf[2] = 'l'; buf[3] = 'l'; buf[4] = 'o';
+	int n = strlen_(buf);
+	reverse(buf, n);
+	int i;
+	for (i = 0; i < n; i = i + 1) { print_char(buf[i]); }
+	return 0;
+}`, "olleh")
+}
+
+func TestGoldenCollatz(t *testing.T) {
+	runBoth(t, `
+int steps(int n) {
+	int c = 0;
+	while (n != 1) {
+		if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+		c = c + 1;
+	}
+	return c;
+}
+int main() {
+	print_int(steps(27));  // 111
+	return 0;
+}`, "111")
+}
+
+func TestGoldenAckermannSmall(t *testing.T) {
+	// Deep mutual recursion stresses windows hard.
+	runBoth(t, `
+int ack(int m, int n) {
+	if (m == 0) { return n + 1; }
+	if (n == 0) { return ack(m - 1, 1); }
+	return ack(m - 1, ack(m, n - 1));
+}
+int main() {
+	print_int(ack(2, 3));  // 9
+	print_int(ack(3, 3));  // 61
+	return 0;
+}`, "961")
+}
+
+func TestGoldenBinarySearch(t *testing.T) {
+	runBoth(t, `
+int a[128];
+int bsearch_(int key) {
+	int lo = 0;
+	int hi = 127;
+	while (lo <= hi) {
+		int mid = (lo + hi) / 2;
+		if (a[mid] == key) { return mid; }
+		if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+	}
+	return -1;
+}
+int main() {
+	int i;
+	for (i = 0; i < 128; i = i + 1) { a[i] = i * 3; }
+	print_int(bsearch_(99));   // 33
+	print_int(bsearch_(100));  // -1
+	print_int(bsearch_(0));    // 0
+	return 0;
+}`, "33-10")
+}
+
+func TestGoldenFixedPointTrig(t *testing.T) {
+	// Taylor series sine — float-heavy with conversions.
+	runBoth(t, `
+float sine(float x) {
+	float term = x;
+	float sum = x;
+	int i;
+	for (i = 1; i <= 9; i = i + 1) {
+		float k = (float)(2 * i) * (float)(2 * i + 1);
+		term = 0.0 - term * x * x / k;
+		sum = sum + term;
+	}
+	return sum;
+}
+int main() {
+	print_int((int)(sine(1.5707963) * 10000.0));   // 9999 (sin pi/2, truncated)
+	print_str(" ");
+	print_int((int)(sine(0.5235987) * 10000.0));   // ~5000 (sin pi/6)
+	return 0;
+}`, "9999 4999")
+}

@@ -1,0 +1,399 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vca/internal/emu"
+)
+
+// runBoth compiles src under both ABIs, runs each on the matching
+// functional machine, checks both produce `want`, and returns the two
+// machines for further stat checks (flat, windowed).
+func runBoth(t *testing.T, src, want string) (*emu.Machine, *emu.Machine) {
+	t.Helper()
+	var machines [2]*emu.Machine
+	for i, abi := range []ABI{ABIFlat, ABIWindowed} {
+		prog, err := Build("test", src, abi)
+		if err != nil {
+			t.Fatalf("%v build: %v", abi, err)
+		}
+		m := emu.New(prog, emu.Config{Windowed: abi == ABIWindowed, MaxInsts: 50_000_000})
+		reason, err := m.Run()
+		if err != nil {
+			t.Fatalf("%v run: %v", abi, err)
+		}
+		if reason != emu.StopExited {
+			t.Fatalf("%v: stopped for %v", abi, reason)
+		}
+		if got := m.Output.String(); got != want {
+			t.Errorf("%v ABI output %q, want %q", abi, got, want)
+		}
+		machines[i] = m
+	}
+	return machines[0], machines[1]
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	runBoth(t, `
+int main() {
+	int x = 6;
+	int y = 7;
+	print_int(x * y);
+	print_str("\n");
+	return 0;
+}`, "42\n")
+}
+
+func TestOperatorZoo(t *testing.T) {
+	runBoth(t, `
+int main() {
+	print_int(17 / 5); print_str(" ");
+	print_int(17 % 5); print_str(" ");
+	print_int(-17 / 5); print_str(" ");
+	print_int(6 & 3); print_str(" ");
+	print_int(6 | 3); print_str(" ");
+	print_int(6 ^ 3); print_str(" ");
+	print_int(1 << 10); print_str(" ");
+	print_int(-16 >> 2); print_str(" ");
+	print_int(3 < 4); print_int(4 < 3); print_int(3 <= 3);
+	print_int(5 > 4); print_int(4 >= 5); print_int(7 == 7); print_int(7 != 7);
+	return 0;
+}`, "3 2 -3 2 7 5 1024 -4 1011010")
+}
+
+func TestControlFlow(t *testing.T) {
+	runBoth(t, `
+int main() {
+	int i;
+	int total = 0;
+	for (i = 0; i < 10; i = i + 1) {
+		if (i % 2 == 0) { continue; }
+		if (i == 9) { break; }
+		total = total + i;   // 1+3+5+7 = 16
+	}
+	while (total > 10) { total = total - 3; }
+	print_int(total);  // 16-3-3 = 10
+	return 0;
+}`, "10")
+}
+
+func TestShortCircuitConditions(t *testing.T) {
+	// a[10] would read out of bounds; the guard must short-circuit in
+	// condition position.
+	runBoth(t, `
+int a[10];
+int hits;
+int probe(int i) { hits = hits + 1; return a[i]; }
+int main() {
+	int i = 10;
+	if (i < 10 && probe(i) == 99) { print_str("bad"); }
+	if (i >= 10 || probe(i) == 99) { print_str("ok"); }
+	print_int(hits);
+	int f = 0;
+	if (!(f != 0) && (1 || probe(0))) { print_str("!"); }
+	return 0;
+}`, "ok0!")
+}
+
+func TestRecursionAndCallsInExpressions(t *testing.T) {
+	flat, win := runBoth(t, `
+int fib(int n) {
+	if (n <= 1) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	print_int(fib(15));
+	return 0;
+}`, "610")
+	// The windowed binary must be shorter and do less memory traffic.
+	if win.Stats.Insts >= flat.Stats.Insts {
+		t.Errorf("windowed insts %d >= flat %d", win.Stats.Insts, flat.Stats.Insts)
+	}
+	if win.Stats.Loads+win.Stats.Stores >= flat.Stats.Loads+flat.Stats.Stores {
+		t.Errorf("windowed memory ops %d >= flat %d",
+			win.Stats.Loads+win.Stats.Stores, flat.Stats.Loads+flat.Stats.Stores)
+	}
+	if win.Stats.CondBranches != flat.Stats.CondBranches {
+		t.Errorf("conditional branch counts differ: %d vs %d",
+			win.Stats.CondBranches, flat.Stats.CondBranches)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	runBoth(t, `
+int g = 41;
+int arr[8];
+float fg = 2.5;
+int main() {
+	g = g + 1;
+	int i;
+	for (i = 0; i < 8; i = i + 1) { arr[i] = i * i; }
+	print_int(g); print_str(" ");
+	print_int(arr[7]); print_str(" ");
+	print_float(fg * 2.0);
+	return 0;
+}`, "42 49 5")
+}
+
+func TestPointers(t *testing.T) {
+	runBoth(t, `
+int data[4];
+int sum(int* p, int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i = i + 1) { s = s + *(p + i); }
+	return s;
+}
+int main() {
+	data[0] = 10; data[1] = 20; data[2] = 30; data[3] = 40;
+	int* p = data;
+	p[1] = 25;
+	print_int(sum(data, 4));
+	int x = 5;
+	int* q = &x;
+	*q = 6;
+	print_int(x);
+	return 0;
+}`, "1056")
+}
+
+func TestCharArraysAndStrings(t *testing.T) {
+	runBoth(t, `
+char buf[16];
+int main() {
+	int i;
+	for (i = 0; i < 5; i = i + 1) { buf[i] = 'a' + i; }
+	for (i = 0; i < 5; i = i + 1) { print_char(buf[i]); }
+	char c = 'Z';
+	print_char(c);
+	print_char(10);
+	return 0;
+}`, "abcdeZ\n")
+}
+
+func TestFloats(t *testing.T) {
+	runBoth(t, `
+float half(float x) { return x / 2.0; }
+int main() {
+	float a = 3.0;
+	float b = half(a) + 0.25;   // 1.75
+	print_float(b); print_str(" ");
+	print_int((int)(b * 4.0));  // 7
+	print_str(" ");
+	float c = (float)10 / 4.0;
+	print_float(c);
+	print_str(" ");
+	print_int(b < a);
+	print_int(a <= 3.0);
+	print_int(a != 3.0);
+	return 0;
+}`, "1.75 7 2.5 110")
+}
+
+func TestDeepExpressionSpills(t *testing.T) {
+	// Depth > 5 forces integer temp spills.
+	runBoth(t, `
+int main() {
+	int r = (1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + 9))))))));
+	print_int(r);
+	print_int((1*2) + ((3*4) + ((5*6) + ((7*8) + (9*10)))));  // 190
+	return 0;
+}`, "45190")
+}
+
+func TestManyLocalsOverflowToStack(t *testing.T) {
+	// 20 int locals exceed the 16 s-registers: some spill to the frame.
+	src := "int main() {\n"
+	sum := []string{}
+	for i := 0; i < 20; i++ {
+		src += lf("\tint v%d = %d;\n", i, i+1)
+		sum = append(sum, lf("v%d", i))
+	}
+	src += "\tprint_int(" + strings.Join(sum, " + ") + ");\n\treturn 0;\n}"
+	runBoth(t, src, "210") // sum 1..20
+}
+
+func lf(f string, a ...any) string { return fmt.Sprintf(f, a...) }
+
+func TestCallsPreserveTemporaries(t *testing.T) {
+	// A value live across a call must survive (temp-save machinery).
+	flat, win := runBoth(t, `
+int id(int x) { return x; }
+int main() {
+	int a = 100;
+	print_int(a + id(1) + a * id(2));  // 100+1+200 = 301
+	print_int(id(id(id(5))));
+	return 0;
+}`, "3015")
+	_ = flat
+	_ = win
+}
+
+func TestNestedCallsManyArgs(t *testing.T) {
+	runBoth(t, `
+int six(int a, int b, int c, int d, int e, int f) {
+	return a + 10*b + 100*c + 1000*d + 10000*e + 100000*f;
+}
+int main() {
+	print_int(six(1, 2, 3, 4, 5, 6));
+	return 0;
+}`, "654321")
+}
+
+func TestMixedFloatIntArgs(t *testing.T) {
+	runBoth(t, `
+float mix(int a, float x, int b, float y) {
+	return (float)(a + b) + x * y;
+}
+int main() {
+	print_float(mix(1, 2.0, 3, 4.0));  // 4 + 8 = 12
+	return 0;
+}`, "12")
+}
+
+func TestVoidFunctions(t *testing.T) {
+	runBoth(t, `
+int counter;
+void bump(int by) { counter = counter + by; }
+int main() {
+	bump(3); bump(4);
+	print_int(counter);
+	return 0;
+}`, "7")
+}
+
+func TestLeafParamInArgRegs(t *testing.T) {
+	// Leaf functions must not touch the stack at all (flat ABI included).
+	text, err := Compile(`
+int leafsum(int a, int b) { int c = a + b; return c * 2; }
+int main() { print_int(leafsum(2, 3)); return 0; }
+`, ABIFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the leafsum body: between "leafsum:" and the next label of main.
+	i := strings.Index(text, "leafsum:")
+	j := strings.Index(text[i:], "main:")
+	body := text[i : i+j]
+	for _, op := range []string{"stq", "ldq", "subi sp", "addi sp"} {
+		if strings.Contains(body, op) {
+			t.Errorf("leaf function touches memory/stack (%s):\n%s", op, body)
+		}
+	}
+	runBoth(t, `
+int leafsum(int a, int b) { int c = a + b; return c * 2; }
+int main() { print_int(leafsum(2, 3)); return 0; }
+`, "10")
+}
+
+func TestWindowedEpilogueUsesS15(t *testing.T) {
+	text, err := Compile(`
+int helper() { return 1; }
+int outer() { return helper() + 1; }
+int main() { return outer(); }
+`, ABIWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "mov s15, ra") {
+		t.Error("windowed non-leaf should stash ra in s15")
+	}
+	if !strings.Contains(text, "ret (s15)") {
+		t.Error("windowed non-leaf should return via s15")
+	}
+	if strings.Contains(text, "stq ra") {
+		t.Error("windowed ABI must not save ra to memory")
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	runBoth(t, `
+int main() {
+	int tmp[8];
+	int i;
+	for (i = 0; i < 8; i = i + 1) { tmp[i] = i; }
+	int s = 0;
+	for (i = 0; i < 8; i = i + 1) { s = s + tmp[i]; }
+	print_int(s);
+	return 0;
+}`, "28")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":        `int f() { return 0; }`,
+		"undefined var":  `int main() { return x; }`,
+		"undefined fn":   `int main() { return g(); }`,
+		"dup global":     "int g; int g; int main() { return 0; }",
+		"dup local":      "int main() { int a; int a; return 0; }",
+		"arg count":      "int f(int a) { return a; } int main() { return f(); }",
+		"bad types":      `int main() { int a[3]; float* p = a; return 0; }`,
+		"void var":       "int main() { void v; return 0; }",
+		"break outside":  "int main() { break; return 0; }",
+		"assign rvalue":  "int main() { 3 = 4; return 0; }",
+		"deref int":      "int main() { int x; return *x; }",
+		"index scalar":   "int main() { int x; return x[0]; }",
+		"void ret value": "void f() { return 3; } int main() { f(); return 0; }",
+		"missing ret":    "int f() { return; } int main() { return f(); }",
+		"lex error":      "int main() { return `; }",
+		"parse error":    "int main() { if return; }",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src, ABIFlat); err == nil {
+			t.Errorf("%s: expected compile error", name)
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	src := `
+float a = 1.5;
+int main() {
+	print_float(a + 2.5 + 1.5);
+	print_str("x"); print_str("y");
+	return 0;
+}`
+	t1, err := Compile(src, ABIFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Compile(src, ABIFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("compiler output is not deterministic")
+	}
+	runBoth(t, src, "5.5xy")
+}
+
+func TestComments(t *testing.T) {
+	runBoth(t, `
+// line comment
+/* block
+   comment */
+int main() { /* inline */ print_int(1); return 0; } // trailing
+`, "1")
+}
+
+func TestCharSemantics(t *testing.T) {
+	runBoth(t, `
+char g;
+int main() {
+	g = 300;          // truncates to 44 in memory
+	print_int(g);
+	char c = 300;     // register-homed char also truncates on assignment
+	print_int(c);
+	return 0;
+}`, "4444")
+}
+
+func TestHexLiterals(t *testing.T) {
+	runBoth(t, `
+int main() {
+	print_int(0xFF + 0x10);
+	return 0;
+}`, "271")
+}

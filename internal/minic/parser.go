@@ -1,0 +1,562 @@
+package minic
+
+import "fmt"
+
+// parser builds an untyped AST; the checker pass resolves names and types.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*unit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	u := &unit{strings: map[string]string{}}
+	for !p.atEOF() {
+		if err := p.topLevel(u); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	t := p.cur()
+	if (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %v", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) peekIsType() bool {
+	t := p.cur()
+	return t.kind == tokKeyword && (t.text == "int" || t.text == "float" || t.text == "char" || t.text == "void")
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (*Type, error) {
+	t := p.advance()
+	var ty *Type
+	switch t.text {
+	case "int":
+		ty = tyInt
+	case "float":
+		ty = tyFloat
+	case "char":
+		ty = tyChar
+	case "void":
+		ty = tyVoid
+	default:
+		return nil, p.errf("expected type, found %v", t)
+	}
+	for p.accept("*") {
+		ty = ptrTo(ty)
+	}
+	return ty, nil
+}
+
+// topLevel parses one global declaration or function definition.
+func (p *parser) topLevel(u *unit) error {
+	if !p.peekIsType() {
+		return p.errf("expected declaration, found %v", p.cur())
+	}
+	line := p.cur().line
+	ty, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	nameTok := p.advance()
+	if nameTok.kind != tokIdent {
+		return p.errf("expected name, found %v", nameTok)
+	}
+	name := nameTok.text
+
+	if p.cur().text == "(" && p.cur().kind == tokPunct {
+		return p.funcDef(u, ty, name, line)
+	}
+
+	// Global variable (possibly array, possibly initialized).
+	sym := &symbol{name: name, ty: ty, global: true, reg: -1}
+	if p.accept("[") {
+		n := p.advance()
+		if n.kind != tokIntLit || n.ival <= 0 {
+			return p.errf("bad array length")
+		}
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+		sym.ty = arrayOf(ty, int(n.ival))
+		sym.addrTaken = true
+	}
+	if p.accept("=") {
+		t := p.advance()
+		negate := false
+		if t.kind == tokPunct && t.text == "-" {
+			negate = true
+			t = p.advance()
+		}
+		switch t.kind {
+		case tokIntLit, tokCharLit:
+			sym.init = t.ival
+			if negate {
+				sym.init = -sym.init
+			}
+			sym.hasInit = true
+		case tokFloatLit:
+			sym.finit = t.fval
+			if negate {
+				sym.finit = -sym.finit
+			}
+			sym.hasInit = true
+		default:
+			return p.errf("global initializer must be a constant")
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	u.globals = append(u.globals, sym)
+	return nil
+}
+
+func (p *parser) funcDef(u *unit, ret *Type, name string, line int) error {
+	fn := &funcDecl{name: name, ret: ret, line: line}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	if !p.accept(")") {
+		for {
+			if p.cur().kind == tokKeyword && p.cur().text == "void" && p.toks[p.pos+1].text == ")" {
+				p.advance()
+				break
+			}
+			pty, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			pn := p.advance()
+			if pn.kind != tokIdent {
+				return p.errf("expected parameter name")
+			}
+			fn.params = append(fn.params, &symbol{name: pn.text, ty: pty, reg: -1})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	fn.body = body
+	u.funcs = append(u.funcs, fn)
+	return nil
+}
+
+func (p *parser) block() (*blockStmt, error) {
+	line := p.cur().line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{stmtBase: stmtBase{line: line}}
+	for !p.accept("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.stmts = append(b.stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	line := p.cur().line
+	base := stmtBase{line: line}
+	switch {
+	case p.cur().text == "{" && p.cur().kind == tokPunct:
+		return p.block()
+
+	case p.peekIsType():
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.advance()
+		if nameTok.kind != tokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		sym := &symbol{name: nameTok.text, ty: ty, reg: -1}
+		if p.accept("[") {
+			n := p.advance()
+			if n.kind != tokIntLit || n.ival <= 0 {
+				return nil, p.errf("bad array length")
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			sym.ty = arrayOf(ty, int(n.ival))
+			sym.addrTaken = true
+		}
+		var init expr
+		if p.accept("=") {
+			init, err = p.expression()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &declStmt{stmtBase: base, sym: sym, init: init}, nil
+
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		var els stmt
+		if p.accept("else") {
+			els, err = p.statement()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ifStmt{stmtBase: base, cond: cond, then: then, els: els}, nil
+
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{stmtBase: base, cond: cond, body: body}, nil
+
+	case p.accept("for"):
+		// Desugar for(init; cond; post) body into { init; while(cond) { body; post } }.
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init stmt
+		if !p.accept(";") {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			init = s
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond expr = &intLit{val: 1}
+		if p.cur().text != ";" {
+			c, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			cond = c
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		var post stmt
+		if p.cur().text != ")" {
+			s, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			post = s
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		loop := &whileStmt{stmtBase: base, cond: cond, body: body, post: post}
+		out := &blockStmt{stmtBase: base}
+		if init != nil {
+			out.stmts = append(out.stmts, init)
+		}
+		out.stmts = append(out.stmts, loop)
+		return out, nil
+
+	case p.accept("return"):
+		var val expr
+		if p.cur().text != ";" {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &returnStmt{stmtBase: base, val: val}, nil
+
+	case p.accept("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{stmtBase: base}, nil
+
+	case p.accept("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{stmtBase: base}, nil
+
+	case p.cur().kind == tokIdent && isPrintBuiltin(p.cur().text):
+		kind := p.cur().text[len("print_"):]
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		ps := &printStmt{stmtBase: base, kind: kind}
+		if kind == "str" {
+			t := p.advance()
+			if t.kind != tokStrLit {
+				return nil, p.errf("print_str wants a string literal")
+			}
+			ps.str = t.text
+		} else {
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			ps.arg = arg
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return ps, nil
+	}
+
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func isPrintBuiltin(name string) bool {
+	switch name {
+	case "print_int", "print_float", "print_char", "print_str":
+		return true
+	}
+	return false
+}
+
+// simpleStmt is an assignment or expression statement (no trailing ';').
+func (p *parser) simpleStmt() (stmt, error) {
+	base := stmtBase{line: p.cur().line}
+	lhs, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("=") {
+		rhs, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &assignStmt{stmtBase: base, lhs: lhs, rhs: rhs}, nil
+	}
+	return &exprStmt{stmtBase: base, x: lhs}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expression() (expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, isBin := binPrec[t.text]
+		if t.kind != tokPunct || !isBin || prec < minPrec {
+			return lhs, nil
+		}
+		p.advance()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binop{exprBase: exprBase{line: t.line}, op: t.text, l: lhs, r: rhs}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "*", "&":
+			p.advance()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &unop{exprBase: exprBase{line: t.line}, op: t.text, x: x}, nil
+		case "(":
+			// Cast? "(type)" expr
+			if p.toks[p.pos+1].kind == tokKeyword &&
+				(p.toks[p.pos+1].text == "int" || p.toks[p.pos+1].text == "float" || p.toks[p.pos+1].text == "char") {
+				p.advance()
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				return &castExpr{exprBase: exprBase{ty: ty, line: t.line}, x: x}, nil
+			}
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokPunct && t.text == "[":
+			p.advance()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{exprBase: exprBase{line: t.line}, base: x, idx: idx}
+		case t.kind == tokPunct && t.text == "(":
+			vr, ok := x.(*varRef)
+			if !ok {
+				return nil, p.errf("only named functions can be called")
+			}
+			p.advance()
+			call := &callExpr{exprBase: exprBase{line: t.line}, name: vr.name}
+			if !p.accept(")") {
+				for {
+					arg, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, arg)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			x = call
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokIntLit, tokCharLit:
+		return &intLit{exprBase: exprBase{line: t.line}, val: t.ival}, nil
+	case tokFloatLit:
+		return &floatLit{exprBase: exprBase{line: t.line}, val: t.fval}, nil
+	case tokIdent:
+		return &varRef{exprBase: exprBase{line: t.line}, name: t.text}, nil
+	case tokPunct:
+		if t.text == "(" {
+			x, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected %v in expression", t.line, t)
+}

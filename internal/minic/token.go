@@ -1,0 +1,305 @@
+// Package minic implements a small C-like language and its compiler to
+// the repository's ISA. It plays the role of the paper's modified gcc
+// (§3.1): the same source program compiles under two ABIs — ABIFlat, which
+// saves and restores callee-saved registers with explicit stack loads and
+// stores, and ABIWindowed, which keeps them in register windows rotated by
+// call/return. The dynamic instruction-count difference between the two
+// binaries is exactly the Table 2 path-length-ratio effect.
+//
+// Language summary:
+//
+//	types:        int (64-bit signed), float (float64), char (byte),
+//	              pointers (int*, float*, char*), 1-D arrays
+//	declarations: globals (with optional scalar initializers), locals,
+//	              functions with typed parameters
+//	statements:   if/else, while, for, break, continue, return, blocks,
+//	              expression statements, print_int/print_float/
+//	              print_char/print_str builtins
+//	expressions:  arithmetic, comparisons, &&/||/! (short-circuit),
+//	              array indexing, unary * and &, calls, casts (int)/(float)
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokCharLit
+	tokStrLit
+	tokPunct // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokIntLit, tokFloatLit:
+		return t.text
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// lex tokenizes the entire source up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			l.pos += 2
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.at(1) == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",",
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	c := l.peekByte()
+
+	switch {
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line}, nil
+
+	case isDigit(c):
+		start := l.pos
+		isFloat := false
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			l.pos += 2
+			for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.peekByte() == '.' && isDigit(l.at(1)) {
+				isFloat = true
+				l.pos++
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+			if l.peekByte() == 'e' || l.peekByte() == 'E' {
+				save := l.pos
+				l.pos++
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.pos++
+				}
+				if isDigit(l.peekByte()) {
+					isFloat = true
+					for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+						l.pos++
+					}
+				} else {
+					l.pos = save
+				}
+			}
+		}
+		text := l.src[start:l.pos]
+		if isFloat {
+			var f float64
+			if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+				return token{}, l.errf("bad float literal %q", text)
+			}
+			return token{kind: tokFloatLit, text: text, fval: f, line: line}, nil
+		}
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf("bad integer literal %q", text)
+		}
+		return token{kind: tokIntLit, text: text, ival: v, line: line}, nil
+
+	case c == '\'':
+		l.pos++
+		var v byte
+		if l.peekByte() == '\\' {
+			l.pos++
+			switch l.peekByte() {
+			case 'n':
+				v = '\n'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\':
+				v = '\\'
+			case '\'':
+				v = '\''
+			default:
+				return token{}, l.errf("bad escape in char literal")
+			}
+			l.pos++
+		} else {
+			v = l.peekByte()
+			l.pos++
+		}
+		if l.peekByte() != '\'' {
+			return token{}, l.errf("unterminated char literal")
+		}
+		l.pos++
+		return token{kind: tokCharLit, text: string(v), ival: int64(v), line: line}, nil
+
+	case c == '"':
+		l.pos++
+		var out []byte
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.pos++
+				break
+			}
+			if ch == '\\' {
+				l.pos++
+				switch l.peekByte() {
+				case 'n':
+					out = append(out, '\n')
+				case 't':
+					out = append(out, '\t')
+				case '0':
+					out = append(out, 0)
+				case '\\':
+					out = append(out, '\\')
+				case '"':
+					out = append(out, '"')
+				default:
+					return token{}, l.errf("bad escape in string")
+				}
+				l.pos++
+				continue
+			}
+			if ch == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			out = append(out, ch)
+			l.pos++
+		}
+		return token{kind: tokStrLit, text: string(out), line: line}, nil
+	}
+
+	for _, p := range puncts {
+		if len(l.src)-l.pos >= len(p) && l.src[l.pos:l.pos+len(p)] == p {
+			l.pos += len(p)
+			return token{kind: tokPunct, text: p, line: line}, nil
+		}
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

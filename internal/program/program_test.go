@@ -1,0 +1,110 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"vca/internal/isa"
+)
+
+func sampleProgram() *Program {
+	w1, _ := isa.EncodeI(isa.OpAddI, uint8(isa.ZeroInt), uint8(isa.RegT0), 7)
+	w2 := isa.EncodeSys(isa.SysExit)
+	return &Program{
+		Name:     "sample",
+		TextBase: DefaultTextBase,
+		Text:     []isa.Word{w1, w2},
+		DataBase: DefaultDataBase,
+		Data:     []byte{1, 2, 3},
+		Entry:    DefaultTextBase,
+		Symbols:  map[string]uint64{"main": DefaultTextBase, "end": DefaultTextBase + 4},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := sampleProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.Entry = 12 // unaligned + outside text
+	if bad.Validate() == nil {
+		t.Error("bad entry accepted")
+	}
+	empty := *p
+	empty.Text = nil
+	if empty.Validate() == nil {
+		t.Error("empty text accepted")
+	}
+	overlap := *p
+	overlap.DataBase = overlap.TextBase
+	if overlap.Validate() == nil {
+		t.Error("overlapping segments accepted")
+	}
+}
+
+func TestWordAtBounds(t *testing.T) {
+	p := sampleProgram()
+	if p.InstAt(p.TextBase).Op != isa.OpAddI {
+		t.Error("first instruction wrong")
+	}
+	// Outside text and misaligned fetches yield invalid instructions, not
+	// panics (wrong-path fetches do this constantly).
+	if p.InstAt(p.TextBase-4).Op != isa.OpInvalid {
+		t.Error("below-text fetch should be invalid")
+	}
+	if p.InstAt(p.TextEnd()).Op != isa.OpInvalid {
+		t.Error("past-end fetch should be invalid")
+	}
+	if p.InstAt(p.TextBase+2).Op != isa.OpInvalid {
+		t.Error("misaligned fetch should be invalid")
+	}
+}
+
+func TestPredecodeMatchesInstAt(t *testing.T) {
+	p := sampleProgram()
+	dec := p.Predecode()
+	for i := range p.Text {
+		pc := p.TextBase + uint64(i)*4
+		if dec[i] != p.InstAt(pc) {
+			t.Errorf("predecode mismatch at %#x", pc)
+		}
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	p := sampleProgram()
+	if a, ok := p.Symbol("main"); !ok || a != p.TextBase {
+		t.Error("symbol lookup failed")
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("phantom symbol")
+	}
+	if got := p.SymbolFor(p.TextBase + 4); got != "end" {
+		t.Errorf("SymbolFor = %q", got)
+	}
+	if got := p.SymbolFor(p.TextBase + 8); got != "end+0x4" {
+		t.Errorf("SymbolFor offset = %q", got)
+	}
+}
+
+func TestDisasmContainsSymbolsAndAddrs(t *testing.T) {
+	p := sampleProgram()
+	d := p.Disasm()
+	if !strings.Contains(d, "main:") || !strings.Contains(d, "addi") {
+		t.Errorf("disasm:\n%s", d)
+	}
+}
+
+func TestThreadRegSpaceWindowRoom(t *testing.T) {
+	for tid := 0; tid < 8; tid++ {
+		gbp, wbp := ThreadRegSpace(tid)
+		if (wbp-gbp)%8 != 0 {
+			t.Error("unaligned window base")
+		}
+		// Room for at least a few thousand frames.
+		if (wbp-gbp)/isa.WindowBytes < 1000 {
+			t.Error("window stack too small")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package rename implements the two register-rename substrates the paper
+// compares: a conventional merged-register-file renamer (per-thread map
+// table + free list, §2.1.3's commit-table recovery discipline), and the
+// virtual context architecture renamer (§2) — a tagged, set-associative
+// rename table backed by memory, with the physical-register state machine
+// of Figure 2, LRU replacement with overwrite-pending demotion, and an
+// RSID translation table (§2.2.1).
+//
+// Physical register *values* live in the core; this package manages
+// mappings, allocation, pinning, and spill/fill generation only.
+package rename
+
+import "fmt"
+
+// PhysNone marks "no physical register".
+const PhysNone = -1
+
+// Conventional is the baseline renamer: every logical register of every
+// thread always has a physical mapping; destinations draw from a free
+// list; the previous mapping is freed when the overwriting instruction
+// commits. Misspeculation recovery is record-based rollback (equivalent in
+// outcome to the commit-table walk of §2.1.3; the core charges the walk's
+// timing).
+type Conventional struct {
+	threads   int
+	logical   int // logical registers per thread
+	phys      int
+	spec      [][]int // [thread][logical] -> phys (speculative)
+	arch      [][]int // committed mappings
+	free      []int
+	allocated int
+}
+
+// NewConventional builds the renamer and allocates initial mappings for
+// every logical register of every thread. It returns an error when the
+// physical register file cannot hold the architectural state (the "No
+// Baseline" region of Figures 4-8).
+func NewConventional(threads, logicalPerThread, physRegs int) (*Conventional, error) {
+	need := threads * logicalPerThread
+	if physRegs < need+1 {
+		return nil, fmt.Errorf("rename: conventional machine needs > %d physical registers for %d threads × %d logical, have %d",
+			need, threads, logicalPerThread, physRegs)
+	}
+	c := &Conventional{threads: threads, logical: logicalPerThread, phys: physRegs}
+	next := 0
+	for t := 0; t < threads; t++ {
+		spec := make([]int, logicalPerThread)
+		arch := make([]int, logicalPerThread)
+		for l := range spec {
+			spec[l] = next
+			arch[l] = next
+			next++
+		}
+		c.spec = append(c.spec, spec)
+		c.arch = append(c.arch, arch)
+	}
+	for p := next; p < physRegs; p++ {
+		c.free = append(c.free, p)
+	}
+	c.allocated = next
+	return c, nil
+}
+
+// InitialMappings returns the committed mapping table for thread t so the
+// core can install initial architectural values.
+func (c *Conventional) InitialMappings(t int) []int {
+	out := make([]int, c.logical)
+	copy(out, c.arch[t])
+	return out
+}
+
+// FreeCount returns the number of free physical registers (the effective
+// rename-register pool).
+func (c *Conventional) FreeCount() int { return len(c.free) }
+
+// Lookup returns the current speculative mapping of a logical register.
+func (c *Conventional) Lookup(t, logical int) int { return c.spec[t][logical] }
+
+// AllocateDest renames a destination: a fresh physical register is taken
+// from the free list and becomes the speculative mapping. It returns the
+// new mapping, the previous speculative mapping (needed for rollback), and
+// ok=false when the free list is empty (rename must stall).
+func (c *Conventional) AllocateDest(t, logical int) (newPhys, prevSpec int, ok bool) {
+	if len(c.free) == 0 {
+		return PhysNone, PhysNone, false
+	}
+	newPhys = c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	prevSpec = c.spec[t][logical]
+	c.spec[t][logical] = newPhys
+	return newPhys, prevSpec, true
+}
+
+// CommitDest makes a destination rename architectural: the previously
+// committed physical register for this logical register is freed and the
+// committed table is updated.
+func (c *Conventional) CommitDest(t, logical, newPhys int) {
+	old := c.arch[t][logical]
+	c.arch[t][logical] = newPhys
+	c.free = append(c.free, old)
+}
+
+// RollbackDest undoes a squashed destination rename. Records must be
+// rolled back youngest-first.
+func (c *Conventional) RollbackDest(t, logical, newPhys, prevSpec int) {
+	c.spec[t][logical] = prevSpec
+	c.free = append(c.free, newPhys)
+}
+
+// CheckInvariants verifies allocator conservation (used by tests and the
+// core's debug mode): every physical register is either free or reachable
+// from a table / in-flight record.
+func (c *Conventional) CheckInvariants(inFlight []int) error {
+	seen := make([]int, c.phys)
+	for _, p := range c.free {
+		seen[p]++
+	}
+	for t := 0; t < c.threads; t++ {
+		for l := 0; l < c.logical; l++ {
+			seen[c.spec[t][l]]++
+			if c.arch[t][l] != c.spec[t][l] {
+				seen[c.arch[t][l]]++
+			}
+		}
+	}
+	for _, p := range inFlight {
+		if p != PhysNone {
+			seen[p]++
+		}
+	}
+	for p, n := range seen {
+		if n == 0 {
+			return fmt.Errorf("rename: physical register %d leaked", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,543 @@
+package rename
+
+import "fmt"
+
+// VCAConfig sizes the virtual context architecture structures (§2.2,
+// §3: 64 entries per way; 3/5/6 ways for 1/2/4 threads; 8 rename ports;
+// at most 2 ASTQ writes per cycle).
+type VCAConfig struct {
+	PhysRegs   int
+	Sets       int // rename-table sets
+	Ways       int // rename-table associativity
+	Ports      int // rename-table lookups per cycle (same-address reads combine)
+	ASTQWrites int // spill/fill operations enqueued per cycle
+	// OverwriteHint gives registers with an in-flight overwriter the
+	// lowest replacement priority (§2.1.2). Disable for the ablation.
+	OverwriteHint bool
+	// RSID translation table (§2.2.1).
+	RSIDs       int  // translation-table entries
+	OffsetBits  int  // low address bits kept as the register-space offset
+	DisableRSID bool // model a full-tag table (ablation)
+}
+
+// DefaultVCAConfig returns the paper's configuration for a given thread
+// count.
+func DefaultVCAConfig(threads, physRegs int) VCAConfig {
+	ways := 3
+	switch {
+	case threads >= 4:
+		ways = 6
+	case threads == 2:
+		ways = 5
+	}
+	return VCAConfig{
+		PhysRegs:      physRegs,
+		Sets:          64,
+		Ways:          ways,
+		Ports:         8,
+		ASTQWrites:    2,
+		OverwriteHint: true,
+		RSIDs:         64,
+		OffsetBits:    13,
+	}
+}
+
+// physState is the per-register state of Figure 2: the backing logical
+// register memory address, a reference count (pinned when > 0), the
+// committed and dirty bits, LRU time, and the count of in-flight
+// instructions that will overwrite this logical register.
+type physState struct {
+	addr      uint64
+	mapped    bool
+	ref       int
+	committed bool
+	dirty     bool
+	lru       uint64
+	owPending int
+}
+
+type tableEntry struct {
+	valid bool
+	addr  uint64
+	phys  int
+}
+
+// MemOp is a spill or fill handed to the core's ASTQ.
+type MemOp struct {
+	Phys    int
+	Addr    uint64
+	IsSpill bool
+	// Value carries the spilled data, captured at rename time so the
+	// physical register can be reused immediately (the ASTQ's FIFO order
+	// preserves the paper's spill-before-fill dependence for timing).
+	Value uint64
+}
+
+// VCAStats counts renamer events.
+type VCAStats struct {
+	SrcHits             uint64
+	Fills               uint64
+	Spills              uint64
+	Overwrites          uint64 // committed registers freed by overwrite (no spill)
+	TableConflictEvicts uint64
+	PhysEvicts          uint64
+	RenameStalls        uint64
+	RSIDMisses          uint64
+	RSIDFlushRegs       uint64
+}
+
+// VCA is the virtual context architecture renamer. The speculative rename
+// table is modeled faithfully (tags, sets, ways); the commit-side table
+// that drives recovery and overwrite freeing is kept as a map, since its
+// conflict behavior is not what the paper evaluates.
+type VCA struct {
+	cfg    VCAConfig
+	table  []tableEntry // sets × ways
+	regs   []physState
+	free   []int
+	commit map[uint64]int
+	clock  uint64
+
+	rsidTags       []uint64 // translation table: upper-address tags
+	rsidLRU        []uint64
+	rsidValid      []bool
+	pendingRSIDOps []MemOp
+
+	// ReadValue lets the renamer capture a spill victim's value at rename
+	// time; the core installs it (reads the physical register file).
+	ReadValue func(phys int) uint64
+
+	Stats VCAStats
+}
+
+// NewVCA builds the renamer with all physical registers free and nothing
+// mapped: unlike the conventional renamer, VCA has no minimum physical
+// register requirement (§4.2 "a point where the conventional architecture
+// is unable to operate").
+func NewVCA(cfg VCAConfig) *VCA {
+	v := &VCA{
+		cfg:       cfg,
+		table:     make([]tableEntry, cfg.Sets*cfg.Ways),
+		regs:      make([]physState, cfg.PhysRegs),
+		commit:    make(map[uint64]int),
+		rsidTags:  make([]uint64, cfg.RSIDs),
+		rsidLRU:   make([]uint64, cfg.RSIDs),
+		rsidValid: make([]bool, cfg.RSIDs),
+	}
+	for p := cfg.PhysRegs - 1; p >= 0; p-- {
+		v.free = append(v.free, p)
+	}
+	return v
+}
+
+// Config returns the active configuration.
+func (v *VCA) Config() VCAConfig { return v.cfg }
+
+// FreeCount returns the number of unmapped physical registers.
+func (v *VCA) FreeCount() int { return len(v.free) }
+
+func (v *VCA) set(addr uint64) int {
+	return int(addr>>3) & (v.cfg.Sets - 1)
+}
+
+func (v *VCA) ways(addr uint64) []tableEntry {
+	s := v.set(addr)
+	return v.table[s*v.cfg.Ways : (s+1)*v.cfg.Ways]
+}
+
+func (v *VCA) tick() uint64 {
+	v.clock++
+	return v.clock
+}
+
+// lookup finds the table entry for addr.
+func (v *VCA) lookup(addr uint64) (way *tableEntry, phys int) {
+	ways := v.ways(addr)
+	for i := range ways {
+		if ways[i].valid && ways[i].addr == addr {
+			return &ways[i], ways[i].phys
+		}
+	}
+	return nil, PhysNone
+}
+
+// evictable reports whether a physical register may be replaced: only
+// unpinned, committed (architectural) values qualify — speculative
+// destinations and pinned sources never do (Figure 2's PC̅ states and
+// pinned states).
+func (v *VCA) evictable(p int) bool {
+	r := &v.regs[p]
+	return r.mapped && r.ref == 0 && r.committed
+}
+
+// victimIn picks the best victim among the table entries of one set, or
+// nil if every way is pinned. With OverwriteHint, registers whose logical
+// register has an in-flight overwriter are chosen only as a last resort.
+func (v *VCA) victimIn(ways []tableEntry) *tableEntry {
+	var best *tableEntry
+	bestKey := struct {
+		ow  bool
+		lru uint64
+	}{}
+	for i := range ways {
+		e := &ways[i]
+		if !e.valid || !v.evictable(e.phys) {
+			continue
+		}
+		r := &v.regs[e.phys]
+		ow := v.cfg.OverwriteHint && r.owPending > 0
+		if best == nil ||
+			(bestKey.ow && !ow) ||
+			(bestKey.ow == ow && r.lru < bestKey.lru) {
+			best = e
+			bestKey.ow, bestKey.lru = ow, r.lru
+		}
+	}
+	return best
+}
+
+// evict frees the register behind a table entry, generating a spill when
+// dirty. The caller gets the freed physical register.
+func (v *VCA) evict(e *tableEntry, ops *[]MemOp) int {
+	p := e.phys
+	r := &v.regs[p]
+	if r.dirty {
+		val := uint64(0)
+		if v.ReadValue != nil {
+			val = v.ReadValue(p)
+		}
+		*ops = append(*ops, MemOp{Phys: p, Addr: r.addr, IsSpill: true, Value: val})
+		v.Stats.Spills++
+	}
+	delete(v.commit, r.addr)
+	e.valid = false
+	*r = physState{}
+	return p
+}
+
+// allocPhys obtains a free physical register, evicting an unpinned
+// committed register (global LRU, overwrite-pending demoted) if necessary.
+// Returns PhysNone if every register is pinned or speculative.
+func (v *VCA) allocPhys(ops *[]MemOp) int {
+	if n := len(v.free); n > 0 {
+		p := v.free[n-1]
+		v.free = v.free[:n-1]
+		return p
+	}
+	// Global LRU scan over table entries.
+	var best *tableEntry
+	bestOW := false
+	var bestLRU uint64
+	for i := range v.table {
+		e := &v.table[i]
+		if !e.valid || !v.evictable(e.phys) {
+			continue
+		}
+		r := &v.regs[e.phys]
+		ow := v.cfg.OverwriteHint && r.owPending > 0
+		if best == nil || (bestOW && !ow) || (bestOW == ow && r.lru < bestLRU) {
+			best, bestOW, bestLRU = e, ow, r.lru
+		}
+	}
+	if best == nil {
+		return PhysNone
+	}
+	v.Stats.PhysEvicts++
+	return v.evict(best, ops)
+}
+
+// installMapping puts addr→phys into the rename table, evicting a way if
+// the set is full. Returns false (stall) if every way of the set is
+// pinned.
+func (v *VCA) installMapping(addr uint64, phys int, ops *[]MemOp) bool {
+	ways := v.ways(addr)
+	for i := range ways {
+		if !ways[i].valid {
+			ways[i] = tableEntry{valid: true, addr: addr, phys: phys}
+			return true
+		}
+	}
+	victim := v.victimIn(ways)
+	if victim == nil {
+		return false
+	}
+	v.Stats.TableConflictEvicts++
+	freed := v.evict(victim, ops)
+	v.free = append(v.free, freed)
+	*victim = tableEntry{valid: true, addr: addr, phys: phys}
+	return true
+}
+
+// RenameSource maps a source logical-register address (§2.1.1). On a hit
+// the register is pinned and returned. On a miss a physical register is
+// allocated, mapped, pinned, and a fill is appended to ops; the core must
+// treat the register as not-ready until the fill completes. ok=false
+// means rename must stall this cycle (no allocatable register or table
+// way).
+func (v *VCA) RenameSource(addr uint64, ops *[]MemOp) (phys int, filled bool, ok bool) {
+	v.touchRSID(addr)
+	if _, p := v.lookup(addr); p != PhysNone {
+		v.regs[p].ref++
+		v.regs[p].lru = v.tick()
+		v.Stats.SrcHits++
+		return p, false, true
+	}
+	p := v.allocPhys(ops)
+	if p == PhysNone {
+		v.Stats.RenameStalls++
+		return PhysNone, false, false
+	}
+	if !v.installMapping(addr, p, ops) {
+		v.free = append(v.free, p)
+		v.Stats.RenameStalls++
+		return PhysNone, false, false
+	}
+	r := &v.regs[p]
+	*r = physState{addr: addr, mapped: true, ref: 1, committed: true, dirty: false, lru: v.tick()}
+	v.commit[addr] = p
+	*ops = append(*ops, MemOp{Phys: p, Addr: addr, IsSpill: false})
+	v.Stats.Fills++
+	return p, true, true
+}
+
+// RenameDest allocates a new physical register for a destination write to
+// addr and makes it the speculative mapping. prevSpec is the previous
+// speculative mapping (PhysNone on a miss — "for destination registers, a
+// miss is not a problem"). The register is pinned by its producer until
+// commit.
+func (v *VCA) RenameDest(addr uint64, ops *[]MemOp) (newPhys, prevSpec int, ok bool) {
+	v.touchRSID(addr)
+	p := v.allocPhys(ops)
+	if p == PhysNone {
+		v.Stats.RenameStalls++
+		return PhysNone, PhysNone, false
+	}
+	// Look up only after allocation: allocPhys may have evicted this very
+	// logical register's committed version (its value is then safe in
+	// memory and the rename proceeds as a miss).
+	entry, prev := v.lookup(addr)
+	if entry != nil {
+		// Retarget the existing entry to the new speculative version; the
+		// previous version stays alive (reachable via the commit table or
+		// pinned by consumers) for recovery.
+		v.regs[prev].owPending++
+		entry.phys = p
+	} else if !v.installMapping(addr, p, ops) {
+		v.free = append(v.free, p)
+		v.Stats.RenameStalls++
+		return PhysNone, PhysNone, false
+	}
+	r := &v.regs[p]
+	*r = physState{addr: addr, mapped: true, ref: 1, committed: false, lru: v.tick()}
+	return p, prev, true
+}
+
+// ReleaseSource unpins a source register (at commit or squash of the
+// consuming instruction).
+func (v *VCA) ReleaseSource(phys int) {
+	if phys == PhysNone {
+		return
+	}
+	r := &v.regs[phys]
+	if r.ref <= 0 {
+		panic(fmt.Sprintf("rename: releasing unpinned physical register %d", phys))
+	}
+	r.ref--
+}
+
+// CommitDest makes a destination write architectural: the producer's pin
+// is dropped, the register becomes committed+dirty, and the previously
+// committed version of the logical register (if any) is freed by
+// overwrite — without any writeback, per §2.1.2.
+func (v *VCA) CommitDest(addr uint64, phys, prevSpec int) {
+	r := &v.regs[phys]
+	r.ref--
+	r.committed = true
+	r.dirty = true
+	r.lru = v.tick()
+	if prevSpec != PhysNone && v.regs[prevSpec].mapped && v.regs[prevSpec].addr == addr {
+		v.regs[prevSpec].owPending--
+	}
+	if old, ok := v.commit[addr]; ok && old != phys {
+		o := &v.regs[old]
+		if o.ref > 0 {
+			// Still pinned by in-flight consumers; it will be freed when
+			// they release if unreachable. Mark it overwritten: drop its
+			// committed status so it frees on last release.
+			o.committed = false
+			o.dirty = false
+		} else {
+			v.freeUnmapped(old)
+		}
+		v.Stats.Overwrites++
+	}
+	v.commit[addr] = phys
+}
+
+// freeUnmapped returns a register to the free list, removing any table
+// entry that still points at it.
+func (v *VCA) freeUnmapped(p int) {
+	r := &v.regs[p]
+	if r.mapped {
+		if e, cur := v.lookup(r.addr); e != nil && cur == p {
+			e.valid = false
+		}
+	}
+	*r = physState{}
+	v.free = append(v.free, p)
+}
+
+// ReleaseRetired handles the deferred free of an overwritten-but-pinned
+// register: call after ReleaseSource drops the last pin.
+func (v *VCA) ReleaseRetired(phys int) {
+	if phys == PhysNone {
+		return
+	}
+	r := &v.regs[phys]
+	if r.mapped && r.ref == 0 && !r.committed {
+		// Not committed and unpinned: either an overwritten stale version
+		// or an orphan; check it is not the current speculative mapping.
+		if _, cur := v.lookup(r.addr); cur != phys {
+			v.freeUnmapped(phys)
+		}
+	}
+}
+
+// RollbackDest undoes a squashed destination rename (youngest-first). The
+// speculative mapping is restored to prevSpec when that register still
+// holds this logical register; if it was evicted meanwhile, the mapping is
+// simply removed — the committed value lives in memory and will fill on
+// demand (§2.1.3's recovery made safe by the memory backing store).
+func (v *VCA) RollbackDest(addr uint64, newPhys, prevSpec int) {
+	entry, cur := v.lookup(addr)
+	if prevSpec != PhysNone && v.regs[prevSpec].mapped && v.regs[prevSpec].addr == addr {
+		v.regs[prevSpec].owPending--
+		if entry != nil && cur == newPhys {
+			entry.phys = prevSpec
+		}
+	} else if entry != nil && cur == newPhys {
+		entry.valid = false
+	}
+	r := &v.regs[newPhys]
+	r.ref-- // producer pin
+	if r.ref > 0 {
+		panic("rename: squashed destination still pinned by consumers")
+	}
+	*r = physState{}
+	v.free = append(v.free, newPhys)
+}
+
+// StillMapped reports whether addr's current speculative mapping is phys.
+func (v *VCA) StillMapped(addr uint64, phys int) bool {
+	_, cur := v.lookup(addr)
+	return cur == phys
+}
+
+// FillLive reports whether a completing fill may deliver its value to
+// phys: the register must still hold addr's committed version. A younger
+// in-flight destination rename retargets the table but must not drop the
+// fill (its consumers still read the old version); only recycling of the
+// register after its consumers were squashed invalidates the fill.
+func (v *VCA) FillLive(addr uint64, phys int) bool {
+	r := &v.regs[phys]
+	return r.mapped && r.addr == addr && r.committed
+}
+
+// touchRSID models the register-space-ID translation table: a miss
+// allocates an entry (LRU), and reallocating a live entry would flush the
+// registers of that space. The flush cost is reported through Stats and
+// the FlushSpace callback is left to the core (rare; our workloads are
+// sized so it never fires during measurement).
+func (v *VCA) touchRSID(addr uint64) {
+	if v.cfg.DisableRSID || v.cfg.RSIDs == 0 {
+		return
+	}
+	tag := addr >> uint(v.cfg.OffsetBits)
+	victim, oldest := -1, ^uint64(0)
+	for i := 0; i < v.cfg.RSIDs; i++ {
+		if v.rsidValid[i] && v.rsidTags[i] == tag {
+			v.rsidLRU[i] = v.tick()
+			return
+		}
+		if !v.rsidValid[i] {
+			if victim == -1 || oldest != 0 {
+				victim, oldest = i, 0
+			}
+		} else if v.rsidLRU[i] < oldest {
+			victim, oldest = i, v.rsidLRU[i]
+		}
+	}
+	v.Stats.RSIDMisses++
+	if v.rsidValid[victim] {
+		// Reusing a live RSID flushes every register in that space.
+		old := v.rsidTags[victim]
+		var ops []MemOp
+		for i := range v.table {
+			e := &v.table[i]
+			if e.valid && e.addr>>uint(v.cfg.OffsetBits) == old && v.evictable(e.phys) {
+				v.Stats.RSIDFlushRegs++
+				freed := v.evict(e, &ops)
+				v.free = append(v.free, freed)
+			}
+		}
+		v.pendingRSIDOps = append(v.pendingRSIDOps, ops...)
+	}
+	v.rsidValid[victim] = true
+	v.rsidTags[victim] = tag
+	v.rsidLRU[victim] = v.tick()
+}
+
+// DrainRSIDOps returns spills generated by RSID-reuse flushes since the
+// last call.
+func (v *VCA) DrainRSIDOps() []MemOp {
+	ops := v.pendingRSIDOps
+	v.pendingRSIDOps = nil
+	return ops
+}
+
+// CheckInvariants validates the Figure 2 state machine globally: table
+// entries and register states must be mutually consistent, and no
+// register may be both free and mapped.
+func (v *VCA) CheckInvariants() error {
+	inFree := make([]bool, v.cfg.PhysRegs)
+	for _, p := range v.free {
+		if inFree[p] {
+			return fmt.Errorf("vca: register %d double-freed", p)
+		}
+		inFree[p] = true
+	}
+	seen := make([]bool, v.cfg.PhysRegs)
+	for i := range v.table {
+		e := &v.table[i]
+		if !e.valid {
+			continue
+		}
+		if seen[e.phys] {
+			return fmt.Errorf("vca: register %d mapped by two table entries", e.phys)
+		}
+		seen[e.phys] = true
+		if inFree[e.phys] {
+			return fmt.Errorf("vca: register %d is free but mapped to %#x", e.phys, e.addr)
+		}
+		r := &v.regs[e.phys]
+		if !r.mapped || r.addr != e.addr {
+			return fmt.Errorf("vca: table entry %#x disagrees with register %d state (%+v)", e.addr, e.phys, r)
+		}
+	}
+	for addr, p := range v.commit {
+		r := &v.regs[p]
+		if !r.mapped || r.addr != addr {
+			return fmt.Errorf("vca: commit table entry %#x -> %d inconsistent (%+v)", addr, p, r)
+		}
+		if !r.committed {
+			return fmt.Errorf("vca: commit table references uncommitted register %d", p)
+		}
+	}
+	for p := range v.regs {
+		r := &v.regs[p]
+		if r.ref < 0 || r.owPending < 0 {
+			return fmt.Errorf("vca: register %d has negative counts (%+v)", p, r)
+		}
+	}
+	return nil
+}

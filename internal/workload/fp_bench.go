@@ -1,0 +1,366 @@
+package workload
+
+// Floating-point benchmarks.
+
+// eon_rushmeier: probabilistic ray tracing — ray/sphere intersection and
+// diffuse shading with the small-function call structure of the C++
+// original. Ray state lives in globals (the language has no structs).
+const srcEon = `
+float cx[64];
+float cy[64];
+float cz[64];
+float cr[64];
+float ox; float oy; float oz;
+float dx; float dy; float dz;
+int seed = 9293;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+float frand() { return (float)(rnd() % 10000) / 10000.0; }
+
+float intersect(int i) {
+	// Returns distance to sphere i or -1.
+	float lx = cx[i] - ox;
+	float ly = cy[i] - oy;
+	float lz = cz[i] - oz;
+	float tca = lx * dx + ly * dy + lz * dz;
+	if (tca < 0.0) { return -1.0; }
+	float d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+	float r2 = cr[i] * cr[i];
+	if (d2 > r2) { return -1.0; }
+	float thc = r2 - d2;
+	return tca - thc / (2.0 * cr[i]);
+}
+
+float shade(int i, float t) {
+	float px = ox + dx * t;
+	float py = oy + dy * t;
+	float pz = oz + dz * t;
+	float nx = px - cx[i];
+	float ny = py - cy[i];
+	float nz = pz - cz[i];
+	float nlen = nx * nx + ny * ny + nz * nz;
+	if (nlen <= 0.0) { return 0.0; }
+	float diff = (nx + ny + nz) / nlen;
+	if (diff < 0.0) { diff = 0.0 - diff; }
+	return diff;
+}
+
+float trace() {
+	float best = 1000000.0;
+	int hit = -1;
+	int i;
+	for (i = 0; i < 64; i = i + 1) {
+		float t = intersect(i);
+		if (t > 0.0 && t < best) { best = t; hit = i; }
+	}
+	if (hit < 0) { return 0.0; }
+	return shade(hit, best);
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 64; i = i + 1) {
+		cx[i] = frand() * 20.0 - 10.0;
+		cy[i] = frand() * 20.0 - 10.0;
+		cz[i] = frand() * 10.0 + 5.0;
+		cr[i] = frand() * 2.0 + 0.5;
+	}
+	float total = 0.0;
+	int ray;
+	for (ray = 0; ray < 250; ray = ray + 1) {
+		ox = 0.0; oy = 0.0; oz = 0.0;
+		dx = frand() - 0.5;
+		dy = frand() - 0.5;
+		dz = 1.0;
+		total = total + trace();
+	}
+	print_int((int)(total * 1000.0));
+	return 0;
+}`
+
+// ammp: molecular dynamics — pairwise force accumulation over atom
+// coordinate arrays, dominated by long inline FP loops with occasional
+// helper calls (ratio 0.98: windows barely matter).
+const srcAmmp = `
+float px[40]; float py[40]; float pz[40];
+float vx[40]; float vy[40]; float vz[40];
+float fx[40]; float fy[40]; float fz[40];
+int seed = 1117;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+int accumulate(int i, int j, float ddx, float ddy, float ddz, float mag) {
+	fx[i] = fx[i] + ddx * mag; fx[j] = fx[j] - ddx * mag;
+	fy[i] = fy[i] + ddy * mag; fy[j] = fy[j] - ddy * mag;
+	fz[i] = fz[i] + ddz * mag; fz[j] = fz[j] - ddz * mag;
+	return i;
+}
+
+float kineticEnergy() {
+	float e = 0.0;
+	int i;
+	for (i = 0; i < 40; i = i + 1) {
+		e = e + vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+	}
+	return e * 0.5;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 40; i = i + 1) {
+		px[i] = (float)(rnd() % 100) * 0.1;
+		py[i] = (float)(rnd() % 100) * 0.1;
+		pz[i] = (float)(rnd() % 100) * 0.1;
+	}
+	float energy = 0.0;
+	int step;
+	for (step = 0; step < 8; step = step + 1) {
+		for (i = 0; i < 40; i = i + 1) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+		// Pairwise forces: distances inline, accumulation through a leaf
+		// helper (frequent cheap calls, as in the original's force loop).
+		int j;
+		for (i = 0; i < 40; i = i + 1) {
+			for (j = i + 1; j < 40; j = j + 1) {
+				float ddx = px[i] - px[j];
+				float ddy = py[i] - py[j];
+				float ddz = pz[i] - pz[j];
+				float r2 = ddx * ddx + ddy * ddy + ddz * ddz + 0.01;
+				float inv = 1.0 / r2;
+				float mag = inv * inv - 0.5 * inv;
+				accumulate(i, j, ddx, ddy, ddz, mag);
+			}
+		}
+		for (i = 0; i < 40; i = i + 1) {
+			vx[i] = vx[i] + fx[i] * 0.001;
+			vy[i] = vy[i] + fy[i] * 0.001;
+			vz[i] = vz[i] + fz[i] * 0.001;
+			px[i] = px[i] + vx[i];
+			py[i] = py[i] + vy[i];
+			pz[i] = pz[i] + vz[i];
+		}
+		energy = kineticEnergy();
+	}
+	print_int((int)(energy * 100000.0));
+	return 0;
+}`
+
+// equake: seismic wave propagation — sparse matrix-vector products with a
+// helper call per row, plus a norm reduction per iteration.
+const srcEquake = `
+float aval[768];   // 96 rows x 8 nonzeros
+int acol[768];
+float x[96];
+float y[96];
+int seed = 60941;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+float rowDot(int r) {
+	float s = 0.0;
+	int k;
+	for (k = 0; k < 8; k = k + 1) {
+		s = s + aval[r * 8 + k] * x[acol[r * 8 + k]];
+	}
+	return s;
+}
+
+float smooth(int r) {
+	// Mid-tier: row product plus damping, live across the helper call.
+	float prev = y[r];
+	float v = rowDot(r);
+	float damped = 0.85 * v + 0.15 * prev;
+	y[r] = damped;
+	return damped;
+}
+
+float norm() {
+	float s = 0.0;
+	int i;
+	for (i = 0; i < 96; i = i + 1) { s = s + y[i] * y[i]; }
+	return fsqrtv(s);
+}
+
+float fsqrtv(float v) {
+	// Newton refinement seeded at v/2 (exercises FP divide chains).
+	if (v <= 0.0) { return 0.0; }
+	float g = v * 0.5 + 0.001;
+	int i;
+	for (i = 0; i < 4; i = i + 1) { g = 0.5 * (g + v / g); }
+	return g;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 768; i = i + 1) {
+		aval[i] = (float)(rnd() % 200) * 0.01 - 1.0;
+		acol[i] = rnd() % 96;
+	}
+	for (i = 0; i < 96; i = i + 1) { x[i] = (float)(rnd() % 100) * 0.01; }
+
+	float res = 0.0;
+	int iter;
+	for (iter = 0; iter < 45; iter = iter + 1) {
+		int r;
+		for (r = 0; r < 96; r = r + 1) { smooth(r); }
+		res = norm();
+		for (r = 0; r < 96; r = r + 1) { x[r] = 0.9 * x[r] + 0.1 * y[r] / (res + 1.0); }
+	}
+	print_int((int)(res * 1000.0));
+	return 0;
+}`
+
+// mesa: 3-D graphics software pipeline — per-vertex matrix transform and
+// lighting through small per-vertex functions.
+const srcMesa = `
+float vxs[256]; float vys[256]; float vzs[256];
+float txs[256]; float tys[256]; float tzs[256];
+float lum[256];
+float mat[16];
+int seed = 777213;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+float transform(int i) {
+	float xx = vxs[i];
+	float yy = vys[i];
+	float zz = vzs[i];
+	txs[i] = mat[0] * xx + mat[1] * yy + mat[2] * zz + mat[3];
+	tys[i] = mat[4] * xx + mat[5] * yy + mat[6] * zz + mat[7];
+	tzs[i] = mat[8] * xx + mat[9] * yy + mat[10] * zz + mat[11];
+	return tzs[i];
+}
+
+float light(int i) {
+	float nz = tzs[i];
+	if (nz < 0.0) { nz = 0.0 - nz; }
+	float l = nz / (1.0 + nz);
+	lum[i] = l;
+	return l;
+}
+
+float processVertex(int i) {
+	// Mid-tier per-vertex pipeline stage.
+	float depth = transform(i);
+	if (!clipTest(i)) { return 0.0 - 1.0; }
+	float l = light(i);
+	return l + depth * 0.0001;
+}
+
+int clipTest(int i) {
+	if (txs[i] < -100.0 || txs[i] > 100.0) { return 0; }
+	if (tys[i] < -100.0 || tys[i] > 100.0) { return 0; }
+	return 1;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 256; i = i + 1) {
+		vxs[i] = (float)(rnd() % 200) - 100.0;
+		vys[i] = (float)(rnd() % 200) - 100.0;
+		vzs[i] = (float)(rnd() % 100) * 0.1 + 1.0;
+	}
+	float total = 0.0;
+	int visible = 0;
+	int frame;
+	for (frame = 0; frame < 22; frame = frame + 1) {
+		// Slowly rotating transform.
+		float a = (float)frame * 0.05;
+		mat[0] = 1.0 - a * a * 0.5; mat[1] = 0.0 - a; mat[2] = 0.0; mat[3] = 0.0;
+		mat[4] = a; mat[5] = 1.0 - a * a * 0.5; mat[6] = 0.0; mat[7] = 0.0;
+		mat[8] = 0.0; mat[9] = 0.0; mat[10] = 1.0; mat[11] = 0.5;
+		for (i = 0; i < 256; i = i + 1) {
+			float v = processVertex(i);
+			if (v >= 0.0) {
+				total = total + v;
+				visible = visible + 1;
+			}
+		}
+	}
+	print_int((int)total);
+	print_int(visible);
+	return 0;
+}`
+
+// wupwise: lattice QCD flavor — complex matrix-vector arithmetic in
+// split real/imaginary arrays with a helper call per complex
+// multiply-accumulate.
+const srcWupwise = `
+float mr[256]; float mi[256];   // 16x16 complex matrix
+float xr[16]; float xi[16];
+float yr[16]; float yi[16];
+float accR; float accI;
+int seed = 3533;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+int cmulAcc(int mIdx, int v) {
+	// (accR, accI) += M[mIdx] * x[v]
+	float ar = mr[mIdx];
+	float ai = mi[mIdx];
+	float br = xr[v];
+	float bi = xi[v];
+	accR = accR + ar * br - ai * bi;
+	accI = accI + ar * bi + ai * br;
+	return mIdx;
+}
+
+float rowMul(int r) {
+	// Mid-tier: accumulator setup and magnitude live across the calls.
+	accR = 0.0;
+	accI = 0.0;
+	int c;
+	for (c = 0; c < 16; c = c + 1) { cmulAcc(r * 16 + c, c); }
+	yr[r] = accR;
+	yi[r] = accI;
+	return accR * accR + accI * accI;
+}
+
+float matVec() {
+	int r;
+	float sum = 0.0;
+	for (r = 0; r < 16; r = r + 1) {
+		sum = sum + rowMul(r);
+	}
+	return sum;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 256; i = i + 1) {
+		mr[i] = (float)(rnd() % 100) * 0.02 - 1.0;
+		mi[i] = (float)(rnd() % 100) * 0.02 - 1.0;
+	}
+	for (i = 0; i < 16; i = i + 1) {
+		xr[i] = (float)(rnd() % 100) * 0.01;
+		xi[i] = (float)(rnd() % 100) * 0.01;
+	}
+	float s = 0.0;
+	int iter;
+	for (iter = 0; iter < 80; iter = iter + 1) {
+		s = matVec();
+		// Normalize x from y.
+		float scale = 1.0 / (1.0 + s * 0.001);
+		for (i = 0; i < 16; i = i + 1) {
+			xr[i] = yr[i] * scale;
+			xi[i] = yi[i] * scale;
+		}
+	}
+	print_int((int)(s * 100.0));
+	return 0;
+}`

@@ -1,0 +1,316 @@
+package workload
+
+// Integer benchmarks, part 1: compression and search/tree workloads.
+
+// bzip2_graphic: block compression — run-length encoding followed by a
+// move-to-front transform and frequency counting over a synthetic buffer
+// with graphic-like runs. Helper-function-per-byte structure gives the
+// frequent short calls of the original.
+const srcBzip2 = `
+int seed = 12345;
+char data[2048];
+char rle[4096];
+int rleLen;
+char mtf[256];
+int freq[256];
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed >> 16;
+}
+
+int emitRun(int ch, int len) {
+	rle[rleLen] = ch;
+	rle[rleLen + 1] = len;
+	rleLen = rleLen + 2;
+	return len;
+}
+
+int mtfFind(int ch) {
+	int i = 0;
+	while (mtf[i] != ch) { i = i + 1; }
+	int j = i;
+	while (j > 0) { mtf[j] = mtf[j - 1]; j = j - 1; }
+	mtf[0] = ch;
+	return i;
+}
+
+int countByte(int code) {
+	freq[code & 255] = freq[code & 255] + 1;
+	return freq[code & 255];
+}
+
+int encodeByte(int i) {
+	// Mid-tier worker: MTF + count + running checksum, with several
+	// values live across the helper calls.
+	int ch = rle[i];
+	int code = mtfFind(ch);
+	int f = countByte(code);
+	int weight = code * 2 + 1;
+	int bonus = 0;
+	if (f > 4) { bonus = weight / 2; }
+	return (code + bonus + weight) & 0xffff;
+}
+
+int main() {
+	int i;
+	// Graphic-like data: long runs of a few values.
+	int cur = 0;
+	for (i = 0; i < 2048; i = i + 1) {
+		if (rnd() % 7 == 0) { cur = rnd() % 16; }
+		data[i] = cur;
+	}
+	for (i = 0; i < 256; i = i + 1) { mtf[i] = i; }
+
+	// RLE pass.
+	int pos = 0;
+	while (pos < 2048) {
+		int ch = data[pos];
+		int len = 1;
+		while (pos + len < 2048 && data[pos + len] == ch && len < 255) {
+			len = len + 1;
+		}
+		emitRun(ch, len);
+		pos = pos + len;
+	}
+
+	// MTF + frequency pass over the RLE output.
+	int check = 0;
+	for (i = 0; i < rleLen; i = i + 1) {
+		check = (check * 31 + encodeByte(i)) & 0xffffff;
+	}
+	print_int(check);
+	print_int(rleLen);
+	return 0;
+}`
+
+// crafty: chess bitboards — population counts, bit scans, and sliding
+// attack masks over LCG-generated positions, with the tiny helper
+// functions the original's move generator is famous for.
+const srcCrafty = `
+int seed = 987654321;
+
+int rnd() {
+	seed = (seed * 6364136223846793005 + 1442695040888963407) & 0x7fffffffffffffff;
+	return seed;
+}
+
+int popcount(int bb) {
+	int n = 0;
+	while (bb != 0) { bb = bb & (bb - 1); n = n + 1; }
+	return n;
+}
+
+int lsb(int bb) {
+	int i = 0;
+	if (bb == 0) { return 64; }
+	while ((bb & 1) == 0) { bb = bb >> 1; i = i + 1; }
+	return i;
+}
+
+int fileAttacks(int sq, int occ) {
+	int att = 0;
+	int s = sq + 8;
+	while (s < 64) {
+		att = att | (1 << s);
+		if ((occ >> s) & 1) { s = 64; } else { s = s + 8; }
+	}
+	s = sq - 8;
+	while (s >= 0) {
+		att = att | (1 << s);
+		if ((occ >> s) & 1) { s = -1; } else { s = s - 8; }
+	}
+	return att;
+}
+
+int mobility(int own, int opp) {
+	// Non-leaf mid-tier: several values live across helper calls.
+	int occ = own | opp;
+	int sq = lsb(own);
+	int moves = 0;
+	int guard = 0;
+	while (sq < 64 && guard < 4) {
+		int att = fileAttacks(sq, occ);
+		moves = moves + popcount(att & (0 - 1 - own));
+		own = own & (own - 1);
+		sq = lsb(own);
+		guard = guard + 1;
+	}
+	return moves;
+}
+
+int evalBoard(int own, int opp) {
+	int material = popcount(own) * 100 - popcount(opp) * 100;
+	int mob = mobility(own, opp);
+	int mob2 = mobility(opp, own);
+	return material + 3 * (mob - mob2);
+}
+
+int main() {
+	int total = 0;
+	int i;
+	for (i = 0; i < 250; i = i + 1) {
+		int own = rnd() & rnd() & rnd();  // sparse board
+		int opp = rnd() & rnd() & (0 - 1 - own);
+		total = (total + evalBoard(own, opp)) & 0xffffff;
+	}
+	print_int(total);
+	return 0;
+}`
+
+// gap: computational group theory — composing and powering permutations
+// held in a flat pool, with per-operation helper calls.
+const srcGap = `
+int perms[512];  // 32 permutations of 16 points
+int tmp[16];
+int seed = 42;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+int checkPoint(int x) {
+	if (x < 0) { return 0; }
+	if (x > 15) { return 15; }
+	return x;
+}
+
+int apply(int p, int x) {
+	int xx = checkPoint(x);
+	int v = perms[p * 16 + xx];
+	return checkPoint(v);
+}
+
+int compose(int a, int b, int dst) {
+	int i;
+	for (i = 0; i < 16; i = i + 1) {
+		perms[dst * 16 + i] = apply(a, apply(b, i));
+	}
+	return dst;
+}
+
+int isIdentity(int p) {
+	int i;
+	for (i = 0; i < 16; i = i + 1) {
+		if (apply(p, i) != i) { return 0; }
+	}
+	return 1;
+}
+
+int orderOf(int p) {
+	// Copy p to slot 30, repeatedly compose with p until identity.
+	int i;
+	for (i = 0; i < 16; i = i + 1) { perms[30 * 16 + i] = apply(p, i); }
+	int ord = 1;
+	while (!isIdentity(30) && ord < 1000) {
+		compose(30, p, 31);
+		for (i = 0; i < 16; i = i + 1) { perms[30 * 16 + i] = apply(31, i); }
+		ord = ord + 1;
+	}
+	return ord;
+}
+
+int shuffle(int p) {
+	int i;
+	for (i = 0; i < 16; i = i + 1) { perms[p * 16 + i] = i; }
+	for (i = 15; i > 0; i = i - 1) {
+		int j = rnd() % (i + 1);
+		int t = perms[p * 16 + i];
+		perms[p * 16 + i] = perms[p * 16 + j];
+		perms[p * 16 + j] = t;
+	}
+	return p;
+}
+
+int main() {
+	int total = 0;
+	int k;
+	for (k = 0; k < 18; k = k + 1) {
+		shuffle(0);
+		shuffle(1);
+		compose(0, 1, 2);
+		total = total + orderOf(2);
+	}
+	print_int(total);
+	return 0;
+}`
+
+// gcc_expr: compiler middle-end flavor — building random expression trees
+// in a node pool, recursively evaluating them, and constant-folding, as in
+// gcc's expr machinery. Deeply recursive with frequent small calls.
+const srcGccExpr = `
+int nodeOp[4096];
+int nodeL[4096];
+int nodeR[4096];
+int nodeVal[4096];
+int nextNode;
+int seed = 777;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed;
+}
+
+int leaf(int v) {
+	int n = nextNode;
+	nextNode = nextNode + 1;
+	nodeOp[n] = 0;
+	nodeVal[n] = v;
+	return n;
+}
+
+int build(int depth) {
+	if (depth == 0 || rnd() % 5 == 0) {
+		return leaf(rnd() % 100);
+	}
+	int op = 1 + rnd() % 4;
+	int l = build(depth - 1);
+	int r = build(depth - 1);
+	int n = nextNode;
+	nextNode = nextNode + 1;
+	nodeOp[n] = op;
+	nodeL[n] = l;
+	nodeR[n] = r;
+	return n;
+}
+
+int eval(int n) {
+	int op = nodeOp[n];
+	if (op == 0) { return nodeVal[n]; }
+	int a = eval(nodeL[n]);
+	int b = eval(nodeR[n]);
+	if (op == 1) { return a + b; }
+	if (op == 2) { return a - b; }
+	if (op == 3) { return (a * b) & 0xffff; }
+	if (b == 0) { return a; }
+	return a / b;
+}
+
+int fold(int n) {
+	// Constant folding: returns number of folded nodes.
+	if (nodeOp[n] == 0) { return 0; }
+	int c = fold(nodeL[n]) + fold(nodeR[n]);
+	if (nodeOp[nodeL[n]] == 0 && nodeOp[nodeR[n]] == 0) {
+		nodeVal[n] = eval(n);
+		nodeOp[n] = 0;
+		return c + 1;
+	}
+	return c;
+}
+
+int main() {
+	int total = 0;
+	int folded = 0;
+	int t;
+	for (t = 0; t < 16; t = t + 1) {
+		nextNode = 0;
+		int root = build(9);
+		total = (total + eval(root)) & 0xffffff;
+		folded = folded + fold(root);
+		total = (total + eval(root)) & 0xffffff;
+	}
+	print_int(total);
+	print_int(folded);
+	return 0;
+}`

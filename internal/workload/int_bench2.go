@@ -1,0 +1,547 @@
+package workload
+
+// Integer benchmarks, part 2: parsing, interpretation, databases, CAD.
+
+// gzip_graphic: LZ77 with hash-chain match search over a synthetic
+// graphic-like byte stream.
+const srcGzip = `
+int seed = 2468;
+char data[4096];
+int head[256];
+int chain[4096];
+int outLits;
+int outMatches;
+int check;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed >> 7;
+}
+
+int hashAt(int i) {
+	return (data[i] * 33 + data[i + 1]) & 255;
+}
+
+int matchLen(int a, int b, int limit) {
+	int n = 0;
+	while (n < limit && data[a + n] == data[b + n]) { n = n + 1; }
+	return n;
+}
+
+int insertPos(int i) {
+	int h = hashAt(i);
+	chain[i] = head[h];
+	head[h] = i;
+	return h;
+}
+
+int bestMatch(int i, int limit) {
+	int cand = head[hashAt(i)];
+	int best = 0;
+	int tries = 8;
+	while (cand >= 0 && tries > 0) {
+		if (cand < i) {
+			int len = matchLen(cand, i, limit);
+			if (len > best) { best = len; }
+		}
+		cand = chain[cand];
+		tries = tries - 1;
+	}
+	return best;
+}
+
+int processPos(int pos) {
+	// Mid-tier: match search + emission with state live across calls.
+	int limit = 3000 - pos;
+	if (limit > 64) { limit = 64; }
+	int len = bestMatch(pos, limit);
+	int emitted = data[pos];
+	if (len >= 3) {
+		outMatches = outMatches + 1;
+		check = (check * 17 + len) & 0xffffff;
+		int j;
+		for (j = 0; j < len; j = j + 1) { insertPos(pos + j); }
+		return pos + len;
+	}
+	outLits = outLits + 1;
+	check = (check * 17 + emitted) & 0xffffff;
+	insertPos(pos);
+	return pos + 1;
+}
+
+int main() {
+	int i;
+	int cur = 65;
+	for (i = 0; i < 4096; i = i + 1) {
+		if (rnd() % 11 == 0) { cur = 65 + rnd() % 24; }
+		data[i] = cur;
+	}
+	for (i = 0; i < 256; i = i + 1) { head[i] = -1; }
+
+	int pos = 0;
+	while (pos < 3000) {
+		pos = processPos(pos);
+	}
+	print_int(check);
+	print_int(outLits);
+	print_int(outMatches);
+	return 0;
+}`
+
+// parser: recursive-descent parsing of synthetic sentences over a small
+// part-of-speech grammar, with one helper call per grammar rule — the
+// link-grammar parser's call-dense shape.
+const srcParser = `
+// Token codes: 0=det 1=adj 2=noun 3=verb 4=adv 5=prep 6=end
+int toks[8192];
+int ntoks;
+int cursor;
+int parsed;
+int failed;
+int seed = 31337;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed >> 5;
+}
+
+int peek() { return toks[cursor]; }
+int advance() { cursor = cursor + 1; return toks[cursor - 1]; }
+
+int parseNoun() {
+	if (peek() == 2) { advance(); return 1; }
+	return 0;
+}
+
+int parseNP() {
+	int hasDet = 0;
+	int adjs = 0;
+	if (peek() == 0) { advance(); hasDet = 1; }
+	while (peek() == 1) { advance(); adjs = adjs + 1; }
+	if (!parseNoun()) { return 0; }
+	int score = hasDet * 4 + adjs;
+	if (peek() == 5) {
+		advance();
+		int sub = parseNP();
+		if (sub == 0) { return 0; }
+		return score + sub;
+	}
+	return score + 1;
+}
+
+int parseVP() {
+	int advs = 0;
+	if (peek() != 3) { return 0; }
+	advance();
+	while (peek() == 4) { advance(); advs = advs + 1; }
+	if (peek() == 0 || peek() == 1 || peek() == 2) {
+		int obj = parseNP();
+		if (obj == 0) { return 0; }
+		return obj + advs + 1;
+	}
+	return advs + 1;
+}
+
+int parseSentence() {
+	int subj = parseNP();
+	if (subj == 0) { return 0; }
+	int pred = parseVP();
+	if (pred == 0) { return 0; }
+	if (peek() != 6) { return 0; }
+	advance();
+	return subj + pred;
+}
+
+int genSentence() {
+	// Mostly grammatical sentences, sometimes broken.
+	toks[ntoks] = 0; ntoks = ntoks + 1;
+	while (rnd() % 3 == 0) { toks[ntoks] = 1; ntoks = ntoks + 1; }
+	toks[ntoks] = 2; ntoks = ntoks + 1;
+	if (rnd() % 4 == 0) { toks[ntoks] = 5; ntoks = ntoks + 1;
+		toks[ntoks] = 0; ntoks = ntoks + 1;
+		toks[ntoks] = 2; ntoks = ntoks + 1; }
+	toks[ntoks] = 3; ntoks = ntoks + 1;
+	while (rnd() % 4 == 0) { toks[ntoks] = 4; ntoks = ntoks + 1; }
+	if (rnd() % 2 == 0) { toks[ntoks] = 0; ntoks = ntoks + 1;
+		toks[ntoks] = 2; ntoks = ntoks + 1; }
+	if (rnd() % 9 == 0) { toks[ntoks] = 5; ntoks = ntoks + 1; } // break it
+	toks[ntoks] = 6; ntoks = ntoks + 1;
+	return ntoks;
+}
+
+int main() {
+	int s;
+	for (s = 0; s < 400; s = s + 1) {
+		ntoks = 0;
+		genSentence();
+		cursor = 0;
+		if (parseSentence()) { parsed = parsed + 1; } else { failed = failed + 1; }
+	}
+	print_int(parsed);
+	print_int(failed);
+	return 0;
+}`
+
+// perlbmk_535: a bytecode interpreter interpreting a recursive script —
+// the dispatch-call-per-operation structure that makes perl the most
+// call-dense member of Table 2 (ratio 0.85).
+const srcPerlbmk = `
+// Bytecode: 0=halt 1=pushC 2=load 3=store 4=add 5=sub 6=mul 7=jz 8=jmp
+//           9=call 10=ret 11=lt
+int code[256];
+int vstack[256];
+int sp;
+int vars[16];
+int seed = 5150;
+
+int push(int v) { vstack[sp] = v; sp = sp + 1; return v; }
+int pop() { sp = sp - 1; return vstack[sp]; }
+
+int doAdd() { int b = pop(); int a = pop(); return push(a + b); }
+int doSub() { int b = pop(); int a = pop(); return push(a - b); }
+int doMul() { int b = pop(); int a = pop(); return push((a * b) & 0xffff); }
+int doLt()  { int b = pop(); int a = pop(); return push(a < b); }
+
+int execOp(int op, int arg) {
+	// Mid-tier dispatch for non-control ops; values live across calls.
+	int before = sp;
+	if (op == 1) { push(arg); }
+	else if (op == 2) { push(vars[arg]); }
+	else if (op == 3) { vars[arg] = pop(); }
+	else if (op == 4) { doAdd(); }
+	else if (op == 5) { doSub(); }
+	else if (op == 6) { doMul(); }
+	else { doLt(); }
+	return sp - before;
+}
+
+int interp(int pc) {
+	while (1) {
+		int op = code[pc];
+		int arg = code[pc + 1];
+		pc = pc + 2;
+		if (op == 0 || op == 10) { return 0; }
+		if (op == 7) { if (pop() == 0) { pc = arg; } }
+		else if (op == 8) { pc = arg; }
+		else if (op == 9) { interp(arg); }
+		else { execOp(op, arg); }
+	}
+	return 0;
+}
+
+int emit(int at, int op, int arg) {
+	code[at] = op;
+	code[at + 1] = arg;
+	return at + 2;
+}
+
+int main() {
+	// Script: main loop counts down var0 from N, each iteration calls a
+	// subroutine at 100 that does arithmetic into var1.
+	int p = 0;
+	p = emit(p, 1, 70);   // push N
+	p = emit(p, 3, 0);    // store var0
+	// loop:
+	int loop = p;
+	p = emit(p, 2, 0);    // load var0
+	p = emit(p, 7, 38);   // jz end
+	p = emit(p, 9, 100);  // call sub
+	p = emit(p, 2, 0);
+	p = emit(p, 1, 1);
+	p = emit(p, 5, 0);    // sub
+	p = emit(p, 3, 0);    // store var0
+	p = emit(p, 8, loop); // jmp loop
+	// end at 38:
+	emit(38, 0, 0);
+	// subroutine at 100: var1 = (var1*3 + var0) & 0xffff ; nested call at 140
+	int q = 100;
+	q = emit(q, 2, 1);
+	q = emit(q, 1, 3);
+	q = emit(q, 6, 0);
+	q = emit(q, 2, 0);
+	q = emit(q, 4, 0);
+	q = emit(q, 3, 1);
+	q = emit(q, 9, 140); // nested call
+	q = emit(q, 10, 0);
+	// subroutine at 140: var2 = var2 + (var1 < 5000)
+	int r = 140;
+	r = emit(r, 2, 2);
+	r = emit(r, 2, 1);
+	r = emit(r, 1, 5000);
+	r = emit(r, 11, 0);
+	r = emit(r, 4, 0);
+	r = emit(r, 3, 2);
+	r = emit(r, 10, 0);
+
+	int round;
+	for (round = 0; round < 8; round = round + 1) {
+		vars[0] = 0; vars[1] = round; vars[2] = 0;
+		sp = 0;
+		interp(0);
+		seed = (seed + vars[1] + vars[2]) & 0xffffff;
+	}
+	print_int(seed);
+	return 0;
+}`
+
+// twolf: simulated-annealing standard-cell placement — long inline cost
+// loops with only occasional function calls (ratio 0.99: windows barely
+// help).
+const srcTwolf = `
+int cellX[128];
+int cellY[128];
+int netA[256];
+int netB[256];
+int seed = 424242;
+int bestCost;
+
+int netCost(int n) {
+	int dx = cellX[netA[n]] - cellX[netB[n]];
+	int dy = cellY[netA[n]] - cellY[netB[n]];
+	if (dx < 0) { dx = 0 - dx; }
+	if (dy < 0) { dy = 0 - dy; }
+	return dx + dy;
+}
+
+int recenter() {
+	// Rare bookkeeping call.
+	int i;
+	int sx = 0;
+	int sy = 0;
+	for (i = 0; i < 128; i = i + 1) { sx = sx + cellX[i]; sy = sy + cellY[i]; }
+	return (sx + sy) / 256;
+}
+
+int main() {
+	int i;
+	// Inline LCG throughout: calls are rare by design.
+	for (i = 0; i < 128; i = i + 1) {
+		seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+		cellX[i] = seed % 64;
+		seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+		cellY[i] = seed % 64;
+	}
+	for (i = 0; i < 256; i = i + 1) {
+		seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+		netA[i] = seed % 128;
+		seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+		netB[i] = seed % 128;
+	}
+
+	int cost = 0;
+	for (i = 0; i < 256; i = i + 1) { cost = cost + netCost(i); }
+	bestCost = cost;
+
+	int iter;
+	int center = 0;
+	for (iter = 0; iter < 500; iter = iter + 1) {
+		seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+		int a = seed % 128;
+		seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+		int b = seed % 128;
+		// Swap positions, recompute affected cost inline (approximate:
+		// full recompute over a strided subset).
+		int tx = cellX[a]; cellX[a] = cellX[b]; cellX[b] = tx;
+		int ty = cellY[a]; cellY[a] = cellY[b]; cellY[b] = ty;
+		int c = 0;
+		int n;
+		for (n = iter & 7; n < 256; n = n + 8) { c = c + netCost(n); }
+		if (c * 8 > bestCost + 64) {
+			// Reject: swap back.
+			tx = cellX[a]; cellX[a] = cellX[b]; cellX[b] = tx;
+			ty = cellY[a]; cellY[a] = cellY[b]; cellY[b] = ty;
+		} else {
+			bestCost = c * 8;
+		}
+		if ((iter & 255) == 0) { center = recenter(); }
+	}
+	print_int(bestCost);
+	print_int(center);
+	return 0;
+}`
+
+// vortex_2: an object-oriented in-memory database — allocation from a
+// free list, hashed insertion, lookups, and deletions, all through layers
+// of tiny accessor functions (ratio 0.82: the deepest call density).
+const srcVortex = `
+int objKey[1024];
+int objVal[1024];
+int objNext[1024];
+int freeHead;
+int buckets[64];
+int seed = 13579;
+int live;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed >> 4;
+}
+
+int mix(int k) { return (k * 2654435761) & 0x7fffffff; }
+int hashKey(int k) { return mix(k) & 63; }
+
+int getKey(int o) { return objKey[o]; }
+int getVal(int o) { return objVal[o]; }
+int getNext(int o) { return objNext[o]; }
+int setKey(int o, int v) { objKey[o] = v; return o; }
+int setVal(int o, int v) { objVal[o] = v; return o; }
+int setNext(int o, int v) { objNext[o] = v; return o; }
+
+int alloc() {
+	int o = freeHead;
+	freeHead = getNext(o);
+	return o;
+}
+
+int release(int o) {
+	setNext(o, freeHead);
+	freeHead = o;
+	return o;
+}
+
+int insert(int k, int v) {
+	int h = hashKey(k);
+	int o = alloc();
+	setKey(o, k);
+	setVal(o, v);
+	setNext(o, buckets[h]);
+	buckets[h] = o;
+	live = live + 1;
+	return o;
+}
+
+int find(int k) {
+	int o = buckets[hashKey(k)];
+	while (o >= 0) {
+		if (getKey(o) == k) { return o; }
+		o = getNext(o);
+	}
+	return -1;
+}
+
+int removeKey(int k) {
+	int h = hashKey(k);
+	int o = buckets[h];
+	int prev = -1;
+	while (o >= 0) {
+		if (getKey(o) == k) {
+			if (prev < 0) { buckets[h] = getNext(o); }
+			else { setNext(prev, getNext(o)); }
+			release(o);
+			live = live - 1;
+			return 1;
+		}
+		prev = o;
+		o = getNext(o);
+	}
+	return 0;
+}
+
+int doOp(int check) {
+	// Mid-tier transaction: key, kind, and check live across DB calls.
+	int k = rnd() % 600;
+	int kind = rnd() % 10;
+	if (kind < 5) {
+		if (live < 900) {
+			int existing = find(k);
+			if (existing < 0) { insert(k, k * 3); }
+		}
+	} else if (kind < 8) {
+		int o = find(k);
+		if (o >= 0) { check = (check + getVal(o)) & 0xffffff; }
+	} else {
+		removeKey(k);
+	}
+	return check;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 1023; i = i + 1) { objNext[i] = i + 1; }
+	objNext[1023] = -1;
+	freeHead = 0;
+	for (i = 0; i < 64; i = i + 1) { buckets[i] = -1; }
+
+	int check = 0;
+	int op;
+	for (op = 0; op < 1200; op = op + 1) {
+		check = doOp(check);
+	}
+	print_int(check);
+	print_int(live);
+	return 0;
+}`
+
+// vpr_route: FPGA maze routing — breadth-first wavefront expansion on a
+// grid with helper calls for indexing and cost lookup.
+const srcVprRoute = `
+int costGrid[256];  // 16x16
+int dist[256];
+int queue[2048];
+int seed = 8181;
+
+int rnd() {
+	seed = (seed * 1103515245 + 12345) & 0x7fffffff;
+	return seed >> 3;
+}
+
+int qt;
+
+int idx(int x, int y) { return y * 16 + x; }
+int costAt(int i) { return costGrid[i]; }
+
+int relax(int cur, int nx, int ny) {
+	if (nx < 0 || nx >= 16 || ny < 0 || ny >= 16) { return 0; }
+	int ni = idx(nx, ny);
+	int nd = dist[cur] + costAt(ni);
+	if (nd < dist[ni] && qt < 2000) {
+		dist[ni] = nd;
+		queue[qt] = ni;
+		qt = qt + 1;
+		return 1;
+	}
+	return 0;
+}
+
+int expand(int cur) {
+	// Mid-tier: coordinates live across the four relax calls.
+	int x = cur % 16;
+	int y = cur / 16;
+	int pushed = relax(cur, x + 1, y);
+	pushed = pushed + relax(cur, x - 1, y);
+	pushed = pushed + relax(cur, x, y + 1);
+	pushed = pushed + relax(cur, x, y - 1);
+	return pushed;
+}
+
+int route(int src, int dst) {
+	int i;
+	for (i = 0; i < 256; i = i + 1) { dist[i] = 1 << 30; }
+	int qh = 0;
+	qt = 0;
+	dist[src] = 0;
+	queue[qt] = src;
+	qt = qt + 1;
+	while (qh < qt && qt < 2000) {
+		int cur = queue[qh];
+		qh = qh + 1;
+		if (cur == dst) { return dist[cur]; }
+		expand(cur);
+	}
+	return -1;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 256; i = i + 1) { costGrid[i] = 1 + rnd() % 9; }
+	int total = 0;
+	int r;
+	for (r = 0; r < 25; r = r + 1) {
+		int src = rnd() % 256;
+		int dst = rnd() % 256;
+		int c = route(src, dst);
+		if (c > 0) { total = (total + c) & 0xffffff; }
+	}
+	print_int(total);
+	return 0;
+}`

@@ -1,0 +1,182 @@
+// Package vca is the public facade of the Virtual Context Architecture
+// reproduction: it compiles (or assembles) programs for the simulated ISA
+// and runs them on cycle-level machine models with either a conventional
+// rename substrate or the VCA substrate of Oehmke et al., "How to Fake
+// 1000 Registers" (MICRO-38, 2005).
+//
+// Quick start:
+//
+//	prog, _ := vca.CompileC(mySource, vca.ABIWindowed)
+//	res, _ := vca.Run(vca.MachineSpec{
+//	        Arch:     vca.VCAWindowed,
+//	        PhysRegs: 192,
+//	}, prog)
+//	fmt.Println(res.Output(0), res.IPC())
+//
+// The deeper layers remain available under internal/ for the experiment
+// harness; this package exposes the stable surface a downstream user
+// needs: compile, assemble, configure, run, measure.
+package vca
+
+import (
+	"fmt"
+	"io"
+
+	"vca/internal/asm"
+	"vca/internal/core"
+	"vca/internal/emu"
+	"vca/internal/minic"
+	"vca/internal/program"
+)
+
+// ABI selects the calling convention for compiled programs.
+type ABI = minic.ABI
+
+// ABI values.
+const (
+	ABIFlat     = minic.ABIFlat
+	ABIWindowed = minic.ABIWindowed
+)
+
+// Program is a loadable executable image.
+type Program = program.Program
+
+// CompileC compiles mini-C source (see internal/minic for the language)
+// under the given ABI.
+func CompileC(source string, abi ABI) (*Program, error) {
+	return minic.Build("program", source, abi)
+}
+
+// Assemble assembles assembly source (see internal/asm for the syntax).
+func Assemble(source string) (*Program, error) {
+	return asm.Assemble(source)
+}
+
+// Arch names the machine models of the paper's evaluation.
+type Arch int
+
+const (
+	// Baseline is the conventional non-windowed out-of-order machine
+	// (Table 1). Runs flat-ABI binaries.
+	Baseline Arch = iota
+	// ConvWindowed expands the register file into hardware windows with
+	// trap-based overflow/underflow handling (§4.1). Windowed binaries.
+	ConvWindowed
+	// IdealWindowed handles window spills/fills instantly without cache
+	// traffic — the §4.1 lower bound. Windowed binaries.
+	IdealWindowed
+	// VCAFlat is the virtual context architecture running flat binaries
+	// (the SMT study of §4.2).
+	VCAFlat
+	// VCAWindowed is the virtual context architecture with register
+	// windows (§2.1.5). Windowed binaries.
+	VCAWindowed
+)
+
+func (a Arch) String() string {
+	switch a {
+	case Baseline:
+		return "baseline"
+	case ConvWindowed:
+		return "conventional-windowed"
+	case IdealWindowed:
+		return "ideal-windowed"
+	case VCAFlat:
+		return "vca-flat"
+	case VCAWindowed:
+		return "vca-windowed"
+	}
+	return "?"
+}
+
+// Windowed reports whether the architecture executes windowed binaries.
+func (a Arch) Windowed() bool {
+	switch a {
+	case ConvWindowed, IdealWindowed, VCAWindowed:
+		return true
+	}
+	return false
+}
+
+// MachineSpec configures a simulation. Zero values take the paper's
+// Table 1 defaults.
+type MachineSpec struct {
+	Arch     Arch
+	PhysRegs int // default 256
+	Threads  int // default = number of programs
+	DL1Ports int // default 2
+	// StopAfter ends the run once any thread commits this many
+	// instructions (0 = run to completion).
+	StopAfter uint64
+	// DisableCoSim turns off the per-instruction architectural cross-check
+	// against the functional emulator (on by default).
+	DisableCoSim bool
+	// Trace, when non-nil, receives one line per committed instruction.
+	Trace io.Writer
+}
+
+// Result re-exports the core simulation result.
+type Result struct {
+	*core.Result
+}
+
+// Output returns the program output of thread t.
+func (r Result) Output(t int) string { return r.Threads[t].Output }
+
+// Run executes one program per hardware thread on the specified machine.
+func Run(spec MachineSpec, progs ...*Program) (Result, error) {
+	if len(progs) == 0 {
+		return Result{}, fmt.Errorf("vca: no programs")
+	}
+	if spec.Threads == 0 {
+		spec.Threads = len(progs)
+	}
+	if spec.PhysRegs == 0 {
+		spec.PhysRegs = 256
+	}
+	if spec.DL1Ports == 0 {
+		spec.DL1Ports = 2
+	}
+	var cfg core.Config
+	switch spec.Arch {
+	case Baseline:
+		cfg = core.DefaultConfig(core.RenameConventional, core.WindowNone, spec.Threads, spec.PhysRegs)
+	case ConvWindowed:
+		cfg = core.DefaultConfig(core.RenameConventional, core.WindowConventional, spec.Threads, spec.PhysRegs)
+	case IdealWindowed:
+		cfg = core.DefaultConfig(core.RenameVCA, core.WindowIdeal, spec.Threads, spec.PhysRegs)
+	case VCAFlat:
+		cfg = core.DefaultConfig(core.RenameVCA, core.WindowNone, spec.Threads, spec.PhysRegs)
+	case VCAWindowed:
+		cfg = core.DefaultConfig(core.RenameVCA, core.WindowVCA, spec.Threads, spec.PhysRegs)
+	default:
+		return Result{}, fmt.Errorf("vca: unknown architecture %v", spec.Arch)
+	}
+	cfg.Hier.DL1Ports = spec.DL1Ports
+	cfg.StopAfter = spec.StopAfter
+	cfg.CoSim = !spec.DisableCoSim
+	cfg.TraceWriter = spec.Trace
+	m, err := core.New(cfg, progs, spec.Arch.Windowed())
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{res}, nil
+}
+
+// Emulate runs a program on the functional (non-cycle-accurate) emulator
+// and returns its output and dynamic instruction count.
+func Emulate(p *Program, windowed bool) (output string, insts uint64, err error) {
+	m := emu.New(p, emu.Config{Windowed: windowed})
+	reason, err := m.Run()
+	if err != nil {
+		return "", 0, err
+	}
+	if reason != emu.StopExited {
+		return "", 0, fmt.Errorf("vca: emulation stopped: %v", reason)
+	}
+	return m.Output.String(), m.Stats.Insts, nil
+}

@@ -1,0 +1,140 @@
+package vca
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeSrc = `
+int sq(int x) { return x * x; }
+int main() {
+	int s = 0;
+	int i;
+	for (i = 1; i <= 10; i = i + 1) { s = s + sq(i); }
+	print_int(s);   // 385
+	return 0;
+}`
+
+func TestFacadeCompileEmulateRun(t *testing.T) {
+	for _, abi := range []ABI{ABIFlat, ABIWindowed} {
+		prog, err := CompileC(facadeSrc, abi)
+		if err != nil {
+			t.Fatalf("%v: %v", abi, err)
+		}
+		out, insts, err := Emulate(prog, abi == ABIWindowed)
+		if err != nil {
+			t.Fatalf("%v: %v", abi, err)
+		}
+		if out != "385" || insts == 0 {
+			t.Errorf("%v: out=%q insts=%d", abi, out, insts)
+		}
+	}
+}
+
+func TestFacadeAllArchitectures(t *testing.T) {
+	flat, err := CompileC(facadeSrc, ABIFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := CompileC(facadeSrc, ABIWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		arch Arch
+		prog *Program
+		regs int
+	}{
+		{Baseline, flat, 256},
+		{VCAFlat, flat, 96},
+		{ConvWindowed, win, 160},
+		{IdealWindowed, win, 128},
+		{VCAWindowed, win, 72},
+	}
+	for _, c := range cases {
+		res, err := Run(MachineSpec{Arch: c.arch, PhysRegs: c.regs}, c.prog)
+		if err != nil {
+			t.Fatalf("%v: %v", c.arch, err)
+		}
+		if got := res.Output(0); got != "385" {
+			t.Errorf("%v: output %q", c.arch, got)
+		}
+		if res.IPC() <= 0 || res.Cycles == 0 {
+			t.Errorf("%v: empty metrics", c.arch)
+		}
+	}
+}
+
+func TestFacadeAssemble(t *testing.T) {
+	prog, err := Assemble(`
+main:   li a0, 42
+        syscall 2
+        li a0, 0
+        syscall 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := Emulate(prog, false)
+	if err != nil || out != "42" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := CompileC("int main( {", ABIFlat); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := Run(MachineSpec{}); err == nil {
+		t.Error("no programs accepted")
+	}
+	prog, _ := CompileC(facadeSrc, ABIFlat)
+	// Flat binary on a windowed machine must be rejected up front? The
+	// facade picks windowed-ness from the arch, so this runs the flat
+	// binary with window semantics: the spec is consistent by
+	// construction and simply executes. What must fail is an impossible
+	// machine:
+	if _, err := Run(MachineSpec{Arch: Baseline, PhysRegs: 64}, prog); err == nil {
+		t.Error("baseline with 64 registers must be rejected")
+	}
+	if _, err := Run(MachineSpec{Arch: Arch(99)}, prog); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+// TestManyThreads exercises the paper's §6 claim that VCA state per
+// thread is only a PC and base pointers: eight threads share a 192-entry
+// register file — less than a third of their combined architectural state.
+func TestManyThreads(t *testing.T) {
+	prog, err := CompileC(facadeSrc, ABIFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]*Program, 8)
+	for i := range progs {
+		progs[i] = prog
+	}
+	res, err := Run(MachineSpec{Arch: VCAFlat, PhysRegs: 192}, progs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if res.Output(i) != "385" {
+			t.Errorf("thread %d output %q", i, res.Output(i))
+		}
+		if !res.Threads[i].Done {
+			t.Errorf("thread %d did not finish", i)
+		}
+	}
+}
+
+func TestArchStrings(t *testing.T) {
+	for _, a := range []Arch{Baseline, ConvWindowed, IdealWindowed, VCAFlat, VCAWindowed} {
+		if strings.Contains(a.String(), "?") {
+			t.Errorf("arch %d has no name", a)
+		}
+	}
+	if Baseline.Windowed() || !VCAWindowed.Windowed() {
+		t.Error("windowed classification wrong")
+	}
+}
