@@ -87,6 +87,12 @@ type Cache struct {
 	next   *Cache // nil = backed by main memory
 	memLat int
 	Stats  CacheStats
+
+	// Geometry derived once in NewCache; index/victimAddr are on the
+	// per-access hot path and must not recompute log2(sets).
+	blockShift uint
+	setShift   uint
+	setMask    uint64
 }
 
 // NewCache builds a cache level. next may be nil, in which case misses cost
@@ -105,15 +111,20 @@ func NewCache(cfg CacheConfig, next *Cache, memLat int) *Cache {
 	for i := range lines {
 		lines[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &Cache{cfg: cfg, sets: sets, lines: lines, next: next, memLat: memLat}
+	return &Cache{
+		cfg: cfg, sets: sets, lines: lines, next: next, memLat: memLat,
+		blockShift: uint(cfg.BlockBits),
+		setShift:   uint(len2(sets)),
+		setMask:    uint64(sets - 1),
+	}
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	blk := addr >> c.cfg.BlockBits
-	return int(blk) & (c.sets - 1), blk >> uint(len2(c.sets))
+	blk := addr >> c.blockShift
+	return int(blk & c.setMask), blk >> c.setShift
 }
 
 func len2(n int) int {
@@ -168,7 +179,7 @@ func (c *Cache) Access(addr uint64, write bool, cause AccessCause) int {
 }
 
 func (c *Cache) victimAddr(set int, tag uint64) uint64 {
-	return (tag<<uint(len2(c.sets))|uint64(set))<<c.cfg.BlockBits | 0
+	return (tag<<c.setShift | uint64(set)) << c.blockShift
 }
 
 // countWriteback records an eviction write arriving from the level above
