@@ -5,14 +5,27 @@
 // Memory, so functional correctness never depends on cache state.
 package mem
 
+import "encoding/binary"
+
 // pageBits gives 4 KiB pages for the sparse memory map.
 const pageBits = 12
 const pageSize = 1 << pageBits
 
 // Memory is a sparse little-endian byte-addressable memory. The zero value
 // is ready to use; unwritten locations read as zero.
+//
+// The page map is consulted once per access, not once per byte: whole-word
+// accesses that stay inside one page go through fixed-width fast paths,
+// and a single-entry page cache (a software TLB) short-circuits the map
+// lookup entirely for the common same-page-as-last-time case.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	// Last-page cache. lastPage is nil until the first hit is installed;
+	// it is only ever set alongside lastKey, so a key match with a non-nil
+	// page is always valid.
+	lastKey  uint64
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory.
@@ -22,11 +35,18 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 	key := addr >> pageBits
+	if m.lastPage != nil && key == m.lastKey {
+		return m.lastPage
+	}
 	p := m.pages[key]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[key] = p
 	}
+	m.lastKey, m.lastPage = key, p
 	return p
 }
 
@@ -45,8 +65,31 @@ func (m *Memory) SetByte(addr uint64, v byte) {
 }
 
 // Read loads size bytes little-endian (size 1–8). Accesses may straddle
-// pages.
+// pages; those fall back to the byte loop.
 func (m *Memory) Read(addr uint64, size int) uint64 {
+	off := int(addr & (pageSize - 1))
+	if off+size <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off : off+4]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off : off+2]))
+		case 1:
+			return uint64(p[off])
+		default:
+			var v uint64
+			for i := 0; i < size; i++ {
+				v |= uint64(p[off+i]) << (8 * i)
+			}
+			return v
+		}
+	}
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
@@ -56,25 +99,60 @@ func (m *Memory) Read(addr uint64, size int) uint64 {
 
 // Write stores size bytes little-endian (size 1–8).
 func (m *Memory) Write(addr uint64, size int, v uint64) {
+	off := int(addr & (pageSize - 1))
+	if off+size <= pageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:off+8], v)
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:off+4], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:off+2], uint16(v))
+		case 1:
+			p[off] = byte(v)
+		default:
+			for i := 0; i < size; i++ {
+				p[off+i] = byte(v >> (8 * i))
+			}
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
 	}
 }
 
-// ReadBytes copies n bytes starting at addr.
+// ReadBytes copies n bytes starting at addr, one page at a time.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = m.ByteAt(addr + uint64(i))
+	for i := 0; i < n; {
+		a := addr + uint64(i)
+		off := int(a & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > n-i {
+			chunk = n - i
+		}
+		if p := m.page(a, false); p != nil {
+			copy(out[i:i+chunk], p[off:off+chunk])
+		} // absent pages read as zero, already the slice default
+		i += chunk
 	}
 	return out
 }
 
-// WriteBytes copies data into memory starting at addr. It satisfies
-// program.Loader.
+// WriteBytes copies data into memory starting at addr, one page at a
+// time. It satisfies program.Loader.
 func (m *Memory) WriteBytes(addr uint64, data []byte) {
-	for i, b := range data {
-		m.SetByte(addr+uint64(i), b)
+	for i := 0; i < len(data); {
+		a := addr + uint64(i)
+		off := int(a & (pageSize - 1))
+		chunk := pageSize - off
+		if chunk > len(data)-i {
+			chunk = len(data) - i
+		}
+		copy(m.page(a, true)[off:off+chunk], data[i:i+chunk])
+		i += chunk
 	}
 }
 
@@ -83,6 +161,7 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 func (m *Memory) Footprint() int { return len(m.pages) }
 
 // Clone returns a deep copy (used by tests that fork architectural state).
+// The clone starts with a cold page cache.
 func (m *Memory) Clone() *Memory {
 	c := NewMemory()
 	for k, p := range m.pages {
