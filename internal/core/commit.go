@@ -13,8 +13,8 @@ import (
 // are detected here (§4.1); and, when enabled, every committed instruction
 // is cross-checked against the functional emulator.
 func (m *Machine) commitStage() {
-	for n := 0; n < m.cfg.Width && len(m.rob) > 0; n++ {
-		u := m.rob[0]
+	for n := 0; n < m.cfg.Width && m.robLen() > 0; n++ {
+		u := m.rob[m.robHead]
 		if !u.done {
 			return
 		}
@@ -71,20 +71,23 @@ func (m *Machine) commitStage() {
 		if m.cfg.TraceWriter != nil {
 			m.traceCommit(m.cfg.TraceWriter, th, u)
 		}
-		m.rob = m.rob[1:]
+		m.popROB()
 
-		if !u.injected && u.class == isa.ClassSyscall {
-			if m.commitSyscall(th, u) {
-				return // thread exited: pipeline flushed
-			}
+		if !u.injected && u.class == isa.ClassSyscall && m.commitSyscall(th, u) {
+			m.freeUop(u)
+			return // thread exited: pipeline flushed
 		}
 
 		// Conventional window overflow/underflow traps.
-		if m.cfg.Window == WindowConventional && u.depDelta != 0 {
-			if m.maybeWindowTrap(th, u) {
-				return
-			}
+		if m.cfg.Window == WindowConventional && u.depDelta != 0 && m.maybeWindowTrap(th, u) {
+			m.freeUop(u)
+			return
 		}
+
+		// Retired and fully processed: recycle. Nothing references a
+		// committed uop once it has left the ROB (done implies it already
+		// left the IQ, LSQ, and in-flight execution list).
+		m.freeUop(u)
 	}
 }
 
@@ -92,6 +95,7 @@ func (m *Machine) removeFromLSQ(u *uop) {
 	for i, v := range m.lsq {
 		if v == u {
 			m.lsq = append(m.lsq[:i], m.lsq[i+1:]...)
+			m.threads[u.thread].lsqStores--
 			return
 		}
 	}
@@ -138,19 +142,9 @@ func (m *Machine) maybeWindowTrap(th *thread, u *uop) bool {
 		th.winBase++
 		m.startTrap(th, u)
 		for s := 0; s < isa.WindowSlots; s++ {
-			m.seq++
-			iu := &uop{
-				seq:        m.seq,
-				thread:     th.id,
-				injected:   true,
-				injStore:   true,
-				injLogical: m.winSlotLogical(evict, s),
-				injAddr:    m.windowAddr(th, evict) + 8*uint64(s),
-				destPhys:   rename.PhysNone,
-				destPrev:   rename.PhysNone,
-			}
-			iu.srcPhys[0], iu.srcPhys[1] = rename.PhysNone, rename.PhysNone
-			th.pendingInject = append(th.pendingInject, iu)
+			th.pendingInject = append(th.pendingInject,
+				m.newInjectedUop(th, true, m.winSlotLogical(evict, s),
+					m.windowAddr(th, evict)+8*uint64(s)))
 		}
 		return true
 
@@ -163,23 +157,28 @@ func (m *Machine) maybeWindowTrap(th *thread, u *uop) bool {
 		}
 		m.startTrap(th, u)
 		for s := 0; s < isa.WindowSlots; s++ {
-			m.seq++
-			iu := &uop{
-				seq:        m.seq,
-				thread:     th.id,
-				injected:   true,
-				injStore:   false,
-				injLogical: m.winSlotLogical(th.winBase, s),
-				injAddr:    m.windowAddr(th, th.winBase) + 8*uint64(s),
-				destPhys:   rename.PhysNone,
-				destPrev:   rename.PhysNone,
-			}
-			iu.srcPhys[0], iu.srcPhys[1] = rename.PhysNone, rename.PhysNone
-			th.pendingInject = append(th.pendingInject, iu)
+			th.pendingInject = append(th.pendingInject,
+				m.newInjectedUop(th, false, m.winSlotLogical(th.winBase, s),
+					m.windowAddr(th, th.winBase)+8*uint64(s)))
 		}
 		return true
 	}
 	return false
+}
+
+// newInjectedUop builds one pooled window-trap memory operation.
+func (m *Machine) newInjectedUop(th *thread, store bool, logical int, addr uint64) *uop {
+	m.seq++
+	iu := m.newUop()
+	iu.seq = m.seq
+	iu.thread = th.id
+	iu.injected = true
+	iu.injStore = store
+	iu.injLogical = logical
+	iu.injAddr = addr
+	iu.destPhys, iu.destPrev = rename.PhysNone, rename.PhysNone
+	iu.srcPhys[0], iu.srcPhys[1] = rename.PhysNone, rename.PhysNone
+	return iu
 }
 
 // startTrap flushes everything younger than the trapping instruction and

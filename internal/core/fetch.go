@@ -36,15 +36,13 @@ func (m *Machine) fetchStage() {
 		}
 		inst := th.prog.InstAt(th.pc)
 		m.seq++
-		u := &uop{
-			seq:      m.seq,
-			thread:   th.id,
-			pc:       th.pc,
-			inst:     inst,
-			class:    inst.Op.OpClass(),
-			destPhys: -1,
-			destPrev: -1,
-		}
+		u := m.newUop()
+		u.seq = m.seq
+		u.thread = th.id
+		u.pc = th.pc
+		u.inst = inst
+		u.class = inst.Op.OpClass()
+		u.destPhys, u.destPrev = -1, -1
 		u.srcPhys[0], u.srcPhys[1] = -1, -1
 
 		nextPC := th.pc + 4
@@ -92,7 +90,8 @@ func (m *Machine) fetchStage() {
 		}
 		u.predNPC = nextPC
 
-		m.fetchQ = append(m.fetchQ, &fetchEntry{u: u, readyAt: readyAt})
+		m.fetchQ = append(m.fetchQ, fetchEntry{u: u, readyAt: readyAt})
+		th.inFetchQ++
 		th.inFlight++
 		m.stats.Fetched++
 		th.pc = nextPC
@@ -107,7 +106,7 @@ func (m *Machine) fetchStage() {
 func (m *Machine) pickFetchThread() *thread {
 	var best *thread
 	for _, th := range m.threads {
-		if th.done || m.cycle < th.fetchBlockedUntil || len(th.pendingInject) > 0 {
+		if th.done || m.cycle < th.fetchBlockedUntil || th.injectPending() > 0 {
 			continue
 		}
 		if m.fetchBufCount(th) >= m.fetchBufCap() {
@@ -120,15 +119,10 @@ func (m *Machine) pickFetchThread() *thread {
 	return best
 }
 
-func (m *Machine) fetchBufCount(th *thread) int {
-	n := 0
-	for _, fe := range m.fetchQ {
-		if fe.u.thread == th.id {
-			n++
-		}
-	}
-	return n
-}
+// fetchBufCount is the thread's fetch-buffer occupancy, maintained
+// incrementally (fetch push, rename pop, squash drop) so the ICOUNT
+// policy never scans the queue.
+func (m *Machine) fetchBufCount(th *thread) int { return th.inFetchQ }
 
 // syscallSrcs returns the architectural registers a syscall reads.
 func syscallSrcs(code int32) []isa.Reg {

@@ -17,10 +17,13 @@ func (m *Machine) issueStage() {
 	width := m.cfg.Width
 
 	kept := m.iq[:0]
-	for _, u := range m.iq {
+	for idx, u := range m.iq {
 		if width == 0 {
-			kept = append(kept, u)
-			continue
+			// Issue bandwidth exhausted: nothing younger can issue either,
+			// so keep the rest of the queue wholesale (kept trails idx, so
+			// the overlapping copy is safe).
+			kept = append(kept, m.iq[idx:]...)
+			break
 		}
 		issued := false
 		switch {
@@ -64,9 +67,9 @@ func (m *Machine) issueStage() {
 
 	// ASTQ: spill/fill operations use leftover memory ports, in FIFO
 	// order.
-	for m.dl1Ports > 0 && len(m.astq) > 0 {
-		e := m.astq[0]
-		m.astq = m.astq[1:]
+	for m.dl1Ports > 0 && m.astqLen() > 0 {
+		e := m.astq[m.astqHead]
+		m.popASTQ()
 		m.dl1Ports--
 		th := m.threads[e.thread]
 		lat := m.hier.DataAccess(th.cacheAddr(e.op.Addr), e.op.IsSpill, mem.CauseSpillFill)
@@ -99,7 +102,9 @@ func (m *Machine) tryIssueLoad(u *uop) bool {
 	}
 
 	var fwd *uop
-	if !u.injected {
+	if !u.injected && m.threads[u.thread].lsqStores > 0 {
+		// The walk only matters when this thread has stores in flight; the
+		// per-thread count lets store-free stretches skip it entirely.
 		for _, s := range m.lsq {
 			if s.thread != u.thread || s.seq >= u.seq {
 				continue
@@ -222,7 +227,7 @@ func (m *Machine) execute(u *uop) {
 // control instructions resolve (possibly triggering recovery).
 func (m *Machine) writebackStage() {
 	kept := m.inExec[:0]
-	var resolved []*uop
+	resolved := m.resolvedScratch[:0]
 	for _, u := range m.inExec {
 		if u.doneAt > m.cycle {
 			kept = append(kept, u)
@@ -247,6 +252,7 @@ func (m *Machine) writebackStage() {
 			m.resolveControl(u)
 		}
 	}
+	m.resolvedScratch = resolved[:0]
 
 	keptA := m.inastq[:0]
 	for _, e := range m.inastq {

@@ -27,6 +27,8 @@ type thread struct {
 
 	committed uint64
 	inFlight  int // front-end + IQ occupancy, for ICOUNT fetch
+	inFetchQ  int // this thread's fetch-buffer entries (fetchBufCap check)
+	lsqStores int // this thread's stores resident in the LSQ
 
 	fetchBlockedUntil  uint64
 	renameBlockedUntil uint64
@@ -41,7 +43,11 @@ type thread struct {
 	commitDepth int
 	winBase     int // oldest resident window depth
 
-	pendingInject []*uop // window-trap memory ops awaiting rename
+	// Window-trap memory ops awaiting rename, drained from injectHead so
+	// the backing array is reused across traps (a trap injects a whole
+	// window's worth of slots at once).
+	pendingInject []*uop
+	injectHead    int
 
 	windowed bool // this thread's binary uses the windowed ABI
 
@@ -66,13 +72,28 @@ type Machine struct {
 
 	cycle  uint64
 	seq    uint64
-	rob    []*uop
 	iq     []*uop
 	lsq    []*uop
 	inExec []*uop
-	fetchQ []*fetchEntry // decoded, predicted, awaiting rename
-	astq   []*astqEntry
-	inastq []*astqEntry // issued ASTQ ops in flight
+	inastq []astqEntry // issued ASTQ ops in flight
+
+	// FIFO queues drained from the front every cycle. Each is a slice
+	// plus a head index so pops recycle the backing array instead of
+	// reallocating it (the re-slice-and-append pattern allocates a fresh
+	// array every time the consumed prefix exhausts the capacity).
+	rob       []*uop
+	robHead   int
+	fetchQ    []fetchEntry // decoded, predicted, awaiting rename
+	fetchHead int
+	astq      []astqEntry
+	astqHead  int
+
+	// Allocation-free steady state: recycled uops and per-cycle scratch
+	// buffers (retained across cycles so the hot loop never allocates).
+	uopPool         []*uop
+	opsScratch      []rename.MemOp
+	resolvedScratch []*uop
+	victimScratch   []*uop
 
 	// Per-cycle resource budgets (reset each cycle; rename credits may
 	// carry debt from a multi-operation instruction).
@@ -309,6 +330,54 @@ func (m *Machine) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: exceeded %d cycles (hang?)", m.cfg.MaxCycles)
 	}
 	return m.result(), nil
+}
+
+// robLen is the live ROB occupancy.
+func (m *Machine) robLen() int { return len(m.rob) - m.robHead }
+
+// popROB consumes the oldest live ROB entry, resetting or compacting the
+// backing array once the consumed prefix dominates.
+func (m *Machine) popROB() {
+	m.robHead++
+	if m.robHead == len(m.rob) {
+		m.rob = m.rob[:0]
+		m.robHead = 0
+	} else if m.robHead >= 256 && m.robHead*2 >= len(m.rob) {
+		n := copy(m.rob, m.rob[m.robHead:])
+		m.rob = m.rob[:n]
+		m.robHead = 0
+	}
+}
+
+// injectPending is the number of window-trap operations still awaiting
+// rename.
+func (th *thread) injectPending() int { return len(th.pendingInject) - th.injectHead }
+
+// popInject consumes the oldest pending injected operation. The queue
+// fully drains between traps (a trap cannot fire while injections are
+// outstanding), so emptying it resets the backing array for reuse.
+func (th *thread) popInject() {
+	th.injectHead++
+	if th.injectHead == len(th.pendingInject) {
+		th.pendingInject = th.pendingInject[:0]
+		th.injectHead = 0
+	}
+}
+
+// astqLen is the live ASTQ occupancy.
+func (m *Machine) astqLen() int { return len(m.astq) - m.astqHead }
+
+// popASTQ consumes the oldest live ASTQ entry.
+func (m *Machine) popASTQ() {
+	m.astqHead++
+	if m.astqHead == len(m.astq) {
+		m.astq = m.astq[:0]
+		m.astqHead = 0
+	} else if m.astqHead >= 64 && m.astqHead*2 >= len(m.astq) {
+		n := copy(m.astq, m.astq[m.astqHead:])
+		m.astq = m.astq[:n]
+		m.astqHead = 0
+	}
 }
 
 // readSrc returns the current value of a renamed source (zero registers

@@ -30,18 +30,18 @@ func (m *Machine) renameStage() {
 
 	// Injected window-trap memory operations rename with priority.
 	for _, th := range m.threads {
-		for budget > 0 && len(th.pendingInject) > 0 {
-			u := th.pendingInject[0]
+		for budget > 0 && th.injectPending() > 0 {
+			u := th.pendingInject[th.injectHead]
 			if !m.renameOne(th, u) {
 				return
 			}
-			th.pendingInject = th.pendingInject[1:]
+			th.popInject()
 			budget--
 		}
 	}
 
-	for budget > 0 && len(m.fetchQ) > 0 {
-		fe := m.fetchQ[0]
+	for budget > 0 && m.fetchHead < len(m.fetchQ) {
+		fe := m.fetchQ[m.fetchHead]
 		if fe.readyAt > m.cycle {
 			return
 		}
@@ -53,15 +53,32 @@ func (m *Machine) renameStage() {
 			m.stats.RenameStallCycles++
 			return
 		}
-		m.fetchQ = m.fetchQ[1:]
+		m.popFetchQ(th)
 		budget--
+	}
+}
+
+// popFetchQ consumes the head fetch-queue entry. The queue is a slice
+// with a head index rather than a re-sliced slice so the backing array is
+// recycled instead of reallocated; once the consumed prefix dominates,
+// the live tail is copied down in place.
+func (m *Machine) popFetchQ(th *thread) {
+	th.inFetchQ--
+	m.fetchHead++
+	if m.fetchHead == len(m.fetchQ) {
+		m.fetchQ = m.fetchQ[:0]
+		m.fetchHead = 0
+	} else if m.fetchHead >= 64 && m.fetchHead*2 >= len(m.fetchQ) {
+		n := copy(m.fetchQ, m.fetchQ[m.fetchHead:])
+		m.fetchQ = m.fetchQ[:n]
+		m.fetchHead = 0
 	}
 }
 
 // renameOne renames and dispatches a single uop. It returns false when a
 // structural hazard stalls rename this cycle (the uop stays queued).
 func (m *Machine) renameOne(th *thread, u *uop) bool {
-	if len(m.rob) >= m.cfg.ROBSize {
+	if m.robLen() >= m.cfg.ROBSize {
 		m.stats.ROBFullStalls++
 		return false
 	}
@@ -120,6 +137,7 @@ func (m *Machine) renameOne(th *thread, u *uop) bool {
 	if u.isStore() {
 		m.lsq = append(m.lsq, u)
 		u.inLSQ = true
+		th.lsqStores++
 	}
 	return true
 }
@@ -207,13 +225,14 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		if m.astqCredit <= 0 || m.portCredit <= 0 {
 			return false
 		}
-		if len(m.astq) >= m.cfg.ASTQSize {
+		if m.astqLen() >= m.cfg.ASTQSize {
 			return false
 		}
 	}
 
 	// Compute logical register addresses; duplicate addresses combine
-	// into one lookup/port.
+	// into one lookup/port. At most three operands, so the duplicate
+	// check is direct comparison rather than a map.
 	var addrs [2]uint64
 	for i, r := range srcs {
 		if r != isa.RegNone {
@@ -224,25 +243,27 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 	if dest != isa.RegNone {
 		destAddr = m.regAddr(th, dest)
 	}
+	hasA, hasB := srcs[0] != isa.RegNone, srcs[1] != isa.RegNone
 	lookups := 0
-	seen := map[uint64]bool{}
-	for i, r := range srcs {
-		if r != isa.RegNone && !seen[addrs[i]] {
-			seen[addrs[i]] = true
-			lookups++
-		}
+	if hasA {
+		lookups++
 	}
-	if dest != isa.RegNone && !seen[destAddr] {
+	if hasB && !(hasA && addrs[1] == addrs[0]) {
+		lookups++
+	}
+	if dest != isa.RegNone &&
+		!(hasA && destAddr == addrs[0]) && !(hasB && destAddr == addrs[1]) {
 		lookups++
 	}
 	if !ideal && m.portCredit < lookups {
 		return false
 	}
 
-	var ops []rename.MemOp
-	var pinned []int
+	ops := m.opsScratch[:0]
+	var pinned [2]int
+	npinned := 0
 	undo := func() {
-		for _, p := range pinned {
+		for _, p := range pinned[:npinned] {
 			m.vca.ReleaseSource(p)
 			m.vca.ReleaseRetired(p)
 		}
@@ -256,9 +277,11 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		if !ok {
 			undo()
 			m.applyVCAOps(th, ops, ideal) // evictions already happened
+			m.opsScratch = ops[:0]
 			return false
 		}
-		pinned = append(pinned, phys)
+		pinned[npinned] = phys
+		npinned++
 		u.srcRegs[i] = r
 		u.srcPhys[i] = phys
 	}
@@ -269,6 +292,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		if !ok {
 			undo()
 			m.applyVCAOps(th, ops, ideal)
+			m.opsScratch = ops[:0]
 			return false
 		}
 		u.destReg = dest
@@ -282,6 +306,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 	m.portCredit -= lookups
 	m.astqCredit -= len(ops)
 	m.applyVCAOps(th, ops, ideal)
+	m.opsScratch = ops[:0]
 	return true
 }
 
@@ -306,7 +331,7 @@ func (m *Machine) applyVCAOps(th *thread, ops []rename.MemOp, ideal bool) {
 		if !op.IsSpill {
 			m.physReady[op.Phys] = false
 		}
-		m.astq = append(m.astq, &astqEntry{op: op, thread: owner.id})
+		m.astq = append(m.astq, astqEntry{op: op, thread: owner.id})
 	}
 }
 

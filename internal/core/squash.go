@@ -17,7 +17,7 @@ func (m *Machine) recoverFrom(u *uop) {
 	// the commit-table copy; its cost is the number of older in-flight
 	// instructions, and it overlaps the front-end refill.
 	walked := 0
-	for _, v := range m.rob {
+	for _, v := range m.rob[m.robHead:] {
 		if v.seq >= u.seq {
 			break
 		}
@@ -55,22 +55,29 @@ func (m *Machine) recoverFrom(u *uop) {
 // rolling back rename state youngest-first. It returns the number of
 // renamed (ROB-resident) instructions squashed.
 func (m *Machine) flushYounger(th *thread, seq uint64) int {
-	// Un-renamed instructions in the fetch buffer just disappear.
+	// Un-renamed instructions in the fetch buffer just disappear (their
+	// uops go straight back to the pool: nothing else references them).
+	// The live window starts at fetchHead; the kept prefix is compacted to
+	// the front so the head index resets.
 	keptF := m.fetchQ[:0]
-	for _, fe := range m.fetchQ {
+	for _, fe := range m.fetchQ[m.fetchHead:] {
 		if fe.u.thread == th.id && fe.u.seq > seq {
 			th.inFlight--
+			th.inFetchQ--
 			m.stats.Squashed++
+			m.freeUop(fe.u)
 			continue
 		}
 		keptF = append(keptF, fe)
 	}
 	m.fetchQ = keptF
+	m.fetchHead = 0
 
-	// Collect ROB victims (they are in ascending seq order).
-	var victims []*uop
+	// Collect ROB victims (they are in ascending seq order), compacting
+	// the survivors to the front of the backing array.
+	victims := m.victimScratch[:0]
 	keptR := m.rob[:0]
-	for _, v := range m.rob {
+	for _, v := range m.rob[m.robHead:] {
 		if v.thread == th.id && v.seq > seq {
 			victims = append(victims, v)
 			continue
@@ -78,6 +85,7 @@ func (m *Machine) flushYounger(th *thread, seq uint64) int {
 		keptR = append(keptR, v)
 	}
 	m.rob = keptR
+	m.robHead = 0
 
 	// Roll back youngest-first.
 	for i := len(victims) - 1; i >= 0; i-- {
@@ -88,7 +96,17 @@ func (m *Machine) flushYounger(th *thread, seq uint64) int {
 		m.purgeStructures(th.id, seq)
 	}
 	m.stats.Squashed += uint64(len(victims))
-	return len(victims)
+
+	// Victims are now out of every structure; recycle them. A victim may
+	// still sit in writeback's resolved scratch this cycle, which is safe:
+	// its squashed flag survives until the pool hands it out again, and no
+	// allocation happens before the writeback stage finishes.
+	n := len(victims)
+	for _, v := range victims {
+		m.freeUop(v)
+	}
+	m.victimScratch = victims[:0]
+	return n
 }
 
 // rollbackUop undoes one squashed instruction's rename-time state.
@@ -133,6 +151,8 @@ func (m *Machine) purgeStructures(tid int, seq uint64) {
 	for _, v := range m.lsq {
 		if keep(v) {
 			lsq = append(lsq, v)
+		} else {
+			m.threads[v.thread].lsqStores--
 		}
 	}
 	m.lsq = lsq

@@ -57,6 +57,30 @@ type uop struct {
 	squashed bool
 }
 
+// newUop returns a fully zeroed uop, recycling the machine's free list
+// when possible. Steady-state simulation allocates no uops: every uop
+// returns to the pool at commit or squash.
+//
+// Pool safety invariant: a uop may be freed only once no machine
+// structure (rob, iq, lsq, inExec, fetchQ, pendingInject) references it.
+// Stale pointers in writeback's resolved scratch are tolerated because a
+// freed uop keeps its squashed flag until reallocation, and no uop is
+// allocated between squash and the end of the writeback stage.
+func (m *Machine) newUop() *uop {
+	if n := len(m.uopPool); n > 0 {
+		u := m.uopPool[n-1]
+		m.uopPool = m.uopPool[:n-1]
+		*u = uop{}
+		return u
+	}
+	return new(uop)
+}
+
+// freeUop returns a retired or squashed uop to the pool.
+func (m *Machine) freeUop(u *uop) {
+	m.uopPool = append(m.uopPool, u)
+}
+
 func (u *uop) isLoad() bool {
 	return (u.class == isa.ClassLoad && !u.injected) || (u.injected && !u.injStore)
 }
