@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"vca/internal/core"
 	"vca/internal/minic"
@@ -176,7 +177,8 @@ func runMachine(cfg core.Config, progs []*program.Program, windowed bool, stopAf
 }
 
 // parallelFor runs fn(i) for i in [0,n) on all cores (each simulation is
-// independent and deterministic).
+// independent and deterministic). Dispatch stops at the first worker
+// error: jobs already running finish, but no new ones start.
 func parallelFor(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -185,6 +187,7 @@ func parallelFor(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var failed atomic.Bool
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -197,11 +200,12 @@ func parallelFor(n int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		next <- i
 	}
 	close(next)

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"vca/internal/workload"
 )
@@ -209,5 +212,24 @@ func TestSMTSweepShapes(t *testing.T) {
 		if c.Valid {
 			t.Logf("%-12s regs=%3d speedup=%.3f wacc=%.3f", c.Series, c.PhysRegs, c.Speedup, c.Accesses)
 		}
+	}
+}
+
+// TestParallelForStopsOnError checks that after a worker reports an
+// error, parallelFor stops dispatching the remaining jobs rather than
+// running the full matrix.
+func TestParallelForStopsOnError(t *testing.T) {
+	const n = 10_000
+	var calls atomic.Int64
+	err := parallelFor(n, func(i int) error {
+		calls.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := calls.Load(); got > n/2 {
+		t.Fatalf("dispatched %d of %d jobs after the first error; dispatch should have stopped", got, n)
 	}
 }
