@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"vca/internal/minic"
+	"vca/internal/program"
+)
+
+// TestDeterminismFullResult runs the same configuration twice back to
+// back and requires the complete Result — every counter, every cache
+// stat, every thread summary — to be identical. This is the guard the
+// uop pool and scratch-buffer reuse must never violate: recycled state
+// leaking across instructions would show up here as a diverging stat.
+func TestDeterminismFullResult(t *testing.T) {
+	cases := []struct {
+		name     string
+		rename   RenameModel
+		window   WindowModel
+		abi      minic.ABI
+		physRegs int
+	}{
+		{"vca-windowed-small", RenameVCA, WindowVCA, minic.ABIWindowed, 96},
+		{"conv-window-traps", RenameConventional, WindowConventional, minic.ABIWindowed, 128},
+		{"baseline-flat", RenameConventional, WindowNone, minic.ABIFlat, 256},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildProg(t, "fib", srcFib, tc.abi)
+			cfg := DefaultConfig(tc.rename, tc.window, 1, tc.physRegs)
+			windowed := tc.abi == minic.ABIWindowed
+			run := func() *Result {
+				m, err := New(cfg, []*program.Program{p}, windowed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := m.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			r1, r2 := run(), run()
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("back-to-back runs diverged:\nfirst:  %+v\nsecond: %+v", r1, r2)
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocs pins the simulator's per-committed-instruction
+// allocation rate near zero. With the uop pool, the page-cached memory,
+// and the retained scratch buffers, a run's allocations are dominated by
+// machine construction and one-time structure growth, both amortized
+// over the commit budget; a regression that allocates per instruction
+// (the pre-pool behavior was ~4 allocs/inst) trips this immediately.
+//
+// Co-simulation is off: the golden-model emulator is a separate
+// subsystem, and its syscall output formatting may allocate.
+func TestSteadyStateAllocs(t *testing.T) {
+	p := buildProg(t, "fib", srcFib, minic.ABIFlat)
+	cfg := DefaultConfig(RenameVCA, WindowNone, 1, 128)
+	cfg.CoSim = false
+	cfg.StopAfter = 40_000
+
+	// Machine construction allocates (register file, rename table, cache
+	// arrays); measure it separately so the bound tracks only the cycle
+	// loop itself.
+	construction := testing.AllocsPerRun(3, func() {
+		if _, err := New(cfg, []*program.Program{p}, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	var committed uint64
+	perRun := testing.AllocsPerRun(3, func() {
+		m, err := New(cfg, []*program.Program{p}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed = res.Threads[0].Committed
+	})
+	if committed == 0 {
+		t.Fatal("no instructions committed")
+	}
+	steady := perRun - construction
+	perInst := steady / float64(committed)
+	t.Logf("%.0f allocs/run (%.0f construction), %d committed, %.4f allocs/inst",
+		perRun, construction, committed, perInst)
+	if perInst > 0.05 {
+		t.Errorf("steady-state allocation regression: %.4f allocs per committed instruction (want <= 0.05)", perInst)
+	}
+}
