@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test check bench benchjson experiments
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must build and every test must pass.
+test:
+	$(GO) test ./...
+
+# Extended gate: static checks plus the full suite under the race
+# detector. Slower than `make test`; run before sending a change.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Simulator throughput microbenchmarks (ns/inst, simMIPS, allocs/inst).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkTable1Baseline|BenchmarkCorePipeline' -benchmem .
+
+# Regenerate the committed throughput report for this tree.
+benchjson:
+	$(GO) run ./cmd/experiments -benchjson BENCH_1.json
+
+# Full paper evaluation at the default commit budget.
+experiments:
+	$(GO) run ./cmd/experiments -all

@@ -293,6 +293,42 @@ func BenchmarkEmulator(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
 }
 
+// BenchmarkSimThroughput is the repo's tracked perf headline: simulated
+// MIPS (committed instructions per host second) of the detailed core on
+// the cmd/experiments entry-point configuration, co-simulation on — the
+// exact mode every table and figure pays for. cmd/experiments -benchjson
+// records the same quantity to BENCH_*.json; keep the two in sync.
+func BenchmarkSimThroughput(b *testing.B) {
+	bench, err := workload.ByName("crafty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := bench.Build(minic.ABIFlat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.RenameConventional, core.WindowNone, 1, 256)
+	cfg.StopAfter = 100_000
+	cfg.MaxCycles = 1 << 34
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(cfg, []*program.Program{prog}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Threads[0].Committed
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(insts)/sec/1e6, "simMIPS")
+	}
+}
+
 // BenchmarkCorePipeline measures detailed-simulation speed.
 func BenchmarkCorePipeline(b *testing.B) {
 	bench, _ := workload.ByName("crafty")

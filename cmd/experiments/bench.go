@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vca/internal/core"
+	"vca/internal/minic"
+	"vca/internal/program"
+	"vca/internal/workload"
+)
+
+// benchStop is the fixed commit budget of the throughput matrix. It
+// matches the per-run budget of the detailed experiments so the recorded
+// MIPS numbers describe the same work every figure pays for.
+const benchStop = 100_000
+
+// benchRow is one (architecture, workload) point of the matrix.
+type benchRow struct {
+	Name     string
+	Arch     core.RenameModel
+	Window   core.WindowModel
+	PhysRegs int
+	Workload string
+	ABI      minic.ABI
+}
+
+// benchMatrix is the fixed workload matrix of the BENCH_*.json
+// trajectory. Do not reorder or rename entries: later perf PRs append
+// BENCH_N.json files and compare rows by name.
+var benchMatrix = []benchRow{
+	{"baseline-256/crafty", core.RenameConventional, core.WindowNone, 256, "crafty", minic.ABIFlat},
+	{"vca-window-128/gcc_expr", core.RenameVCA, core.WindowVCA, 128, "gcc_expr", minic.ABIWindowed},
+	{"conv-window-128/gcc_expr", core.RenameConventional, core.WindowConventional, 128, "gcc_expr", minic.ABIWindowed},
+	{"vca-flat-128/twolf", core.RenameVCA, core.WindowNone, 128, "twolf", minic.ABIFlat},
+}
+
+// benchResult is one measured row of the JSON report.
+type benchResult struct {
+	Name          string  `json:"name"`
+	PhysRegs      int     `json:"phys_regs"`
+	Workload      string  `json:"workload"`
+	StopAfter     uint64  `json:"stop_after"`
+	Committed     uint64  `json:"committed"`
+	Cycles        uint64  `json:"cycles"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimMIPS       float64 `json:"sim_mips"`
+	AllocsPerInst float64 `json:"allocs_per_inst"`
+}
+
+// benchReport is the BENCH_*.json schema.
+type benchReport struct {
+	Schema           int           `json:"schema"`
+	GOOS             string        `json:"goos"`
+	GOARCH           string        `json:"goarch"`
+	NumCPU           int           `json:"num_cpu"`
+	CoSim            bool          `json:"cosim"`
+	Rows             []benchResult `json:"rows"`
+	TotalWallSeconds float64       `json:"total_wall_seconds"`
+	MeanSimMIPS      float64       `json:"mean_sim_mips"`
+}
+
+// benchJSON measures simulator throughput (simulated MIPS = committed
+// instructions per host second, detailed core with co-simulation on) on
+// the fixed matrix and writes the report. Runs are sequential and
+// single-threaded so wall time and allocation counts are attributable.
+func benchJSON(path string) error {
+	rep := benchReport{
+		Schema: 1,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		CoSim:  true,
+	}
+	var mipsSum float64
+	for _, row := range benchMatrix {
+		bench, err := workload.ByName(row.Workload)
+		if err != nil {
+			return err
+		}
+		prog, err := bench.Build(row.ABI)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(row.Arch, row.Window, 1, row.PhysRegs)
+		cfg.StopAfter = benchStop
+		cfg.MaxCycles = 1 << 34
+		windowed := row.ABI == minic.ABIWindowed
+
+		// Warm-up run: exclude one-time build/JIT-ish effects (page
+		// faults, branch predictor of the host) from the measured run.
+		if err := runOnce(cfg, prog, windowed, nil); err != nil {
+			return err
+		}
+
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		var committed, cycles uint64
+		if err := runOnce(cfg, prog, windowed, func(c, cy uint64) { committed, cycles = c, cy }); err != nil {
+			return err
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+
+		res := benchResult{
+			Name:        row.Name,
+			PhysRegs:    row.PhysRegs,
+			Workload:    row.Workload,
+			StopAfter:   benchStop,
+			Committed:   committed,
+			Cycles:      cycles,
+			WallSeconds: wall,
+		}
+		if wall > 0 {
+			res.SimMIPS = float64(committed) / wall / 1e6
+		}
+		if committed > 0 {
+			res.AllocsPerInst = float64(ms1.Mallocs-ms0.Mallocs) / float64(committed)
+		}
+		rep.Rows = append(rep.Rows, res)
+		rep.TotalWallSeconds += wall
+		mipsSum += res.SimMIPS
+		fmt.Fprintf(os.Stderr, "bench %-26s %8d inst  %6.3fs  %6.3f simMIPS  %.3f allocs/inst\n",
+			row.Name, committed, wall, res.SimMIPS, res.AllocsPerInst)
+	}
+	if len(rep.Rows) > 0 {
+		rep.MeanSimMIPS = mipsSum / float64(len(rep.Rows))
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+func runOnce(cfg core.Config, prog *program.Program, windowed bool, sink func(committed, cycles uint64)) error {
+	m, err := core.New(cfg, []*program.Program{prog}, windowed)
+	if err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	var committed uint64
+	for _, t := range res.Threads {
+		committed += t.Committed
+	}
+	if sink != nil {
+		sink(committed, res.Cycles)
+	}
+	return nil
+}

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"vca/internal/core"
@@ -32,6 +34,10 @@ var (
 	flagFig7   = flag.Bool("fig7", false, "SMT weighted speedup (Figure 7)")
 	flagFig8   = flag.Bool("fig8", false, "SMT + register windows (Figure 8)")
 	flagStop   = flag.Uint64("stop", 150_000, "per-run commit budget (0 = full runs)")
+
+	flagBenchJSON  = flag.String("benchjson", "", "measure simulator throughput on a fixed workload matrix and write JSON to this file")
+	flagCPUProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMemProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
 
 func main() {
@@ -41,11 +47,33 @@ func main() {
 		*flagFig4, *flagFig5, *flagFig6 = true, true, true
 		*flagFig7, *flagFig8 = true, true
 	}
-	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8) {
+	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	if *flagCPUProfile != "" {
+		f, err := os.Create(*flagCPUProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *flagMemProfile != "" {
+		defer func() {
+			f, err := os.Create(*flagMemProfile)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
+
+	if *flagBenchJSON != "" {
+		check(benchJSON(*flagBenchJSON))
+	}
 	if *flagTable1 {
 		table1()
 	}
