@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench benchjson experiments
+.PHONY: all build test check docs-check bench benchjson experiments
 
 all: build test
 
@@ -13,17 +13,26 @@ test:
 
 # Extended gate: static checks plus the full suite under the race
 # detector. Slower than `make test`; run before sending a change.
-check:
-	$(GO) vet ./...
+check: docs-check
 	$(GO) test -race ./...
+
+# Documentation gate: all Go code gofmt-clean (examples included),
+# go vet over everything, and no broken relative links in any *.md.
+docs-check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./internal/tools/linkcheck
 
 # Simulator throughput microbenchmarks (ns/inst, simMIPS, allocs/inst).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkTable1Baseline|BenchmarkCorePipeline' -benchmem .
 
-# Regenerate the committed throughput report for this tree.
+# Regenerate the committed throughput report for this tree. Bump the
+# target filename when the tree's performance character changes; older
+# BENCH_N.json files stay committed as the trajectory.
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_1.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_2.json
 
 # Full paper evaluation at the default commit budget.
 experiments:

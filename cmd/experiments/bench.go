@@ -38,17 +38,21 @@ var benchMatrix = []benchRow{
 	{"vca-flat-128/twolf", core.RenameVCA, core.WindowNone, 128, "twolf", minic.ABIFlat},
 }
 
-// benchResult is one measured row of the JSON report.
+// benchResult is one measured row of the JSON report. Since schema 2 a
+// row also carries the full event-counter map of the measured run (see
+// docs/OBSERVABILITY.md), so a throughput regression can be traced to
+// the microarchitectural event mix that caused it.
 type benchResult struct {
-	Name          string  `json:"name"`
-	PhysRegs      int     `json:"phys_regs"`
-	Workload      string  `json:"workload"`
-	StopAfter     uint64  `json:"stop_after"`
-	Committed     uint64  `json:"committed"`
-	Cycles        uint64  `json:"cycles"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	SimMIPS       float64 `json:"sim_mips"`
-	AllocsPerInst float64 `json:"allocs_per_inst"`
+	Name          string            `json:"name"`
+	PhysRegs      int               `json:"phys_regs"`
+	Workload      string            `json:"workload"`
+	StopAfter     uint64            `json:"stop_after"`
+	Committed     uint64            `json:"committed"`
+	Cycles        uint64            `json:"cycles"`
+	WallSeconds   float64           `json:"wall_seconds"`
+	SimMIPS       float64           `json:"sim_mips"`
+	AllocsPerInst float64           `json:"allocs_per_inst"`
+	Counters      map[string]uint64 `json:"counters,omitempty"`
 }
 
 // benchReport is the BENCH_*.json schema.
@@ -69,7 +73,7 @@ type benchReport struct {
 // single-threaded so wall time and allocation counts are attributable.
 func benchJSON(path string) error {
 	rep := benchReport{
-		Schema: 1,
+		Schema: 2,
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
@@ -92,7 +96,7 @@ func benchJSON(path string) error {
 
 		// Warm-up run: exclude one-time build/JIT-ish effects (page
 		// faults, branch predictor of the host) from the measured run.
-		if err := runOnce(cfg, prog, windowed, nil); err != nil {
+		if _, err := runOnce(cfg, prog, windowed); err != nil {
 			return err
 		}
 
@@ -100,21 +104,26 @@ func benchJSON(path string) error {
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
-		var committed, cycles uint64
-		if err := runOnce(cfg, prog, windowed, func(c, cy uint64) { committed, cycles = c, cy }); err != nil {
+		run, err := runOnce(cfg, prog, windowed)
+		if err != nil {
 			return err
 		}
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&ms1)
 
+		var committed uint64
+		for _, t := range run.Threads {
+			committed += t.Committed
+		}
 		res := benchResult{
 			Name:        row.Name,
 			PhysRegs:    row.PhysRegs,
 			Workload:    row.Workload,
 			StopAfter:   benchStop,
 			Committed:   committed,
-			Cycles:      cycles,
+			Cycles:      run.Cycles,
 			WallSeconds: wall,
+			Counters:    run.Metrics.CounterMap(),
 		}
 		if wall > 0 {
 			res.SimMIPS = float64(committed) / wall / 1e6
@@ -139,21 +148,10 @@ func benchJSON(path string) error {
 	return os.WriteFile(path, out, 0o644)
 }
 
-func runOnce(cfg core.Config, prog *program.Program, windowed bool, sink func(committed, cycles uint64)) error {
+func runOnce(cfg core.Config, prog *program.Program, windowed bool) (*core.Result, error) {
 	m, err := core.New(cfg, []*program.Program{prog}, windowed)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	res, err := m.Run()
-	if err != nil {
-		return err
-	}
-	var committed uint64
-	for _, t := range res.Threads {
-		committed += t.Committed
-	}
-	if sink != nil {
-		sink(committed, res.Cycles)
-	}
-	return nil
+	return m.Run()
 }

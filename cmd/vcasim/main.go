@@ -5,12 +5,18 @@
 //
 //	vcasim -bench crafty -arch vca-windowed -regs 128
 //	vcasim -bench crafty,mesa -arch vca-flat -regs 192          # 2-thread SMT
+//	vcasim -bench gcc_expr -arch vca-windowed -stats stats.json # counter dump
+//	vcasim -bench twolf -stop 20000 -chrometrace trace.json     # Perfetto timeline
 //	vcasim -list
+//
+// The counter catalogue and the trace-viewer workflow are documented in
+// docs/OBSERVABILITY.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,6 +33,9 @@ var (
 	flagStop  = flag.Uint64("stop", 0, "stop after any thread commits N instructions (0 = run to exit)")
 	flagList  = flag.Bool("list", false, "list benchmarks and exit")
 	flagTrace = flag.Bool("trace", false, "print a per-committed-instruction trace to stderr")
+
+	flagStats  = flag.String("stats", "", "write the full event-counter dump to this file (.csv for CSV, otherwise JSON)")
+	flagChrome = flag.String("chrometrace", "", "record a Chrome trace-event timeline and write it to this file (bound the run with -stop)")
 )
 
 func main() {
@@ -81,9 +90,25 @@ func main() {
 	if *flagTrace {
 		spec.Trace = os.Stderr
 	}
+	if *flagChrome != "" {
+		spec.ChromeTrace = vca.NewTraceRecorder()
+	}
 	res, err := vca.Run(spec, progs...)
 	if err != nil {
 		fail(err)
+	}
+
+	if *flagStats != "" {
+		if err := writeStats(res, *flagStats, arch, progs, names); err != nil {
+			fail(err)
+		}
+	}
+	if *flagChrome != "" {
+		if err := writeToFile(*flagChrome, spec.ChromeTrace.WriteJSON); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "vcasim: wrote %d trace events to %s (open at ui.perfetto.dev)\n",
+			spec.ChromeTrace.Len(), *flagChrome)
 	}
 
 	fmt.Printf("arch=%s regs=%d ports=%d threads=%d\n", arch, *flagRegs, *flagPorts, len(progs))
@@ -101,6 +126,40 @@ func main() {
 		fmt.Printf("vca: srcHits=%d fills=%d spills=%d overwriteFrees=%d tableEvicts=%d physEvicts=%d renameStalls=%d\n",
 			s.SrcHits, s.Fills, s.Spills, s.Overwrites, s.TableConflictEvicts, s.PhysEvicts, s.RenameStalls)
 	}
+}
+
+// writeStats dumps the run's event counters: CSV when the path ends in
+// .csv, the full JSON document (with a run-identification header)
+// otherwise.
+func writeStats(res vca.Result, path string, arch vca.Arch, progs []*vca.Program, names []string) error {
+	if strings.HasSuffix(path, ".csv") {
+		return writeToFile(path, res.WriteStatsCSV)
+	}
+	var committed uint64
+	for _, t := range res.Threads {
+		committed += t.Committed
+	}
+	hdr := &vca.StatsHeader{
+		Arch:      arch.String(),
+		PhysRegs:  *flagRegs,
+		Threads:   len(progs),
+		Workloads: strings.Join(names, ","),
+		Cycles:    res.Cycles,
+		Committed: committed,
+	}
+	return writeToFile(path, func(w io.Writer) error { return res.WriteStats(w, hdr) })
+}
+
+func writeToFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -1,0 +1,17 @@
+package branch
+
+import "vca/internal/metrics"
+
+// RegisterMetrics exposes the predictor's event counters under the
+// branch.* namespace. The registry adopts pointers to the existing
+// public stat fields, so prediction paths keep their plain increments.
+func (p *Predictor) RegisterMetrics(r *metrics.Registry) {
+	c := func(name, unit, desc string, f *uint64) {
+		r.RegisterCounter(name, unit, desc, (*metrics.Counter)(f))
+	}
+	c("branch.cond_lookups", "lookups", "conditional-branch predictions made", &p.CondLookups)
+	c("branch.cond_mispredicts", "events", "conditional branches resolved against their prediction", &p.CondMispred)
+	c("branch.btb_lookups", "lookups", "branch-target-buffer probes for indirect control flow", &p.BTBLookups)
+	c("branch.btb_misses", "events", "BTB probes that found no target (fall-through assumed)", &p.BTBMisses)
+	c("branch.ras_predicts", "lookups", "return targets predicted from the return address stack", &p.RASPredicts)
+}

@@ -1,9 +1,32 @@
 // Package cluster implements the workload-selection methodology of §3.2
-// (after Raasch & Reinhardt): characterize every candidate multithreaded
-// workload with a statistics vector, reduce dimensionality with principal
-// components analysis, group similar workloads with (average-) linkage
-// agglomerative clustering, and pick the workload nearest each cluster
-// centroid as its representative.
+// (after Raasch & Reinhardt). The problem it solves: the SMT experiments
+// (Figures 7 and 8) cannot afford to simulate every possible
+// multiprogrammed pairing — the paper faced 253 two-thread SPEC
+// combinations — so a small representative subset must be chosen in a
+// way that is principled rather than hand-picked.
+//
+// The pipeline, mirroring the paper's description:
+//
+//  1. Characterize. Every candidate workload (a benchmark combination)
+//     gets a statistics vector of per-thread dynamic properties —
+//     instruction mix, call density, branch behavior, memory traffic —
+//     measured by functional simulation (internal/emu), normalized to
+//     zero mean and unit variance per dimension.
+//  2. Reduce. Principal components analysis (a Jacobi eigensolver on
+//     the covariance matrix — no external linear-algebra dependency)
+//     projects the vectors onto the leading components, discarding
+//     dimensions that are noise at this scale.
+//  3. Cluster. Average-linkage agglomerative clustering merges the
+//     nearest pair of clusters until the target count remains; average
+//     linkage matches the Raasch methodology the paper cites.
+//  4. Represent. The workload nearest each cluster centroid becomes
+//     that cluster's representative in the SMT sweeps.
+//
+// The output is deterministic for a given benchmark suite: ties in
+// merge order and centroid distance resolve to the lowest-index
+// candidate, so the selected workload lists in internal/experiments are
+// stable across runs and machines — a requirement for the committed
+// EXPERIMENTS.md tables to be reproducible.
 package cluster
 
 import (

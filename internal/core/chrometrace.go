@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"vca/internal/metrics"
+)
+
+// Chrome-trace timeline recording (opt-in via Config.ChromeTrace; see
+// internal/metrics/chrometrace.go for the format). Each simulated
+// hardware thread is one trace "process"; within it, the pipeline is
+// split into fixed lanes so a committed instruction appears as four
+// stacked slices — front end, queue wait, execute, retire wait — whose
+// gaps and stretches are the pipeline's bubbles. Stall-cause instants
+// and occupancy counter tracks land on the same time axis.
+const (
+	laneFrontend = 0 // fetch through rename arrival
+	laneQueue    = 1 // rename to issue (IQ residency)
+	laneExec     = 2 // issue to completion
+	laneRetire   = 3 // completion to commit (ROB head wait)
+	laneASTQ     = 4 // VCA spill/fill operations in flight
+)
+
+// initChromeTrace labels the processes and lanes once at construction.
+func (m *Machine) initChromeTrace() {
+	rec := m.cfg.ChromeTrace
+	for _, th := range m.threads {
+		rec.NameProcess(th.id, fmt.Sprintf("thread %d (%s)", th.id, th.prog.Name))
+		rec.NameThread(th.id, laneFrontend, "front end")
+		rec.NameThread(th.id, laneQueue, "queue")
+		rec.NameThread(th.id, laneExec, "execute")
+		rec.NameThread(th.id, laneRetire, "retire")
+		rec.NameThread(th.id, laneASTQ, "astq")
+	}
+}
+
+// chromeCommit emits the per-stage slices of a committing uop. Injected
+// window-trap operations enter the pipeline at rename, so their
+// front-end slice is skipped (fetchedAt stays zero; cycles start at 1).
+func (m *Machine) chromeCommit(th *thread, u *uop) {
+	rec := m.cfg.ChromeTrace
+	name := chromeName(u)
+	pcArg := metrics.Arg{Key: "pc", Val: fmt.Sprintf("%#x", u.pc)}
+	seqArg := metrics.Arg{Key: "seq", Val: fmt.Sprintf("%d", u.seq)}
+	fetched, renamed, issued := uint64(u.fetchedAt), uint64(u.renamedAt), uint64(u.issuedAt)
+	if fetched > 0 && renamed >= fetched {
+		rec.Complete(name, "frontend", th.id, laneFrontend, fetched, renamed-fetched, pcArg, seqArg)
+	}
+	if renamed > 0 && issued >= renamed {
+		rec.Complete(name, "queue", th.id, laneQueue, renamed, issued-renamed, pcArg, seqArg)
+	}
+	if issued > 0 && u.doneAt >= issued {
+		rec.Complete(name, "execute", th.id, laneExec, issued, u.doneAt-issued, pcArg, seqArg)
+	}
+	if u.doneAt > 0 && m.cycle >= u.doneAt {
+		rec.Complete(name, "retire", th.id, laneRetire, u.doneAt, m.cycle-u.doneAt, pcArg, seqArg)
+	}
+}
+
+// chromeASTQ emits one completed spill/fill operation on the ASTQ lane.
+func (m *Machine) chromeASTQ(e astqEntry, issuedAt uint64) {
+	rec := m.cfg.ChromeTrace
+	name := "fill"
+	if e.op.IsSpill {
+		name = "spill"
+	}
+	rec.Complete(name, "astq", e.thread, laneASTQ, issuedAt, e.doneAt-issuedAt,
+		metrics.Arg{Key: "addr", Val: fmt.Sprintf("%#x", e.op.Addr)})
+}
+
+// chromeName is the slice label: the disassembled instruction, or the
+// injected window-trap operation's synthetic mnemonic.
+func chromeName(u *uop) string {
+	if u.injected {
+		return injectedDisasm(u)
+	}
+	return u.inst.DisasmAt(u.pc)
+}

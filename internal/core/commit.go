@@ -16,12 +16,18 @@ func (m *Machine) commitStage() {
 	for n := 0; n < m.cfg.Width && m.robLen() > 0; n++ {
 		u := m.rob[m.robHead]
 		if !u.done {
+			if n == 0 {
+				m.noteCommitStall(u)
+			}
 			return
 		}
 		th := m.threads[u.thread]
 
 		if u.isStore() {
 			if m.dl1Ports == 0 {
+				if n == 0 {
+					m.cnt.commitStall[csStorePort]++
+				}
 				return // store commit needs a cache port this cycle
 			}
 			m.dl1Ports--
@@ -71,6 +77,10 @@ func (m *Machine) commitStage() {
 		if m.cfg.TraceWriter != nil {
 			m.traceCommit(m.cfg.TraceWriter, th, u)
 		}
+		if m.cfg.ChromeTrace != nil {
+			m.chromeCommit(th, u)
+		}
+		th.robCount--
 		m.popROB()
 
 		if !u.injected && u.class == isa.ClassSyscall && m.commitSyscall(th, u) {

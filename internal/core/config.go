@@ -17,6 +17,7 @@ import (
 
 	"vca/internal/branch"
 	"vca/internal/mem"
+	"vca/internal/metrics"
 	"vca/internal/rename"
 )
 
@@ -104,6 +105,11 @@ type Config struct {
 	// TraceWriter, when non-nil, receives one line per committed
 	// instruction (see trace.go for the format).
 	TraceWriter io.Writer
+
+	// ChromeTrace, when non-nil, records a Chrome trace-event timeline of
+	// the run (per-uop stage slices, stall instants, occupancy tracks —
+	// see chrometrace.go). Strictly opt-in: nil costs nothing.
+	ChromeTrace *metrics.TraceRecorder
 
 	// StopAfter ends simulation once any thread has committed this many
 	// instructions (0 = run to program exit).

@@ -19,6 +19,7 @@ func (m *Machine) fetchBufCap() int {
 func (m *Machine) fetchStage() {
 	th := m.pickFetchThread()
 	if th == nil {
+		m.noteFetchStall()
 		return
 	}
 
@@ -39,6 +40,7 @@ func (m *Machine) fetchStage() {
 		u := m.newUop()
 		u.seq = m.seq
 		u.thread = th.id
+		u.fetchedAt = uint32(m.cycle)
 		u.pc = th.pc
 		u.inst = inst
 		u.class = inst.Op.OpClass()

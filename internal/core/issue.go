@@ -16,6 +16,14 @@ func (m *Machine) issueStage() {
 	fpu := m.cfg.FPUs
 	width := m.cfg.Width
 
+	// Per-cycle stall evidence: whether anything in the IQ had ready
+	// sources, and whether a ready instruction was denied a functional
+	// unit or a DL1 port (several causes may fire in one cycle).
+	iqNonEmpty := len(m.iq) > 0
+	anyReady := false
+	fuSat := false
+	dl1Denied := false
+
 	kept := m.iq[:0]
 	for idx, u := range m.iq {
 		if width == 0 {
@@ -29,31 +37,48 @@ func (m *Machine) issueStage() {
 		switch {
 		case !m.allSrcsReady(u):
 		case u.isLoad():
-			issued = m.tryIssueLoad(u)
+			anyReady = true
+			if m.dl1Ports == 0 {
+				dl1Denied = true
+			} else {
+				issued = m.tryIssueLoad(u)
+			}
 		case u.isStore():
+			anyReady = true
 			issued = m.tryIssueStore(u)
 		case u.class == isa.ClassIntMul || u.class == isa.ClassIntDiv:
+			anyReady = true
 			if mulDiv > 0 {
 				mulDiv--
 				m.execute(u)
 				issued = true
+			} else {
+				fuSat = true
 			}
 		case u.class == isa.ClassFPALU || u.class == isa.ClassFPMul || u.class == isa.ClassFPDiv:
+			anyReady = true
 			if fpu > 0 {
 				fpu--
 				m.execute(u)
 				issued = true
+			} else {
+				fuSat = true
 			}
 		default: // integer ALU, control, syscall, invalid
+			anyReady = true
 			if intALU > 0 {
 				intALU--
 				m.execute(u)
 				issued = true
+			} else {
+				fuSat = true
 			}
 		}
 		if issued {
 			width--
 			u.issued = true
+			u.issuedAt = uint32(m.cycle)
+			m.cnt.issueUops++
 			u.inIQ = false
 			if !u.injected {
 				m.threads[u.thread].inFlight--
@@ -64,6 +89,16 @@ func (m *Machine) issueStage() {
 		}
 	}
 	m.iq = kept
+
+	if iqNonEmpty && !anyReady {
+		m.cnt.issueNoReady++
+	}
+	if fuSat {
+		m.cnt.issueFUSat++
+	}
+	if dl1Denied {
+		m.cnt.issueDL1Ports++
+	}
 
 	// ASTQ: spill/fill operations use leftover memory ports, in FIFO
 	// order.
@@ -81,6 +116,9 @@ func (m *Machine) issueStage() {
 		}
 		e.issued = true
 		e.doneAt = m.cycle + uint64(lat)
+		if m.cfg.ChromeTrace != nil {
+			m.chromeASTQ(e, m.cycle)
+		}
 		m.inastq = append(m.inastq, e)
 	}
 }
@@ -89,11 +127,9 @@ func (m *Machine) issueStage() {
 // of the same thread must have a resolved address (conservative
 // disambiguation); an exact-covering older store forwards its data.
 // Injected window-trap loads address the register backing store, which
-// program stores never alias, so they skip the ordering check.
+// program stores never alias, so they skip the ordering check. The caller
+// has already checked DL1 port availability.
 func (m *Machine) tryIssueLoad(u *uop) bool {
-	if m.dl1Ports == 0 {
-		return false
-	}
 	base := m.readSrc(u, 0)
 	ea := u.inst.MemEA(base)
 	size := u.inst.Op.MemBytes()
@@ -110,6 +146,7 @@ func (m *Machine) tryIssueLoad(u *uop) bool {
 				continue
 			}
 			if !s.issued {
+				m.cnt.loadOrderBlocked++
 				return false // unresolved older store address
 			}
 			// Resolved: check overlap.
@@ -118,6 +155,7 @@ func (m *Machine) tryIssueLoad(u *uop) bool {
 				if s.ea <= ea && lEnd <= sEnd {
 					fwd = s // youngest covering store wins (keep scanning)
 				} else {
+					m.cnt.loadOrderBlocked++
 					return false // partial overlap: wait for the store to commit
 				}
 			}

@@ -8,6 +8,7 @@ import (
 	"vca/internal/emu"
 	"vca/internal/isa"
 	"vca/internal/mem"
+	"vca/internal/metrics"
 	"vca/internal/program"
 	"vca/internal/rename"
 )
@@ -29,6 +30,7 @@ type thread struct {
 	inFlight  int // front-end + IQ occupancy, for ICOUNT fetch
 	inFetchQ  int // this thread's fetch-buffer entries (fetchBufCap check)
 	lsqStores int // this thread's stores resident in the LSQ
+	robCount  int // this thread's ROB residency (occupancy sampling)
 
 	fetchBlockedUntil  uint64
 	renameBlockedUntil uint64
@@ -101,8 +103,10 @@ type Machine struct {
 	portCredit int
 	astqCredit int
 
-	stats Stats
-	err   error
+	stats   Stats
+	metrics *metrics.Registry
+	cnt     coreCounters
+	err     error
 }
 
 type fetchEntry struct {
@@ -207,6 +211,12 @@ func New(cfg Config, progs []*program.Program, windowed bool) (*Machine, error) 
 		if cfg.CoSim {
 			th.ref = emu.New(p, emu.Config{Windowed: windowed})
 		}
+	}
+
+	m.metrics = metrics.NewRegistry()
+	m.registerMetrics()
+	if cfg.ChromeTrace != nil {
+		m.initChromeTrace()
 	}
 	return m, nil
 }
@@ -314,6 +324,7 @@ func (m *Machine) Run() (*Result, error) {
 		m.issueStage()
 		m.renameStage()
 		m.fetchStage()
+		m.sampleOccupancy()
 
 		if m.Done() {
 			break

@@ -27,34 +27,44 @@ func (m *Machine) renameStage() {
 	}
 
 	budget := m.cfg.Width
+	renamed := 0
 
 	// Injected window-trap memory operations rename with priority.
 	for _, th := range m.threads {
 		for budget > 0 && th.injectPending() > 0 {
 			u := th.pendingInject[th.injectHead]
-			if !m.renameOne(th, u) {
+			if !m.renameOne(th, u) { // renameOne recorded the stall cause
 				return
 			}
 			th.popInject()
 			budget--
+			renamed++
 		}
 	}
 
 	for budget > 0 && m.fetchHead < len(m.fetchQ) {
 		fe := m.fetchQ[m.fetchHead]
 		if fe.readyAt > m.cycle {
+			if renamed == 0 {
+				m.noteRenameStall(m.threads[fe.u.thread], rsEmpty)
+			}
 			return
 		}
 		th := m.threads[fe.u.thread]
 		if m.cycle < th.renameBlockedUntil {
+			m.noteRenameStall(th, rsWalk)
 			return // recovery walk in progress (in-order stall)
 		}
-		if !m.renameOne(th, fe.u) {
+		if !m.renameOne(th, fe.u) { // renameOne recorded the stall cause
 			m.stats.RenameStallCycles++
 			return
 		}
 		m.popFetchQ(th)
 		budget--
+		renamed++
+	}
+	if renamed == 0 && !m.Done() {
+		m.noteRenameStall(nil, rsEmpty)
 	}
 }
 
@@ -80,13 +90,16 @@ func (m *Machine) popFetchQ(th *thread) {
 func (m *Machine) renameOne(th *thread, u *uop) bool {
 	if m.robLen() >= m.cfg.ROBSize {
 		m.stats.ROBFullStalls++
+		m.noteRenameStall(th, rsROBFull)
 		return false
 	}
 	if len(m.iq) >= m.cfg.IQSize {
 		m.stats.IQFullStalls++
+		m.noteRenameStall(th, rsIQFull)
 		return false
 	}
 	if u.isStore() && m.lsqCount() >= m.cfg.LSQSize {
+		m.noteRenameStall(th, rsLSQFull)
 		return false
 	}
 
@@ -95,8 +108,11 @@ func (m *Machine) renameOne(th *thread, u *uop) bool {
 	switch m.cfg.Rename {
 	case RenameConventional:
 		ok = m.renameConventional(th, u, srcs, dest)
+		if !ok {
+			m.noteRenameStall(th, rsNoPhys)
+		}
 	case RenameVCA:
-		ok = m.renameVCA(th, u, srcs, dest)
+		ok = m.renameVCA(th, u, srcs, dest) // records its own stall cause
 	}
 	if !ok {
 		return false
@@ -132,6 +148,9 @@ func (m *Machine) renameOne(th *thread, u *uop) bool {
 	}
 
 	m.rob = append(m.rob, u)
+	th.robCount++
+	m.cnt.renameUops++
+	u.renamedAt = uint32(m.cycle)
 	m.iq = append(m.iq, u)
 	u.inIQ = true
 	if u.isStore() {
@@ -222,10 +241,16 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 	ideal := m.cfg.Window == WindowIdeal
 
 	if !ideal {
-		if m.astqCredit <= 0 || m.portCredit <= 0 {
+		if m.astqCredit <= 0 {
+			m.noteRenameStall(th, rsVCAASTQ)
+			return false
+		}
+		if m.portCredit <= 0 {
+			m.noteRenameStall(th, rsVCAPorts)
 			return false
 		}
 		if m.astqLen() >= m.cfg.ASTQSize {
+			m.noteRenameStall(th, rsVCAASTQ)
 			return false
 		}
 	}
@@ -256,6 +281,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		lookups++
 	}
 	if !ideal && m.portCredit < lookups {
+		m.noteRenameStall(th, rsVCAPorts)
 		return false
 	}
 
@@ -275,6 +301,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		}
 		phys, _, ok := m.vca.RenameSource(addrs[i], &ops)
 		if !ok {
+			m.noteRenameStall(th, rsVCATable)
 			undo()
 			m.applyVCAOps(th, ops, ideal) // evictions already happened
 			m.opsScratch = ops[:0]
@@ -290,6 +317,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 	if dest != isa.RegNone {
 		newP, prev, ok := m.vca.RenameDest(destAddr, &ops)
 		if !ok {
+			m.noteRenameStall(th, rsVCATable)
 			undo()
 			m.applyVCAOps(th, ops, ideal)
 			m.opsScratch = ops[:0]

@@ -5,6 +5,7 @@ import (
 
 	"vca/internal/branch"
 	"vca/internal/mem"
+	"vca/internal/metrics"
 	"vca/internal/rename"
 )
 
@@ -37,6 +38,11 @@ type Result struct {
 
 	VCAStats *rename.VCAStats // nil on conventional machines
 	Branch   branchSummary
+
+	// Metrics is the machine's full event-counter registry (see
+	// internal/metrics and docs/OBSERVABILITY.md); exporters read it via
+	// Snapshot/WriteJSON/WriteCSV/CounterMap.
+	Metrics *metrics.Registry
 }
 
 type branchSummary struct {
@@ -63,8 +69,10 @@ func (r *Result) IPC() float64 {
 func (r *Result) DL1Accesses() uint64 { return r.DL1.TotalAccesses() }
 
 func (m *Machine) result() *Result {
+	m.stats.Cycles = m.cycle // mirror into the registered core.cycles counter
 	r := &Result{
 		Cycles:            m.cycle,
+		Metrics:           m.metrics,
 		DL1:               m.hier.DL1.Stats,
 		IL1:               m.hier.IL1.Stats,
 		L2:                m.hier.L2.Stats,

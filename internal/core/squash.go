@@ -95,6 +95,7 @@ func (m *Machine) flushYounger(th *thread, seq uint64) int {
 	if len(victims) > 0 {
 		m.purgeStructures(th.id, seq)
 	}
+	th.robCount -= len(victims)
 	m.stats.Squashed += uint64(len(victims))
 
 	// Victims are now out of every structure; recycle them. A victim may

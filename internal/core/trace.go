@@ -31,10 +31,23 @@ func (m *Machine) traceCommit(w io.Writer, th *thread, u *uop) {
 	case u.isCtl:
 		effect = fmt.Sprintf("-> %#x", u.actualNPC)
 	}
-	disasm := "window-trap op"
-	if !u.injected {
-		disasm = u.inst.DisasmAt(u.pc)
+	disasm := u.inst.DisasmAt(u.pc)
+	if u.injected {
+		disasm = injectedDisasm(u)
 	}
 	fmt.Fprintf(w, "cyc %06d t%d %08x%c %-28s %s\n",
 		m.cycle, th.id, u.pc, tag, disasm, effect)
+}
+
+// injectedDisasm renders an injected window-trap memory operation
+// distinctly instead of the former catch-all "window-trap op": win.save
+// is the store that copies a logical register slot out to the backing
+// store on overflow, win.restore the load that brings it back on
+// underflow.
+func injectedDisasm(u *uop) string {
+	op := "win.restore"
+	if u.injStore {
+		op = "win.save"
+	}
+	return fmt.Sprintf("%s l%d, [%#x]", op, u.injLogical, u.injAddr)
 }

@@ -32,6 +32,17 @@ type uop struct {
 	wbpDelta int64  // VCA window rotation applied at rename
 	depDelta int    // conventional speculative window depth delta
 
+	// Stage timestamps, consumed by the opt-in Chrome-trace recorder at
+	// commit (see chrometrace.go). Zero means "never reached" — injected
+	// window-trap operations skip fetch, so fetchedAt stays zero for them
+	// (cycle numbering starts at 1, so zero is unambiguous). uint32 keeps
+	// the pooled uop small; timeline recording of runs past 2^32 cycles
+	// is not a supported combination (the trace buffer would exhaust
+	// memory long before the counter wraps).
+	fetchedAt uint32
+	renamedAt uint32
+	issuedAt  uint32
+
 	// Execution.
 	issued    bool
 	done      bool

@@ -1,9 +1,33 @@
 // Package emu is the functional (in-order, one-instruction-per-step)
-// reference implementation of the ISA. The paper's methodology (§3.1) uses
-// "fast functional simulation" to measure complete dynamic path lengths of
-// the windowed and non-windowed binaries (Table 2); this package plays
-// that role, and additionally serves as the golden model for commit-time
-// co-simulation against the out-of-order core.
+// reference implementation of the ISA. It plays two of the paper's
+// methodological roles and one this reproduction adds:
+//
+//   - Path-length measurement (§3.1, Table 2). The paper's "fast
+//     functional simulation" measures the complete dynamic instruction
+//     count of each binary; the windowed/flat ratio of those counts is
+//     Table 2, and the estimated-execution-time metric of every figure
+//     is CPI × this full path length. Stats records the counts, and
+//     window save/restore traffic is simulated architecturally (a frame
+//     stack per window depth) so windowed and flat runs of one source
+//     program produce identical outputs with different path lengths.
+//   - Golden model for co-simulation. The out-of-order core steps a
+//     private emulator instance in lockstep at commit and cross-checks
+//     PC, destination value, store address/data, and control targets
+//     (StepInfo carries the per-instruction facts). Any divergence —
+//     wrong-path leakage, a rename bug, a mis-applied spill — fails the
+//     run immediately rather than corrupting statistics silently. This
+//     is the repository's strongest end-to-end check that the VCA
+//     machinery is "complete and functionally correct" (§2.2).
+//   - Workload calibration. Per-benchmark dynamic statistics
+//     (conditional-branch counts, memory mix, call depth) become the
+//     feature vectors the §3.2 clustering pipeline (internal/cluster)
+//     selects SMT workloads from.
+//
+// The emulator is deliberately microarchitecture-free: no caches, no
+// predictor, no timing — one architectural step per instruction, with
+// syscalls (print/exit) applied immediately. Determinism here anchors
+// determinism everywhere else: both rename substrates must commit the
+// architectural state this package computes.
 package emu
 
 import (

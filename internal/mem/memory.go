@@ -1,8 +1,33 @@
 // Package mem provides the simulated memory system: a sparse 64-bit
-// physical memory holding program data, and a timing-only set-associative
-// write-back cache hierarchy (IL1/DL1/L2 + main memory) matching the
-// paper's Table 1. Caches model latency and traffic; data always lives in
-// Memory, so functional correctness never depends on cache state.
+// physical memory holding all program data, and a timing-only
+// set-associative write-back cache hierarchy (IL1/DL1/L2 + main memory)
+// matching the paper's Table 1.
+//
+// The functional/timing split is deliberate: caches model latency and
+// traffic only, while data always lives in Memory, so functional
+// correctness never depends on cache state and the emulator, the
+// detailed core, and co-simulation all read the same bytes. Memory is
+// organized as sparse 4 KiB pages with a one-entry page cache and
+// word-granular fast paths (see DESIGN.md §8).
+//
+// The hierarchy matters to the paper because VCA turns register
+// pressure into memory traffic: spills and fills are ordinary data-cache
+// accesses competing with program loads and stores for DL1 ports
+// (§2.2.2). Every access is therefore tagged with an AccessCause —
+// CauseProgram, CauseSpillFill (VCA ASTQ traffic), or CauseWindowTrap
+// (the conventional window model's injected whole-window copies, §4.1) —
+// and each cache level keeps per-cause access and miss counts. That
+// split is exactly the decomposition of Figure 5 (data-cache accesses by
+// source) and of the §4.3 SMT cache-traffic claims, and it is exported
+// through the metrics registry as mem.<level>.accesses.<cause> /
+// .misses.<cause> (metrics.go; catalogue in docs/OBSERVABILITY.md).
+//
+// The caches are blocking — no MSHRs, no miss merging: a miss's full
+// latency is charged to the access that triggered it, and the simulated
+// machine's only memory-level parallelism is across the DL1's ports.
+// This is the paper's (and M5's default) level of memory-system detail;
+// the relationships the figures depend on are traffic ratios, which
+// blocking caches preserve.
 package mem
 
 import "encoding/binary"

@@ -1,0 +1,47 @@
+package mem
+
+import "vca/internal/metrics"
+
+// Slug returns the AccessCause's metric-name form (String returns the
+// human form, which contains characters unsuitable for counter names).
+func (c AccessCause) Slug() string {
+	switch c {
+	case CauseProgram:
+		return "program"
+	case CauseSpillFill:
+		return "spill_fill"
+	case CauseWindowTrap:
+		return "window_trap"
+	}
+	return "unknown"
+}
+
+// RegisterMetrics exposes one cache level's traffic counters under
+// prefix (e.g. "mem.dl1"): per-cause accesses and misses, plus
+// writebacks. The registry adopts pointers into Stats, so the cache
+// keeps bumping its own fields and export reads them in place.
+//
+// The cache model is blocking (no MSHRs), so there are no
+// outstanding-miss or merge counters to report; a miss's full latency is
+// charged to the access that triggered it (see docs/OBSERVABILITY.md).
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	for cause := AccessCause(0); cause < NumCauses; cause++ {
+		r.RegisterCounter(prefix+".accesses."+cause.Slug(), "accesses",
+			c.cfg.Name+" accesses caused by "+cause.String()+" traffic",
+			(*metrics.Counter)(&c.Stats.Accesses[cause]))
+		r.RegisterCounter(prefix+".misses."+cause.Slug(), "misses",
+			c.cfg.Name+" misses caused by "+cause.String()+" traffic",
+			(*metrics.Counter)(&c.Stats.Misses[cause]))
+	}
+	r.RegisterCounter(prefix+".writebacks", "blocks",
+		"dirty blocks written back from "+c.cfg.Name,
+		(*metrics.Counter)(&c.Stats.Writebacks))
+}
+
+// RegisterMetrics registers every level of the hierarchy under the
+// mem.* namespace.
+func (h *Hierarchy) RegisterMetrics(r *metrics.Registry) {
+	h.IL1.RegisterMetrics(r, "mem.il1")
+	h.DL1.RegisterMetrics(r, "mem.dl1")
+	h.L2.RegisterMetrics(r, "mem.l2")
+}

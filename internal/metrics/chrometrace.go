@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceRecorder accumulates Chrome trace-event-format events (the JSON
+// consumed by chrome://tracing and https://ui.perfetto.dev) describing a
+// simulated pipeline over time. The core emits, per committed
+// instruction, one complete ("X") slice per pipeline stage it occupied,
+// plus per-cycle counter ("C") series for queue occupancies and instant
+// ("i") events for stall causes — so a bubble visible on the timeline
+// sits next to the event that caused it.
+//
+// Time base: one simulated cycle is recorded as one microsecond (the
+// trace format's native ts unit), so "1 µs" in the viewer reads as "1
+// cycle". Recording is opt-in and buffered in memory; a committed
+// instruction produces ~4 slices, so bound long runs with a commit
+// budget (vcasim -stop) before tracing them.
+type TraceRecorder struct {
+	events []traceEvent
+}
+
+// Arg is one key/value annotation attached to a trace event.
+type Arg struct {
+	Key string
+	Val string
+}
+
+const maxArgs = 3
+
+type traceEvent struct {
+	name  string
+	cat   string
+	ph    byte // 'X', 'C', 'i', 'M'
+	ts    uint64
+	dur   uint64
+	pid   int
+	tid   int
+	value uint64 // 'C' events
+	nargs int
+	args  [maxArgs]Arg
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{} }
+
+// Len returns the number of recorded events.
+func (t *TraceRecorder) Len() int { return len(t.events) }
+
+func (t *TraceRecorder) push(e traceEvent, args []Arg) {
+	if len(args) > maxArgs {
+		args = args[:maxArgs]
+	}
+	e.nargs = copy(e.args[:], args)
+	t.events = append(t.events, e)
+}
+
+// Complete records a complete slice: a named span of dur cycles starting
+// at cycle ts on track (pid, tid).
+func (t *TraceRecorder) Complete(name, cat string, pid, tid int, ts, dur uint64, args ...Arg) {
+	t.push(traceEvent{name: name, cat: cat, ph: 'X', ts: ts, dur: dur, pid: pid, tid: tid}, args)
+}
+
+// Instant records a point event at cycle ts on track (pid, tid) — used
+// for stall causes.
+func (t *TraceRecorder) Instant(name, cat string, pid, tid int, ts uint64, args ...Arg) {
+	t.push(traceEvent{name: name, cat: cat, ph: 'i', ts: ts, pid: pid, tid: tid}, args)
+}
+
+// Counter records one point of a counter series (rendered as a stacked
+// area chart by the viewers).
+func (t *TraceRecorder) Counter(name string, pid int, ts, value uint64) {
+	t.push(traceEvent{name: name, ph: 'C', ts: ts, pid: pid, value: value}, nil)
+}
+
+// NameProcess labels a pid (one simulated hardware thread) in the viewer.
+func (t *TraceRecorder) NameProcess(pid int, name string) {
+	t.push(traceEvent{name: "process_name", ph: 'M', pid: pid}, []Arg{{Key: "name", Val: name}})
+}
+
+// NameThread labels a tid (one pipeline-stage lane) within a pid.
+func (t *TraceRecorder) NameThread(pid, tid int, name string) {
+	t.push(traceEvent{name: "thread_name", ph: 'M', pid: pid, tid: tid}, []Arg{{Key: "name", Val: name}})
+}
+
+// jsonEvent is the wire form of one event. Counter values are numeric
+// (the viewers chart them); annotation args are strings.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON writes the accumulated events as a Chrome trace-event JSON
+// object. Load the file at ui.perfetto.dev (drag and drop) or
+// chrome://tracing.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range t.events {
+		e := &t.events[i]
+		je := jsonEvent{Name: e.name, Cat: e.cat, Ph: string(rune(e.ph)), TS: e.ts, PID: e.pid, TID: e.tid}
+		switch e.ph {
+		case 'X':
+			d := e.dur
+			je.Dur = &d
+		case 'C':
+			je.Args = map[string]any{"value": e.value}
+		case 'i':
+			je.S = "t" // thread-scoped instant
+		}
+		if e.nargs > 0 {
+			if je.Args == nil {
+				je.Args = make(map[string]any, e.nargs)
+			}
+			for _, a := range e.args[:e.nargs] {
+				je.Args[a.Key] = a.Val
+			}
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if err := encodeEvent(w, je); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// encodeEvent marshals one event without a trailing newline so the
+// separators stay under our control.
+func encodeEvent(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

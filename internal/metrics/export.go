@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Dump is the on-disk JSON stats document (`vcasim -stats out.json`).
+// Schema evolution contract: DumpSchema bumps whenever a field is
+// renamed, removed, or changes meaning; adding fields is backward
+// compatible and does not bump it. The golden-file test in
+// stats_export_test.go pins the rendered form.
+const DumpSchema = 1
+
+// Header carries run identification alongside the counter samples so a
+// dump is interpretable on its own.
+type Header struct {
+	Arch      string `json:"arch,omitempty"`
+	PhysRegs  int    `json:"phys_regs,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+	Workloads string `json:"workloads,omitempty"`
+	Cycles    uint64 `json:"cycles,omitempty"`
+	Committed uint64 `json:"committed,omitempty"`
+}
+
+type dump struct {
+	Schema  int      `json:"schema"`
+	Header  *Header  `json:"run,omitempty"`
+	Metrics []Sample `json:"metrics"`
+}
+
+// WriteJSON writes the registry's snapshot as an indented, sorted,
+// deterministic JSON document. hdr may be nil.
+func (r *Registry) WriteJSON(w io.Writer, hdr *Header) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump{Schema: DumpSchema, Header: hdr, Metrics: r.Snapshot()})
+}
+
+// WriteCSV writes one row per metric: name, kind, unit, value, count,
+// sum, max, mean. Histogram buckets are omitted from the CSV form — use
+// the JSON dump for full distributions.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "unit", "value", "count", "sum", "max", "mean"}); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, s := range r.Snapshot() {
+		row := []string{s.Name, s.Kind, s.Unit, u(s.Value), u(s.Count), u(s.Sum), u(s.Max),
+			strconv.FormatFloat(s.Mean, 'g', -1, 64)}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

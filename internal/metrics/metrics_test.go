@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 30, 31}, {1 << 40, NumBuckets - 1}, {^uint64(0), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.v); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bounds round-trip: every value must fall inside its bucket's range.
+	for _, v := range []uint64{0, 1, 2, 3, 5, 100, 1 << 20} {
+		lo, hi := BucketBounds(BucketOf(v))
+		if v < lo || (hi != 0 && v >= hi) {
+			t.Errorf("value %d outside its bucket bounds [%d, %d)", v, lo, hi)
+		}
+	}
+}
+
+func TestHistogramAndOccupancy(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 4, 9} {
+		h.Observe(v)
+	}
+	if h.Count != 5 || h.Sum != 15 {
+		t.Fatalf("count=%d sum=%d, want 5/15", h.Count, h.Sum)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("mean=%v, want 3", got)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[3] != 1 || h.Buckets[4] != 1 {
+		t.Fatalf("unexpected buckets %v", h.Buckets)
+	}
+
+	var o Occupancy
+	o.Observe(3)
+	o.Observe(7)
+	o.Observe(2)
+	if o.Max != 7 {
+		t.Fatalf("max=%d, want 7", o.Max)
+	}
+	if o.Mean() != 4 {
+		t.Fatalf("mean=%v, want 4", o.Mean())
+	}
+}
+
+func TestRegistrySnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("z.last", "events", "registered first, sorts last")
+	var adopted Counter
+	r.RegisterCounter("a.first", "cycles", "adopted field", &adopted)
+	adopted.Inc()
+	h := r.Histogram("m.hist", "insts", "")
+	o := r.Occupancy("m.occ", "entries", "")
+	c.Add(3)
+	h.Observe(5)
+	o.Observe(9)
+
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d samples, want 4", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	byName := map[string]Sample{}
+	for _, s := range snap {
+		byName[s.Name] = s
+	}
+	if byName["z.last"].Value != 3 {
+		t.Errorf("counter value %d, want 3", byName["z.last"].Value)
+	}
+	if s := byName["m.occ"]; s.Max != 9 || s.Count != 1 || len(s.Buckets) != 1 {
+		t.Errorf("occupancy sample %+v", s)
+	}
+
+	cm := r.CounterMap()
+	if len(cm) != 2 || cm["z.last"] != 3 {
+		t.Errorf("counter map %v", cm)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "", "")
+}
+
+func TestWriteJSONDeterministicAndValid(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b", "events", "").Add(2)
+		r.Counter("a", "cycles", "").Inc()
+		r.Occupancy("q", "entries", "").Observe(4)
+		return r
+	}
+	var w1, w2 bytes.Buffer
+	if err := build().WriteJSON(&w1, &Header{Arch: "test", Cycles: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&w2, &Header{Arch: "test", Cycles: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("two identical registries exported different JSON")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(w1.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc["schema"].(float64) != DumpSchema {
+		t.Fatalf("schema = %v", doc["schema"])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "events", "").Add(7)
+	var w bytes.Buffer
+	if err := r.WriteCSV(&w); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(w.String()), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "c,counter,events,7,") {
+		t.Fatalf("unexpected CSV:\n%s", w.String())
+	}
+}
+
+func TestTraceRecorderJSON(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.NameProcess(0, "thread 0")
+	tr.NameThread(0, 2, "execute")
+	tr.Complete("addq r1, r2, r3", "pipeline", 0, 2, 100, 3, Arg{Key: "pc", Val: "0x10040"})
+	tr.Instant("rename-stall: rob_full", "stall", 0, 1, 104)
+	tr.Counter("occ.rob", 0, 104, 17)
+	var w bytes.Buffer
+	if err := tr.WriteJSON(&w); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(w.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, w.String())
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(doc.TraceEvents))
+	}
+	x := doc.TraceEvents[2]
+	if x["ph"] != "X" || x["dur"].(float64) != 3 || x["args"].(map[string]any)["pc"] != "0x10040" {
+		t.Errorf("complete event wrong: %v", x)
+	}
+	c := doc.TraceEvents[4]
+	if c["ph"] != "C" || c["args"].(map[string]any)["value"].(float64) != 17 {
+		t.Errorf("counter event wrong: %v", c)
+	}
+}

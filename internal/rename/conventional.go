@@ -1,13 +1,53 @@
 // Package rename implements the two register-rename substrates the paper
-// compares: a conventional merged-register-file renamer (per-thread map
-// table + free list, §2.1.3's commit-table recovery discipline), and the
-// virtual context architecture renamer (§2) — a tagged, set-associative
-// rename table backed by memory, with the physical-register state machine
-// of Figure 2, LRU replacement with overwrite-pending demotion, and an
-// RSID translation table (§2.2.1).
+// compares.
+//
+// The conventional substrate (Conventional, this file) is a per-thread
+// map table plus a shared free list: every architectural write allocates
+// a fresh physical register, the previous mapping is reclaimed when the
+// writer commits, and misprediction recovery restores mappings via the
+// commit-side retirement table (§2.1.3's recovery discipline). Its one
+// failure mode — the free list running dry — is what limits how many
+// contexts (windows × threads) a register file of a given size can hold,
+// and is exactly the wall Figures 4 and 7 show the baseline hitting.
+//
+// The VCA substrate (VCA, vca.go) is the paper's contribution (§2):
+// the physical register file becomes a cache of a memory-mapped logical
+// register space. Its pieces, each mapping to a paper section:
+//
+//   - Logical registers are identified by full memory addresses (context
+//     base pointer + 8×index, §2.1); the rename table (RenameSource,
+//     RenameDest) is therefore tagged and set-associative like a cache
+//     (§2.1.1). A source miss allocates a register and generates a fill;
+//     replacement pressure evicts an unpinned committed register,
+//     generating a spill when dirty. Both travel as MemOp values to the
+//     core's ASTQ (§2.2.2).
+//   - Each physical register follows the Figure 2 state machine,
+//     implemented as reference counts (pins by in-flight readers and the
+//     overwriting instruction) plus committed/dirty bits. Pinned
+//     registers are never replaced; committed+dirty registers are the
+//     cacheable architectural state.
+//   - Replacement is LRU with overwrite-pending demotion (§2.1.2): a
+//     register whose overwriter is already renamed is dead the moment the
+//     overwriter commits, so it is the cheapest victim.
+//   - The RSID translation table (§2.2.1) compresses the full 64-bit
+//     address tags: the table stores a small register-space ID per
+//     context page, so tag compares are narrow. Reallocating a live RSID
+//     entry flushes the registers still tagged with it.
 //
 // Physical register *values* live in the core; this package manages
-// mappings, allocation, pinning, and spill/fill generation only.
+// mappings, allocation, pinning, and spill/fill generation only. That
+// split keeps the substrate deterministic and directly property-testable
+// (rename_test.go checks the Fig. 2 invariants: no two live mappings to
+// one register, pinned registers never replaced, free + live = total).
+//
+// Associativity 1 is rejected at construction: an instruction's first
+// pinned source can occupy the only way its second source maps to,
+// deadlocking rename — the paper's §2.1.1 argument for set associativity
+// is a correctness requirement, not a tuning choice.
+//
+// Both substrates count their events into VCAStats fields registered
+// with the machine's metrics registry under rename.vca.* (metrics.go);
+// the catalogue is docs/OBSERVABILITY.md.
 package rename
 
 import "fmt"

@@ -82,6 +82,9 @@ type VCAStats struct {
 	TableConflictEvicts uint64
 	PhysEvicts          uint64
 	RenameStalls        uint64
+	DestAllocs          uint64 // destination registers allocated (phys-reg C̅ transitions)
+	RollbackFrees       uint64 // squashed destination registers returned to the free list
+	RSIDHits            uint64
 	RSIDMisses          uint64
 	RSIDFlushRegs       uint64
 }
@@ -329,6 +332,7 @@ func (v *VCA) RenameDest(addr uint64, ops *[]MemOp) (newPhys, prevSpec int, ok b
 	}
 	r := &v.regs[p]
 	*r = physState{addr: addr, mapped: true, ref: 1, committed: false, lru: v.tick()}
+	v.Stats.DestAllocs++
 	return p, prev, true
 }
 
@@ -425,6 +429,7 @@ func (v *VCA) RollbackDest(addr uint64, newPhys, prevSpec int) {
 	}
 	*r = physState{}
 	v.free = append(v.free, newPhys)
+	v.Stats.RollbackFrees++
 }
 
 // StillMapped reports whether addr's current speculative mapping is phys.
@@ -457,6 +462,7 @@ func (v *VCA) touchRSID(addr uint64) {
 	for i := 0; i < v.cfg.RSIDs; i++ {
 		if v.rsidValid[i] && v.rsidTags[i] == tag {
 			v.rsidLRU[i] = v.tick()
+			v.Stats.RSIDHits++
 			return
 		}
 		if !v.rsidValid[i] {

@@ -1,0 +1,103 @@
+// Command linkcheck verifies the repository's Markdown cross-links: every
+// relative link target in every *.md file must exist on disk. External
+// (http/https/mailto) links and in-page anchors are not fetched or
+// resolved — the check is offline and deterministic so it can gate
+// `make docs-check`.
+//
+// Usage (from the repository root):
+//
+//	go run ./internal/tools/linkcheck [dir]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline Markdown links and images: [text](target). Nested
+// brackets in the text (e.g. [[wiki]]-style) are not used in this repo.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		broken += checkFile(path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports the file's broken relative links on stderr and
+// returns how many it found.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		return 1
+	}
+	broken := 0
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if !relativeTarget(target) {
+				continue
+			}
+			// Drop an in-file anchor suffix; checking heading anchors would
+			// couple the checker to a specific slugification, so only the
+			// file part is verified.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n",
+					path, lineNo+1, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// relativeTarget reports whether the link names something on disk (as
+// opposed to an external URL or a pure in-page anchor).
+func relativeTarget(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return false
+	}
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package vca
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// statsSrc is a small but non-trivial workload for the stats dump tests:
+// calls (window rotation), loads/stores, and a data-dependent branch so
+// the branch and memory counters are exercised.
+const statsSrc = `
+int buf[64];
+int sum(int n) {
+	int s = 0;
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		buf[i] = i * 3;
+		if (buf[i] > 20) { s = s + buf[i]; } else { s = s - 1; }
+	}
+	return s;
+}
+int main() {
+	int t = 0;
+	int k;
+	for (k = 1; k <= 12; k = k + 1) { t = t + sum(k); }
+	print_int(t);
+	return 0;
+}`
+
+func statsRun(t *testing.T) (Result, *StatsHeader) {
+	t.Helper()
+	prog, err := CompileC(statsSrc, ABIWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(MachineSpec{Arch: VCAWindowed, PhysRegs: 128}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := &StatsHeader{
+		Arch:      VCAWindowed.String(),
+		PhysRegs:  128,
+		Threads:   1,
+		Workloads: "stats_src",
+		Cycles:    res.Cycles,
+		Committed: res.Threads[0].Committed,
+	}
+	return res, hdr
+}
+
+// TestStatsDumpGolden pins the rendered JSON stats document — schema
+// field, header shape, metric naming, units, and values — against
+// testdata/stats_golden.json. Regenerate with `go test -run
+// TestStatsDumpGolden -update .` after an intentional surface change,
+// and review the golden diff as part of the change.
+func TestStatsDumpGolden(t *testing.T) {
+	res, hdr := statsRun(t)
+	var buf bytes.Buffer
+	if err := res.WriteStats(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "stats_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("stats dump diverges from %s (regenerate with -update if intentional)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestStatsDumpSchema checks the structural invariants every consumer
+// relies on, independent of the golden file: a schema number, the run
+// header, and uniquely named, sorted metrics that each carry a kind and
+// a unit.
+func TestStatsDumpSchema(t *testing.T) {
+	res, hdr := statsRun(t)
+	var buf bytes.Buffer
+	if err := res.WriteStats(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		Schema int `json:"schema"`
+		Run    *struct {
+			Arch      string `json:"arch"`
+			Cycles    uint64 `json:"cycles"`
+			Committed uint64 `json:"committed"`
+		} `json:"run"`
+		Metrics []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+			Unit string `json:"unit"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema < 1 {
+		t.Errorf("schema = %d, want >= 1", doc.Schema)
+	}
+	if doc.Run == nil || doc.Run.Arch != "vca-windowed" || doc.Run.Committed == 0 {
+		t.Errorf("bad run header: %+v", doc.Run)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Fatal("no metrics in dump")
+	}
+	names := make([]string, len(doc.Metrics))
+	seen := make(map[string]bool)
+	for i, m := range doc.Metrics {
+		names[i] = m.Name
+		if m.Name == "" || m.Kind == "" || m.Unit == "" {
+			t.Errorf("metric %d incomplete: %+v", i, m)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate metric %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Error("metrics are not sorted by name")
+	}
+	for _, want := range []string{
+		"core.cycles", "core.commit.insts.t0", "core.rename.stall.vca_astq",
+		"mem.dl1.accesses.spill_fill", "branch.cond_mispredicts", "rename.vca.src_hits",
+	} {
+		if !seen[want] {
+			t.Errorf("expected metric %q missing from dump", want)
+		}
+	}
+}
+
+// TestStatsDumpDeterministic runs the same configuration twice and
+// requires byte-identical dumps — the property that makes stats files
+// diffable across code changes.
+func TestStatsDumpDeterministic(t *testing.T) {
+	var dumps [2]bytes.Buffer
+	for i := range dumps {
+		res, hdr := statsRun(t)
+		if err := res.WriteStats(&dumps[i], hdr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
+		t.Error("two identical runs produced different stats dumps")
+	}
+}
+
+// TestStatsCSV sanity-checks the CSV form: header row plus one row per
+// metric, with the counter columns parseable.
+func TestStatsCSV(t *testing.T) {
+	res, _ := statsRun(t)
+	var buf bytes.Buffer
+	if err := res.WriteStatsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "name,kind,unit,value,count,sum,max,mean" {
+		t.Errorf("bad CSV header: %q", lines[0])
+	}
+	if len(lines) != res.Metrics.Len()+1 {
+		t.Errorf("CSV rows = %d, want %d metrics + header", len(lines)-1, res.Metrics.Len())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"vca/internal/asm"
 	"vca/internal/core"
 	"vca/internal/emu"
+	"vca/internal/metrics"
 	"vca/internal/minic"
 	"vca/internal/program"
 )
@@ -113,7 +114,25 @@ type MachineSpec struct {
 	DisableCoSim bool
 	// Trace, when non-nil, receives one line per committed instruction.
 	Trace io.Writer
+	// ChromeTrace, when non-nil, records a Chrome trace-event timeline of
+	// the run (per-uop pipeline-stage slices, stall instants, occupancy
+	// counters). Write it out afterwards with TraceRecorder.WriteJSON and
+	// load the file at ui.perfetto.dev or chrome://tracing. Timeline
+	// recording buffers events in memory — bound the run with StopAfter.
+	ChromeTrace *TraceRecorder
 }
+
+// TraceRecorder re-exports the Chrome trace-event recorder; see
+// MachineSpec.ChromeTrace and docs/OBSERVABILITY.md.
+type TraceRecorder = metrics.TraceRecorder
+
+// NewTraceRecorder returns an empty timeline recorder for
+// MachineSpec.ChromeTrace.
+func NewTraceRecorder() *TraceRecorder { return metrics.NewTraceRecorder() }
+
+// StatsHeader re-exports the run-identification header of a stats dump;
+// see Result.WriteStats.
+type StatsHeader = metrics.Header
 
 // Result re-exports the core simulation result.
 type Result struct {
@@ -122,6 +141,19 @@ type Result struct {
 
 // Output returns the program output of thread t.
 func (r Result) Output(t int) string { return r.Threads[t].Output }
+
+// WriteStats writes the run's full event-counter dump as a deterministic
+// JSON document (see docs/OBSERVABILITY.md for the counter catalogue).
+// hdr may be nil.
+func (r Result) WriteStats(w io.Writer, hdr *StatsHeader) error {
+	return r.Metrics.WriteJSON(w, hdr)
+}
+
+// WriteStatsCSV writes the counter dump as CSV (one row per metric;
+// histogram buckets are omitted — use WriteStats for distributions).
+func (r Result) WriteStatsCSV(w io.Writer) error {
+	return r.Metrics.WriteCSV(w)
+}
 
 // Run executes one program per hardware thread on the specified machine.
 func Run(spec MachineSpec, progs ...*Program) (Result, error) {
@@ -156,6 +188,7 @@ func Run(spec MachineSpec, progs ...*Program) (Result, error) {
 	cfg.StopAfter = spec.StopAfter
 	cfg.CoSim = !spec.DisableCoSim
 	cfg.TraceWriter = spec.Trace
+	cfg.ChromeTrace = spec.ChromeTrace
 	m, err := core.New(cfg, progs, spec.Arch.Windowed())
 	if err != nil {
 		return Result{}, err
