@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check docs-check bench benchjson experiments
+.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments
 
 all: build test
 
@@ -11,10 +11,31 @@ build:
 test:
 	$(GO) test ./...
 
-# Extended gate: static checks plus the full suite under the race
-# detector. Slower than `make test`; run before sending a change.
-check: docs-check
+# Full suite under the race detector.
+test-race:
 	$(GO) test -race ./...
+
+# Short-budget native fuzzing over the three fuzz targets (assembler,
+# mini-C compiler, whole-stack lockstep). Each target gets a small time
+# budget on top of replaying its committed corpus; failures minimize
+# into testdata/fuzz/ automatically.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAssemble$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/minic -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzRandomProgramsLockstep$$' -fuzztime $(FUZZTIME)
+
+# Fixed-seed config-space lockstep sweep (see docs/VERIFICATION.md).
+sweep:
+	$(GO) run ./cmd/experiments -sweep 25 -sweepseed 1
+
+# Extended gate: static checks, the race suite, and the fuzz smoke.
+# Slower than `make test`; run before sending a change.
+check: docs-check test-race fuzz-smoke
+
+# Continuous-integration gate: everything check runs, plus the
+# fixed-seed verification sweep.
+ci: build docs-check test-race fuzz-smoke sweep
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.

@@ -10,9 +10,12 @@
 //	experiments -fig7                # SMT weighted speedups
 //	experiments -fig8                # SMT + register windows
 //	experiments -stop N              # per-run commit budget (default 150000)
+//	experiments -sweep N             # N randomized lockstep verification runs
+//	experiments -sweepseed S         # sweep RNG seed (default 1)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +25,7 @@ import (
 
 	"vca/internal/core"
 	"vca/internal/experiments"
+	"vca/internal/verify"
 )
 
 var (
@@ -35,6 +39,9 @@ var (
 	flagFig8   = flag.Bool("fig8", false, "SMT + register windows (Figure 8)")
 	flagStop   = flag.Uint64("stop", 150_000, "per-run commit budget (0 = full runs)")
 
+	flagSweep     = flag.Int("sweep", 0, "run N randomized machine configurations in lockstep with the emulator (invariant checker + co-simulation); shrunk repros print as JSON on divergence")
+	flagSweepSeed = flag.Int64("sweepseed", 1, "RNG seed for -sweep (a fixed seed reproduces the exact configuration sequence)")
+
 	flagBenchJSON  = flag.String("benchjson", "", "measure simulator throughput on a fixed workload matrix and write JSON to this file")
 	flagCPUProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMemProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -47,7 +54,7 @@ func main() {
 		*flagFig4, *flagFig5, *flagFig6 = true, true, true
 		*flagFig7, *flagFig8 = true, true
 	}
-	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "") {
+	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "" || *flagSweep > 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -74,6 +81,9 @@ func main() {
 	if *flagBenchJSON != "" {
 		check(benchJSON(*flagBenchJSON))
 	}
+	if *flagSweep > 0 {
+		sweep(*flagSweepSeed, *flagSweep)
+	}
 	if *flagTable1 {
 		table1()
 	}
@@ -92,6 +102,30 @@ func main() {
 	if *flagFig8 {
 		check(fig8())
 	}
+}
+
+// sweep runs the config-space lockstep verification sweep and exits
+// non-zero if any run diverged (printing each shrunk repro as JSON —
+// the format docs/VERIFICATION.md documents).
+func sweep(seed int64, n int) {
+	fmt.Printf("== Lockstep verification sweep: %d runs, seed %d ==\n", n, seed)
+	repros := verify.Sweep(seed, n, func(i int, failed bool) {
+		status := "ok"
+		if failed {
+			status = "DIVERGED"
+		}
+		fmt.Printf("run %3d/%d: %s\n", i+1, n, status)
+	})
+	if len(repros) == 0 {
+		fmt.Println("all runs agree with the functional emulator; no invariant violations")
+		return
+	}
+	for _, r := range repros {
+		b, err := json.MarshalIndent(r, "", "  ")
+		check(err)
+		fmt.Printf("minimal repro:\n%s\n", b)
+	}
+	os.Exit(1)
 }
 
 func check(err error) {

@@ -316,8 +316,19 @@ func (a *assembler) encodeInst(ln line) {
 	mnem, args := ln.mnem, ln.args
 
 	// Pseudo-instructions first.
+	wants := func(n int) bool {
+		if len(args) != n {
+			a.errf(ln, "%s wants %d operands, got %d", mnem, n, len(args))
+			a.text = append(a.text, 0)
+			return false
+		}
+		return true
+	}
 	switch mnem {
 	case "li":
+		if !wants(2) {
+			return
+		}
 		d, err1 := parseReg(args[0])
 		v, err2 := parseInt(args[1])
 		if err1 != nil || err2 != nil {
@@ -348,6 +359,9 @@ func (a *assembler) encodeInst(ln line) {
 		a.text = append(a.text, words...)
 		return
 	case "mov":
+		if !wants(2) {
+			return
+		}
 		d, err1 := parseReg(args[0])
 		s, err2 := parseReg(args[1])
 		if err1 != nil || err2 != nil {
@@ -369,6 +383,9 @@ func (a *assembler) encodeInst(ln line) {
 		a.emit(w, err, ln)
 		return
 	case "neg":
+		if !wants(2) {
+			return
+		}
 		d, err1 := parseReg(args[0])
 		s, err2 := parseReg(args[1])
 		if err1 != nil || err2 != nil {
@@ -378,6 +395,9 @@ func (a *assembler) encodeInst(ln line) {
 		a.emit(isa.EncodeR(isa.OpSub, uint8(isa.ZeroInt), uint8(s), uint8(d)), nil, ln)
 		return
 	case "subi":
+		if !wants(3) {
+			return
+		}
 		mnem = "addi"
 		v, err := parseInt(args[2])
 		if err != nil {

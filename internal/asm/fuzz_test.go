@@ -1,0 +1,49 @@
+package asm
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzAssemble feeds arbitrary source text through the full assembler.
+// The contract under test: Assemble never panics and never returns a nil
+// program without an error, for any input. (The seed corpus under
+// testdata/fuzz/FuzzAssemble holds both valid programs covering every
+// directive and pseudo-instruction, and malformed near-misses.)
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"main:\n        li a0, 0\n        syscall 0\n",
+		// Every directive and a label-heavy layout.
+		"        .text\nmain:   la t0, tbl\n        ldq a0, 8(t0)\n        syscall 2\n" +
+			"        li a0, 0\n        syscall 0\n" +
+			"        .data\n        .align 8\ntbl:    .quad 1, 2, main\n" +
+			"msg:    .asciz \"hi\\n\"\nb:      .byte 1, 2\nl:      .long 7\nd:      .double 1.5\nsp_:    .space 32\n",
+		// Pseudo-instructions.
+		"main:   li t0, 0x123456789abcdef\n        mov t1, t0\n        neg t2, t1\n" +
+			"        subi t3, t2, 4\n        nop\n        call f\n        b out\nout:    li a0, 0\n        syscall 0\nf:      ret\n",
+		// Windowed registers, call/return, branches.
+		"f:      mov s15, ra\n        addi s0, a0, 1\n        add v0, s0, s0\n        ret (s15)\n" +
+			"main:   li a0, 3\n        jsr f\n        mov a0, v0\n        syscall 2\n        li a0, 0\n        syscall 0\n",
+		// Near-misses: unknown mnemonic, bad operand, duplicate label,
+		// dangling reference, overflowing displacement.
+		"main:   frobnicate t0, t1\n",
+		"main:   addi t0, t9, 1\n",
+		"x:\nx:      nop\n",
+		"main:   jsr nowhere\n",
+		"main:   ldq t0, 99999999999(sp)\n",
+		"\x00\xff .data .quad",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) {
+			t.Skip()
+		}
+		p, err := Assemble(src)
+		if err == nil && p == nil {
+			t.Fatal("Assemble returned nil program without an error")
+		}
+	})
+}

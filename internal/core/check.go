@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+
+	"vca/internal/rename"
+)
+
+// This file is the cycle-level invariant checker behind Config.Check:
+// after every simulated cycle it re-derives, from first principles, the
+// state every structure ought to be in and compares. The checks fall
+// into four families (catalogued in docs/VERIFICATION.md):
+//
+//   - Rename-substrate audits. For VCA, the Figure 2 reference counts
+//     are reconstructed from the live ROB (every source read pins its
+//     register, every producer pins its destination, every in-flight
+//     destination rename is one pending overwrite of its previous
+//     version) and must match the renamer exactly; conservation (free +
+//     mapped = all) and table/commit-map consistency come from
+//     rename.VCA.CheckInvariants. For the conventional substrate the
+//     free-list leak check runs against the ROB's in-flight
+//     destinations.
+//   - Queue shape. ROB, fetch queue, IQ, LSQ, and ASTQ must be
+//     age-ordered (FIFO enqueue stamps for the ASTQ), and the
+//     incrementally maintained per-thread occupancy counts (robCount,
+//     inFetchQ, lsqStores, inFlight) must equal a fresh scan.
+//   - Counter identities. The flow counters registered in counters.go
+//     must conserve uops: rename in = commit + squash + resident, for
+//     each structure. A counter identity failing means the metrics the
+//     experiments consume have silently drifted from the machine.
+//   - Memory-system structure. Cache directories may not hold duplicate
+//     tags (checked every 1024 cycles — the directories are large and
+//     change slowly relative to the queues).
+//
+// The checker allocates its scratch once, on first use; with
+// Config.Check false the only cost is one branch per cycle.
+
+// checker holds the reusable scratch of the invariant checker so the
+// per-cycle passes allocate nothing.
+type checker struct {
+	expectRef []int // VCA: pins justified by the live ROB
+	expectOW  []int // VCA: overwriters justified by the live ROB
+
+	inFlight []int // conventional: live destination registers
+
+	robCount  []int // per-thread reconstructed occupancies
+	fetchCnt  []int
+	lsqCnt    []int
+	nonIssued []int
+
+	// Per-thread age cursor for the ordering checks. A shared queue is
+	// age-ordered per thread, not globally: an injected window-trap uop
+	// carries a younger seq than another thread's still-unrenamed
+	// instructions yet legally renames first.
+	lastSeq []uint64
+}
+
+func (m *Machine) ensureChecker() *checker {
+	if m.chk == nil {
+		m.chk = &checker{
+			expectRef: make([]int, m.cfg.PhysRegs),
+			expectOW:  make([]int, m.cfg.PhysRegs),
+			robCount:  make([]int, m.cfg.Threads),
+			fetchCnt:  make([]int, m.cfg.Threads),
+			lsqCnt:    make([]int, m.cfg.Threads),
+			nonIssued: make([]int, m.cfg.Threads),
+			lastSeq:   make([]uint64, m.cfg.Threads),
+		}
+	}
+	return m.chk
+}
+
+// checkCycle runs the end-of-cycle invariant pass and records a
+// violation into m.err (Run aborts on it). The cache-directory pass
+// runs every 1024 cycles.
+func (m *Machine) checkCycle() {
+	err := m.checkStructures(true)
+	if err == nil && m.cycle&1023 == 0 {
+		err = m.hier.CheckInvariants()
+	}
+	if err != nil {
+		m.err = fmt.Errorf("core: invariant violation at cycle %d: %w", m.cycle, err)
+	}
+}
+
+// CheckNow runs every invariant check immediately and returns the first
+// violation. It is safe to call between cycles or after Run returns;
+// tests use it to prove deliberately injected corruption is caught.
+func (m *Machine) CheckNow() error {
+	if err := m.checkStructures(false); err != nil {
+		return err
+	}
+	return m.hier.CheckInvariants()
+}
+
+// checkStructures is the per-cycle structural pass. inRun gates the
+// checks that only hold at the exact end of a simulated cycle (the
+// occupancy-sampling identity).
+func (m *Machine) checkStructures(inRun bool) error {
+	chk := m.ensureChecker()
+	clear(chk.expectRef)
+	clear(chk.expectOW)
+	clear(chk.robCount)
+	clear(chk.fetchCnt)
+	clear(chk.lsqCnt)
+	clear(chk.nonIssued)
+	chk.inFlight = chk.inFlight[:0]
+
+	// ROB: age order, per-thread occupancy, rename pins, readiness.
+	clear(chk.lastSeq)
+	for _, u := range m.rob[m.robHead:] {
+		if u.seq <= chk.lastSeq[u.thread] {
+			return fmt.Errorf("rob age order broken: thread %d seq %d after %d", u.thread, u.seq, chk.lastSeq[u.thread])
+		}
+		chk.lastSeq[u.thread] = u.seq
+		chk.robCount[u.thread]++
+		if !u.issued && !u.injected {
+			chk.nonIssued[u.thread]++
+		}
+		if u.destPhys >= 0 && !u.done && m.physReady[u.destPhys] {
+			return fmt.Errorf("destination p%d of un-executed uop seq %d is marked ready", u.destPhys, u.seq)
+		}
+		switch m.cfg.Rename {
+		case RenameConventional:
+			chk.inFlight = append(chk.inFlight, u.destPhys)
+		case RenameVCA:
+			for i := 0; i < u.nsrc; i++ {
+				if p := u.srcPhys[i]; p >= 0 {
+					chk.expectRef[p]++
+				}
+			}
+			if u.destPhys >= 0 {
+				chk.expectRef[u.destPhys]++
+				if u.destPrev >= 0 {
+					chk.expectOW[u.destPrev]++
+					if addr, ok := m.vca.MappedAddr(u.destPrev); !ok || addr != u.destAddr {
+						return fmt.Errorf("uop seq %d: previous version p%d of %#x no longer holds it (mapped=%v addr=%#x)",
+							u.seq, u.destPrev, u.destAddr, ok, addr)
+					}
+				}
+			}
+		}
+	}
+
+	// Fetch queue: age order (global — every entry passed through the
+	// fetch stage's seq assignment), not yet renamed, per-thread
+	// occupancy.
+	var lastSeq uint64
+	for _, fe := range m.fetchQ[m.fetchHead:] {
+		if fe.u.seq <= lastSeq {
+			return fmt.Errorf("fetch queue age order broken: seq %d after %d", fe.u.seq, lastSeq)
+		}
+		lastSeq = fe.u.seq
+		chk.fetchCnt[fe.u.thread]++
+		if fe.u.destPhys != rename.PhysNone {
+			return fmt.Errorf("un-renamed uop seq %d already has destination p%d", fe.u.seq, fe.u.destPhys)
+		}
+	}
+
+	// IQ: age order, membership flags, nothing issued still resident.
+	clear(chk.lastSeq)
+	for _, u := range m.iq {
+		if u.seq <= chk.lastSeq[u.thread] {
+			return fmt.Errorf("iq age order broken: thread %d seq %d after %d", u.thread, u.seq, chk.lastSeq[u.thread])
+		}
+		chk.lastSeq[u.thread] = u.seq
+		if !u.inIQ || u.issued {
+			return fmt.Errorf("iq holds uop seq %d with inIQ=%v issued=%v", u.seq, u.inIQ, u.issued)
+		}
+	}
+
+	// LSQ: age order, stores only, per-thread store counts.
+	clear(chk.lastSeq)
+	for _, u := range m.lsq {
+		if u.seq <= chk.lastSeq[u.thread] {
+			return fmt.Errorf("lsq age order broken: thread %d seq %d after %d", u.thread, u.seq, chk.lastSeq[u.thread])
+		}
+		chk.lastSeq[u.thread] = u.seq
+		if !u.isStore() || !u.inLSQ {
+			return fmt.Errorf("lsq holds non-store uop seq %d (inLSQ=%v)", u.seq, u.inLSQ)
+		}
+		chk.lsqCnt[u.thread]++
+	}
+
+	for _, u := range m.inExec {
+		if !u.issued {
+			return fmt.Errorf("in-flight execution list holds un-issued uop seq %d", u.seq)
+		}
+	}
+
+	// Per-thread incremental bookkeeping vs the fresh scans.
+	for _, th := range m.threads {
+		t := th.id
+		if th.robCount != chk.robCount[t] {
+			return fmt.Errorf("thread %d robCount %d, scan finds %d", t, th.robCount, chk.robCount[t])
+		}
+		if th.inFetchQ != chk.fetchCnt[t] {
+			return fmt.Errorf("thread %d inFetchQ %d, scan finds %d", t, th.inFetchQ, chk.fetchCnt[t])
+		}
+		if th.lsqStores != chk.lsqCnt[t] {
+			return fmt.Errorf("thread %d lsqStores %d, scan finds %d", t, th.lsqStores, chk.lsqCnt[t])
+		}
+		if want := chk.fetchCnt[t] + chk.nonIssued[t]; th.inFlight != want {
+			return fmt.Errorf("thread %d ICOUNT inFlight %d, scan finds %d", t, th.inFlight, want)
+		}
+		if th.done && (th.robCount != 0 || th.inFetchQ != 0 || th.lsqStores != 0 || th.injectPending() != 0) {
+			return fmt.Errorf("exited thread %d still owns pipeline state (rob=%d fetch=%d lsq=%d inject=%d)",
+				t, th.robCount, th.inFetchQ, th.lsqStores, th.injectPending())
+		}
+		if m.cfg.Window == WindowConventional {
+			resident := th.commitDepth - th.winBase + 1
+			if th.winBase < 0 || th.winBase > th.commitDepth || resident > m.nwin {
+				return fmt.Errorf("thread %d window residency broken: winBase=%d commitDepth=%d nwin=%d",
+					t, th.winBase, th.commitDepth, m.nwin)
+			}
+			if th.specDepth < 0 {
+				return fmt.Errorf("thread %d speculative window depth %d negative", t, th.specDepth)
+			}
+		}
+	}
+
+	// Rename substrate audits.
+	switch m.cfg.Rename {
+	case RenameConventional:
+		if err := m.conv.CheckInvariants(chk.inFlight); err != nil {
+			return err
+		}
+	case RenameVCA:
+		if err := m.vca.CheckInvariants(); err != nil {
+			return err
+		}
+		if err := m.vca.AuditPins(chk.expectRef, chk.expectOW); err != nil {
+			return err
+		}
+		if n := m.vca.PendingRSIDOps(); n != 0 {
+			return fmt.Errorf("%d RSID flush operations left undrained", n)
+		}
+		if err := m.checkASTQ(); err != nil {
+			return err
+		}
+	}
+
+	return m.checkCounterIdentities(inRun)
+}
+
+// checkASTQ validates the spill/fill path: FIFO enqueue order, issue
+// flags, a sane occupancy bound, and — the cross-layer identity — that
+// every spill and fill the renamer ever generated is either already
+// issued to the DL1 (astq.*_issued counters) or still waiting in the
+// queue. Ideal-window machines apply operations instantly and bypass
+// the queue, so the identity does not apply there.
+func (m *Machine) checkASTQ() error {
+	ideal := m.cfg.Window == WindowIdeal
+	var lastEnq uint64
+	pendSpills, pendFills := uint64(0), uint64(0)
+	for _, e := range m.astq[m.astqHead:] {
+		if e.enq <= lastEnq {
+			return fmt.Errorf("astq FIFO order broken: enq %d after %d", e.enq, lastEnq)
+		}
+		lastEnq = e.enq
+		if e.issued {
+			return fmt.Errorf("astq still holds issued operation (enq %d)", e.enq)
+		}
+		if e.op.IsSpill {
+			pendSpills++
+		} else {
+			pendFills++
+		}
+	}
+	for _, e := range m.inastq {
+		if !e.issued {
+			return fmt.Errorf("in-flight ASTQ list holds un-issued operation (enq %d)", e.enq)
+		}
+	}
+	if ideal {
+		if m.astqLen() != 0 {
+			return fmt.Errorf("ideal-window machine has %d queued ASTQ operations", m.astqLen())
+		}
+		return nil
+	}
+	// One rename can overshoot the full-queue check by its own operation
+	// burst (at most 8 spills/fills), and RSID-reuse flushes can add a
+	// register-count's worth on top; beyond that the queue is runaway.
+	if limit := m.cfg.ASTQSize + 8 + int(m.vca.Stats.RSIDFlushRegs); m.astqLen() > limit {
+		return fmt.Errorf("astq occupancy %d exceeds plausible bound %d", m.astqLen(), limit)
+	}
+	vs := &m.vca.Stats
+	if vs.Spills != m.stats.SpillsIssued+pendSpills {
+		return fmt.Errorf("spill accounting broken: renamer generated %d, %d issued + %d pending",
+			vs.Spills, m.stats.SpillsIssued, pendSpills)
+	}
+	if vs.Fills != m.stats.FillsIssued+pendFills {
+		return fmt.Errorf("fill accounting broken: renamer generated %d, %d issued + %d pending",
+			vs.Fills, m.stats.FillsIssued, pendFills)
+	}
+	return nil
+}
+
+// checkCounterIdentities closes the uop flow conservation equations over
+// the metrics counters: what entered a structure must equal what left it
+// plus what is still resident. inRun additionally ties the occupancy
+// trackers to the cycle count (they sample exactly once per cycle).
+func (m *Machine) checkCounterIdentities(inRun bool) error {
+	cnt := &m.cnt
+	renamed := cnt.renameUops.Value()
+	if got, want := uint64(m.robLen()), renamed-cnt.commitUops.Value()-cnt.squashedROB.Value(); got != want {
+		return fmt.Errorf("rob occupancy %d but counters imply %d (renamed %d - committed %d - squashed %d)",
+			got, want, renamed, cnt.commitUops.Value(), cnt.squashedROB.Value())
+	}
+	if got, want := uint64(len(m.iq)), renamed-cnt.issueUops.Value()-cnt.squashedIQ.Value(); got != want {
+		return fmt.Errorf("iq occupancy %d but counters imply %d (renamed %d - issued %d - purged %d)",
+			got, want, renamed, cnt.issueUops.Value(), cnt.squashedIQ.Value())
+	}
+	fromFetch := renamed - cnt.renameInjected.Value()
+	dropped := m.stats.Squashed - cnt.squashedROB.Value()
+	if got, want := uint64(len(m.fetchQ)-m.fetchHead), m.stats.Fetched-fromFetch-dropped; got != want {
+		return fmt.Errorf("fetch queue occupancy %d but counters imply %d (fetched %d - renamed %d - dropped %d)",
+			got, want, m.stats.Fetched, fromFetch, dropped)
+	}
+	if inRun {
+		if got := cnt.iqOcc.Hist.Count.Value(); got != m.cycle {
+			return fmt.Errorf("occupancy sampled %d times in %d cycles", got, m.cycle)
+		}
+	}
+	return nil
+}

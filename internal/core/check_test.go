@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vca/internal/asm"
+	"vca/internal/minic"
+	"vca/internal/progen"
+	"vca/internal/program"
+	"vca/internal/workload"
+)
+
+// TestCheckerMatrix runs every benchmark on every canonical machine
+// model with the cycle-level invariant checker (and co-simulation)
+// enabled. The acceptance bar for the checker itself: zero violations
+// across the full workload x model matrix.
+func TestCheckerMatrix(t *testing.T) {
+	budget := uint64(10_000)
+	if testing.Short() {
+		budget = 2_500
+	}
+	for _, mc := range testMachines() {
+		mc := mc
+		abi := minic.ABIFlat
+		if mc.windowed {
+			abi = minic.ABIWindowed
+		}
+		for _, b := range workload.All() {
+			b := b
+			t.Run(fmt.Sprintf("%s/%s", mc.name, b.Name), func(t *testing.T) {
+				t.Parallel()
+				prog, err := b.Build(abi)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				cfg := mc.cfg
+				cfg.StopAfter = budget
+				m, err := New(cfg, []*program.Program{prog}, mc.windowed)
+				if err != nil {
+					t.Fatalf("new: %v", err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("invariant violation or divergence: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckerCatchesInjectedLeak proves the free-list conservation
+// invariant has teeth: deliberately dropping one physical register from
+// the VCA free list is caught by the explicit CheckNow audit and aborts
+// a checked Run on its first cycle.
+func TestCheckerCatchesInjectedLeak(t *testing.T) {
+	src := progen.FromSeed(3)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cfg := DefaultConfig(RenameVCA, WindowNone, 1, 64)
+	cfg.Check = true
+	m, err := New(cfg, []*program.Program{prog}, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := m.CheckNow(); err != nil {
+		t.Fatalf("clean machine fails audit: %v", err)
+	}
+	if !m.vca.InjectLeak() {
+		t.Fatal("no free register available to leak")
+	}
+	if err := m.CheckNow(); err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("CheckNow after injected leak: got %v, want a leak violation", err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("checked Run after injected leak: got %v, want a leak violation", err)
+	}
+}
+
+// TestSquashDuringWindowTrap drives a conventional-window machine (two
+// resident windows at 160 physical registers) with a deep unconditional
+// call ladder plus data-dependent branches and loops, so branch-recovery
+// squashes and window overflow/underflow traps interleave densely —
+// including flushes that land while injected trap operations are still
+// in flight. The invariant checker and co-simulation audit every cycle.
+func TestSquashDuringWindowTrap(t *testing.T) {
+	cfg := DefaultConfig(RenameConventional, WindowConventional, 1, 160)
+	cfg.Check = true
+	cfg.MaxCycles = 50_000_000
+
+	r := rand.New(rand.NewSource(11))
+	gcfg := progen.Config{WindowLadder: 7, Blocks: 40, Loops: true, Aliasing: true}
+	for i := 0; i < 6; i++ {
+		src := progen.Generate(r, gcfg)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("assemble: %v\n%s", err, src)
+		}
+		want := runEmu(t, prog, true)
+		m, err := New(cfg, []*program.Program{prog}, true)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, src)
+		}
+		if got := res.Threads[0].Output; got != want {
+			t.Fatalf("output %q, want %q\n%s", got, want, src)
+		}
+		if res.WindowTraps == 0 {
+			t.Errorf("program %d: expected window traps on a depth-7 ladder with 2 resident windows", i)
+		}
+		if res.Mispredicts == 0 || res.Squashed == 0 {
+			t.Errorf("program %d: expected mispredict squashes (mispredicts=%d squashed=%d)",
+				i, res.Mispredicts, res.Squashed)
+		}
+	}
+}
+
+// TestSMTConvWindowTrapHeavy runs two threads on a conventional-window
+// machine sized to a single resident window per thread (136 physical
+// registers), the most trap-heavy configuration constructible: every
+// call and return of either thread traps, with round-robin fetch
+// interleaving both threads' injected window operations.
+func TestSMTConvWindowTrapHeavy(t *testing.T) {
+	cfg := DefaultConfig(RenameConventional, WindowConventional, 2, 136)
+	cfg.Check = true
+	cfg.MaxCycles = 50_000_000
+
+	r := rand.New(rand.NewSource(23))
+	srcs := progen.GenerateSMT(r, progen.Config{Helpers: 3, Blocks: 12, Loops: true}, 2)
+	progs := make([]*program.Program, len(srcs))
+	want := make([]string, len(srcs))
+	for i, src := range srcs {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("thread %d assemble: %v\n%s", i, err, src)
+		}
+		progs[i] = prog
+		want[i] = runEmu(t, prog, true)
+	}
+	m, err := New(cfg, progs, true)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := range progs {
+		if got := res.Threads[i].Output; got != want[i] {
+			t.Errorf("thread %d output %q, want %q", i, got, want[i])
+		}
+	}
+	if res.WindowTraps == 0 {
+		t.Error("expected window traps with one resident window per thread")
+	}
+}
+
+// TestSMTVCAFlatFourThreads runs four threads through the VCA rename
+// substrate (flat ABI) with ICOUNT fetch, checking per-thread outputs
+// and that all four threads make progress under the shared register
+// cache with the checker auditing cross-thread conservation.
+func TestSMTVCAFlatFourThreads(t *testing.T) {
+	cfg := DefaultConfig(RenameVCA, WindowNone, 4, 256)
+	cfg.Check = true
+	cfg.MaxCycles = 50_000_000
+
+	r := rand.New(rand.NewSource(31))
+	srcs := progen.GenerateSMT(r, progen.Config{Blocks: 10, Loops: true, Aliasing: true}, 4)
+	progs := make([]*program.Program, len(srcs))
+	want := make([]string, len(srcs))
+	for i, src := range srcs {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("thread %d assemble: %v\n%s", i, err, src)
+		}
+		progs[i] = prog
+		want[i] = runEmu(t, prog, false)
+	}
+	m, err := New(cfg, progs, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := range progs {
+		if got := res.Threads[i].Output; got != want[i] {
+			t.Errorf("thread %d output %q, want %q", i, got, want[i])
+		}
+		if res.Threads[i].Committed == 0 {
+			t.Errorf("thread %d committed nothing", i)
+		}
+	}
+}

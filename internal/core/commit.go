@@ -82,6 +82,7 @@ func (m *Machine) commitStage() {
 		}
 		th.robCount--
 		m.popROB()
+		m.cnt.commitUops++
 
 		if !u.injected && u.class == isa.ClassSyscall && m.commitSyscall(th, u) {
 			m.freeUop(u)

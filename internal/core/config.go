@@ -102,6 +102,13 @@ type Config struct {
 	// functional emulator. Architectural divergence becomes an error.
 	CoSim bool
 
+	// Check runs the cycle-level invariant checker after every simulated
+	// cycle (see check.go and docs/VERIFICATION.md): rename-substrate
+	// conservation and pin audits, queue age monotonicity, occupancy
+	// bookkeeping, and event-counter identities. A violation aborts Run
+	// with an error. Strictly opt-in: false costs one branch per cycle.
+	Check bool
+
 	// TraceWriter, when non-nil, receives one line per committed
 	// instruction (see trace.go for the format).
 	TraceWriter io.Writer

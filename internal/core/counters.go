@@ -131,6 +131,15 @@ type coreCounters struct {
 
 	commitStall [numCommitStalls]metrics.Counter
 
+	// Flow-conservation counters. Together with renameUops and issueUops
+	// they close the queue-accounting identities the invariant checker
+	// asserts every cycle (docs/VERIFICATION.md): every uop that enters a
+	// structure is accounted for when it leaves.
+	commitUops     metrics.Counter // uops retired from the ROB (injected included)
+	squashedROB    metrics.Counter // renamed uops squashed out of the ROB
+	squashedIQ     metrics.Counter // un-issued uops purged from the IQ by squashes
+	renameInjected metrics.Counter // injected window-trap operations renamed
+
 	robOcc  []metrics.Occupancy // per thread
 	lsqOcc  []metrics.Occupancy // per thread
 	iqOcc   metrics.Occupancy   // shared
@@ -168,6 +177,10 @@ func (m *Machine) registerMetrics() {
 	for i := commitStall(0); i < numCommitStalls; i++ {
 		c("core.commit.stall."+i.String(), "cycles", "commit retired nothing: "+i.String(), &cnt.commitStall[i])
 	}
+	c("core.commit.uops", "uops", "uops retired from the ROB (injected included)", &cnt.commitUops)
+	c("core.squash.rob_uops", "uops", "renamed uops squashed out of the ROB", &cnt.squashedROB)
+	c("core.squash.iq_uops", "uops", "un-issued uops purged from the IQ by squashes", &cnt.squashedIQ)
+	c("core.rename.injected_uops", "uops", "injected window-trap operations renamed", &cnt.renameInjected)
 	legacy("core.commit.squashed", "uops", "uops squashed by mispredictions, traps, and exits", &m.stats.Squashed)
 	legacy("core.exec.mispredicts", "events", "resolved control instructions that mispredicted", &m.stats.Mispredicts)
 	legacy("core.window.traps", "events", "conventional window overflow/underflow traps", &m.stats.WindowTraps)

@@ -2,33 +2,26 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"vca/internal/asm"
-	"vca/internal/emu"
+	"vca/internal/progen"
 	"vca/internal/program"
 )
 
 // TestRandomProgramsAllMachinesAgree generates random (but structurally
-// safe) assembly programs and runs each on every machine model with
-// co-simulation enabled. All architectures must produce the program's
-// output; the co-simulation check additionally verifies every committed
-// destination value, store, and control transfer along the way.
-//
-// Generated programs are dual-ABI-safe by construction:
-//   - only forward branches (termination guaranteed);
-//   - helpers are called only downward (no recursion, bounded depth);
-//   - helpers keep state in windowed registers but always write them
-//     before reading (so flat and windowed semantics coincide);
-//   - main keeps its state in caller-saved registers and globals, which
-//     helpers never touch.
+// safe, dual-ABI — see internal/progen) assembly programs and runs each
+// on every machine model with co-simulation and the cycle-level
+// invariant checker enabled. All architectures must produce the
+// program's output; co-simulation verifies every committed destination
+// value, store, and control transfer along the way, and the checker
+// audits rename-substrate conservation and queue sanity every cycle.
 func TestRandomProgramsAllMachinesAgree(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			src := genRandomProgram(rand.New(rand.NewSource(seed)))
+			t.Parallel()
+			src := progen.FromSeed(seed)
 			prog, err := asm.Assemble(src)
 			if err != nil {
 				t.Fatalf("assemble: %v\n%s", err, src)
@@ -39,22 +32,7 @@ func TestRandomProgramsAllMachinesAgree(t *testing.T) {
 				t.Fatalf("emulator disagrees with itself across window modes: %q vs %q", got, want)
 			}
 
-			type machine struct {
-				name     string
-				cfg      Config
-				windowed bool
-			}
-			machines := []machine{
-				{"baseline", DefaultConfig(RenameConventional, WindowNone, 1, 128), false},
-				{"vca-flat-small", DefaultConfig(RenameVCA, WindowNone, 1, 48), false},
-				{"vca-flat", DefaultConfig(RenameVCA, WindowNone, 1, 192), false},
-				{"conv-window", DefaultConfig(RenameConventional, WindowConventional, 1, 160), true},
-				{"ideal-window", DefaultConfig(RenameVCA, WindowIdeal, 1, 128), true},
-				{"vca-window-small", DefaultConfig(RenameVCA, WindowVCA, 1, 56), true},
-				{"vca-window", DefaultConfig(RenameVCA, WindowVCA, 1, 256), true},
-			}
-			for _, mc := range machines {
-				mc.cfg.MaxCycles = 20_000_000
+			for _, mc := range testMachines() {
 				m, err := New(mc.cfg, []*program.Program{prog}, mc.windowed)
 				if err != nil {
 					t.Fatalf("%s: %v", mc.name, err)
@@ -71,117 +49,43 @@ func TestRandomProgramsAllMachinesAgree(t *testing.T) {
 	}
 }
 
-func runEmu(t *testing.T, p *program.Program, windowed bool) string {
-	t.Helper()
-	m := emu.New(p, emu.Config{Windowed: windowed, MaxInsts: 10_000_000})
-	reason, err := m.Run()
-	if err != nil || reason != emu.StopExited {
-		t.Fatalf("emu run: %v (%v)", err, reason)
+// FuzzRandomProgramsLockstep is the native-fuzzing entry point for the
+// whole stack: a seed drives progen, the generated program runs on both
+// emulator ABIs and on the two most failure-prone machine models
+// (conventional baseline and the smallest VCA-window machine) with
+// co-simulation and invariant checking on. Any divergence or invariant
+// violation fails the fuzz target; `internal/verify` shrinks failures
+// found by the sweep runner the same way.
+func FuzzRandomProgramsLockstep(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
 	}
-	return m.Output.String()
-}
-
-// genRandomProgram emits a random dual-ABI-safe assembly program.
-func genRandomProgram(r *rand.Rand) string {
-	b := &strings.Builder{}
-	labelN := 0
-	label := func() string { labelN++; return fmt.Sprintf("L%d", labelN) }
-
-	nHelpers := 2 + r.Intn(3) // at most 4
-
-	// Helpers f0..f{n-1}; fK may call fJ for J < K. Each helper owns a
-	// disjoint set of windowed registers (work s{3k}..s{3k+2}, ra stash
-	// s{15-k}), so flat and windowed semantics coincide exactly even for
-	// values live across nested calls.
-	for k := 0; k < nHelpers; k++ {
-		w0 := fmt.Sprintf("s%d", 3*k)
-		w1 := fmt.Sprintf("s%d", 3*k+1)
-		w2 := fmt.Sprintf("s%d", 3*k+2)
-		stash := fmt.Sprintf("s%d", 15-k)
-		fmt.Fprintf(b, "f%d:\n", k)
-		// Windowed-safe: write own windowed registers before any read.
-		fmt.Fprintf(b, "        mov %s, ra\n", stash)
-		fmt.Fprintf(b, "        mov %s, a0\n", w0)
-		fmt.Fprintf(b, "        li %s, %d\n", w1, r.Intn(1000))
-		fmt.Fprintf(b, "        li %s, %d\n", w2, 1+r.Intn(50))
-		ops := 3 + r.Intn(8)
-		for i := 0; i < ops; i++ {
-			emitRandomALU(b, r, []string{w0, w1, w2}, label)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		src := progen.FromSeed(seed)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("generated program does not assemble: %v\n%s", err, src)
 		}
-		if k > 0 && r.Intn(2) == 0 {
-			callee := r.Intn(k)
-			fmt.Fprintf(b, "        add a0, %s, %s\n", w0, w1)
-			fmt.Fprintf(b, "        jsr f%d\n", callee)
-			fmt.Fprintf(b, "        add %s, %s, v0\n", w0, w0)
+		want := runEmu(t, prog, false)
+		if got := runEmu(t, prog, true); got != want {
+			t.Fatalf("emulator ABI divergence: flat %q, windowed %q\n%s", want, got, src)
 		}
-		fmt.Fprintf(b, "        add v0, %s, %s\n", w0, w2)
-		fmt.Fprintf(b, "        ret (%s)\n", stash)
-	}
 
-	// main: state in t-registers and the scratch buffer; helpers never
-	// touch them.
-	fmt.Fprintf(b, "main:\n")
-	fmt.Fprintf(b, "        li t0, %d\n", r.Intn(100))
-	fmt.Fprintf(b, "        li t1, %d\n", 1+r.Intn(100))
-	fmt.Fprintf(b, "        li t2, %d\n", 1+r.Intn(100))
-	fmt.Fprintf(b, "        li t3, %d\n", r.Intn(100))
-	blocks := 12 + r.Intn(20)
-	for i := 0; i < blocks; i++ {
-		switch r.Intn(5) {
-		case 0, 1: // ALU block
-			emitRandomALU(b, r, []string{"t0", "t1", "t2", "t3"}, label)
-		case 2: // forward branch over a short block
-			l := label()
-			reg := []string{"t1", "t2", "t3"}[r.Intn(3)]
-			op := []string{"beq", "bne", "blt", "bge"}[r.Intn(4)]
-			fmt.Fprintf(b, "        %s %s, %s\n", op, reg, l)
-			for j := 0; j <= r.Intn(3); j++ {
-				emitRandomALU(b, r, []string{"t0", "t1", "t2"}, label)
+		for _, mc := range testMachines() {
+			if mc.name != "baseline" && mc.name != "vca-window-small" {
+				continue
 			}
-			fmt.Fprintf(b, "%s:\n", l)
-		case 3: // memory round trip through the scratch buffer
-			off := 8 * r.Intn(8)
-			fmt.Fprintf(b, "        la t4, buf\n")
-			fmt.Fprintf(b, "        stq t%d, %d(t4)\n", r.Intn(4), off)
-			fmt.Fprintf(b, "        ldq t%d, %d(t4)\n", 1+r.Intn(3), off)
-		case 4: // call a helper
-			fmt.Fprintf(b, "        mov a0, t%d\n", r.Intn(4))
-			fmt.Fprintf(b, "        jsr f%d\n", r.Intn(nHelpers))
-			fmt.Fprintf(b, "        add t0, t0, v0\n")
+			m, err := New(mc.cfg, []*program.Program{prog}, mc.windowed)
+			if err != nil {
+				t.Fatalf("%s: %v", mc.name, err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", mc.name, err, src)
+			}
+			if got := res.Threads[0].Output; got != want {
+				t.Errorf("%s output %q, want %q\n%s", mc.name, got, want, src)
+			}
 		}
-	}
-	// Bound the checksum and print it.
-	fmt.Fprintf(b, "        li t4, 0xffffff\n")
-	fmt.Fprintf(b, "        and a0, t0, t4\n")
-	fmt.Fprintf(b, "        syscall 2\n")
-	fmt.Fprintf(b, "        li a0, 0\n")
-	fmt.Fprintf(b, "        syscall 0\n")
-	fmt.Fprintf(b, "        .data\n")
-	fmt.Fprintf(b, "buf:    .space 128\n")
-	return b.String()
-}
-
-func emitRandomALU(b *strings.Builder, r *rand.Rand, regs []string, label func() string) {
-	d := regs[r.Intn(len(regs))]
-	a := regs[r.Intn(len(regs))]
-	c := regs[r.Intn(len(regs))]
-	switch r.Intn(8) {
-	case 0:
-		fmt.Fprintf(b, "        add %s, %s, %s\n", d, a, c)
-	case 1:
-		fmt.Fprintf(b, "        sub %s, %s, %s\n", d, a, c)
-	case 2:
-		fmt.Fprintf(b, "        mul %s, %s, %s\n", d, a, c)
-	case 3:
-		fmt.Fprintf(b, "        xor %s, %s, %s\n", d, a, c)
-	case 4:
-		fmt.Fprintf(b, "        addi %s, %s, %d\n", d, a, r.Intn(4096)-2048)
-	case 5:
-		fmt.Fprintf(b, "        slli %s, %s, %d\n", d, a, r.Intn(8))
-		fmt.Fprintf(b, "        srai %s, %s, %d\n", d, d, r.Intn(4))
-	case 6:
-		fmt.Fprintf(b, "        cmplt %s, %s, %s\n", d, a, c)
-	case 7:
-		fmt.Fprintf(b, "        div %s, %s, %s\n", d, a, c)
-	}
+	})
 }

@@ -106,6 +106,8 @@ type Machine struct {
 	stats   Stats
 	metrics *metrics.Registry
 	cnt     coreCounters
+	chk     *checker // lazily built by the opt-in invariant checker
+	astqSeq uint64   // ASTQ enqueue stamp (FIFO-order invariant)
 	err     error
 }
 
@@ -119,6 +121,7 @@ type astqEntry struct {
 	thread int
 	doneAt uint64
 	issued bool
+	enq    uint64 // enqueue stamp; the queue must stay ascending (FIFO)
 }
 
 // Stats aggregates the measurements the experiments consume.
@@ -325,6 +328,11 @@ func (m *Machine) Run() (*Result, error) {
 		m.renameStage()
 		m.fetchStage()
 		m.sampleOccupancy()
+		if m.cfg.Check {
+			if m.checkCycle(); m.err != nil {
+				return nil, m.err
+			}
+		}
 
 		if m.Done() {
 			break

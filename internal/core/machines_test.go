@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"vca/internal/emu"
+	"vca/internal/program"
+)
+
+// testMachine is one canonical machine model used across the
+// differential tests: the paper's seven single-thread configurations.
+type testMachine struct {
+	name     string
+	cfg      Config
+	windowed bool
+}
+
+// testMachines returns the seven canonical machine models with
+// co-simulation and the cycle-level invariant checker enabled.
+func testMachines() []testMachine {
+	ms := []testMachine{
+		{"baseline", DefaultConfig(RenameConventional, WindowNone, 1, 128), false},
+		{"vca-flat-small", DefaultConfig(RenameVCA, WindowNone, 1, 48), false},
+		{"vca-flat", DefaultConfig(RenameVCA, WindowNone, 1, 192), false},
+		{"conv-window", DefaultConfig(RenameConventional, WindowConventional, 1, 160), true},
+		{"ideal-window", DefaultConfig(RenameVCA, WindowIdeal, 1, 128), true},
+		{"vca-window-small", DefaultConfig(RenameVCA, WindowVCA, 1, 56), true},
+		{"vca-window", DefaultConfig(RenameVCA, WindowVCA, 1, 256), true},
+	}
+	for i := range ms {
+		ms[i].cfg.Check = true
+		ms[i].cfg.MaxCycles = 20_000_000
+	}
+	return ms
+}
+
+// runEmu executes a program on the functional emulator and returns its
+// output.
+func runEmu(t *testing.T, p *program.Program, windowed bool) string {
+	t.Helper()
+	m := emu.New(p, emu.Config{Windowed: windowed, MaxInsts: 10_000_000})
+	reason, err := m.Run()
+	if err != nil || reason != emu.StopExited {
+		t.Fatalf("emu run: %v (%v)", err, reason)
+	}
+	return m.Output.String()
+}

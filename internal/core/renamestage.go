@@ -37,6 +37,7 @@ func (m *Machine) renameStage() {
 				return
 			}
 			th.popInject()
+			m.cnt.renameInjected++
 			budget--
 			renamed++
 		}
@@ -359,7 +360,8 @@ func (m *Machine) applyVCAOps(th *thread, ops []rename.MemOp, ideal bool) {
 		if !op.IsSpill {
 			m.physReady[op.Phys] = false
 		}
-		m.astq = append(m.astq, astqEntry{op: op, thread: owner.id})
+		m.astqSeq++
+		m.astq = append(m.astq, astqEntry{op: op, thread: owner.id, enq: m.astqSeq})
 	}
 }
 

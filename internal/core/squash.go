@@ -97,6 +97,7 @@ func (m *Machine) flushYounger(th *thread, seq uint64) int {
 	}
 	th.robCount -= len(victims)
 	m.stats.Squashed += uint64(len(victims))
+	m.cnt.squashedROB.Add(uint64(len(victims)))
 
 	// Victims are now out of every structure; recycle them. A victim may
 	// still sit in writeback's resolved scratch this cycle, which is safe:
@@ -145,6 +146,8 @@ func (m *Machine) purgeStructures(tid int, seq uint64) {
 	for _, v := range m.iq {
 		if keep(v) {
 			iq = append(iq, v)
+		} else {
+			m.cnt.squashedIQ++
 		}
 	}
 	m.iq = iq

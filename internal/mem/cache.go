@@ -122,6 +122,31 @@ func NewCache(cfg CacheConfig, next *Cache, memLat int) *Cache {
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
+// CheckInvariants validates the directory's structural invariants: no
+// set may hold two valid lines with the same tag (a duplicate makes hits
+// nondeterministic in way order), and LRU stamps may not exceed the
+// cache's access clock. Used by the core's opt-in invariant checker.
+func (c *Cache) CheckInvariants() error {
+	for set, ways := range c.lines {
+		for i := range ways {
+			if !ways[i].valid {
+				continue
+			}
+			if ways[i].lru > c.tick {
+				return fmt.Errorf("mem: %s set %d way %d has LRU stamp %d beyond clock %d",
+					c.cfg.Name, set, i, ways[i].lru, c.tick)
+			}
+			for j := i + 1; j < len(ways); j++ {
+				if ways[j].valid && ways[j].tag == ways[i].tag {
+					return fmt.Errorf("mem: %s set %d holds tag %#x in ways %d and %d",
+						c.cfg.Name, set, ways[i].tag, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
 	blk := addr >> c.blockShift
 	return int(blk & c.setMask), blk >> c.setShift

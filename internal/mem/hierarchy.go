@@ -56,3 +56,14 @@ func (h *Hierarchy) InstFetch(addr uint64) int {
 
 // DataAccesses returns the DL1 stats — the quantity Figures 5 plots.
 func (h *Hierarchy) DataAccesses() CacheStats { return h.DL1.Stats }
+
+// CheckInvariants validates every level's directory structure (see
+// Cache.CheckInvariants).
+func (h *Hierarchy) CheckInvariants() error {
+	for _, c := range []*Cache{h.IL1, h.DL1, h.L2} {
+		if err := c.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

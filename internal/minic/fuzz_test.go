@@ -1,0 +1,66 @@
+package minic
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"vca/internal/emu"
+)
+
+// FuzzCompile feeds arbitrary source through the full mini-C pipeline
+// under both ABIs. The contract under test: the compiler never panics;
+// whenever a program compiles it also assembles (compiler output is
+// always well-formed assembly); and when the flat build runs to a clean
+// exit within budget, the windowed build exists, exits, and produces
+// identical output — the dual-ABI equivalence every downstream
+// experiment depends on.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"int main() { print_int(42); return 0; }",
+		// Recursion and multi-argument calls (windowed path stress).
+		"int ack(int m, int n) { if (m == 0) { return n + 1; } if (n == 0) { return ack(m - 1, 1); } return ack(m - 1, ack(m, n - 1)); }\n" +
+			"int main() { print_int(ack(2, 3)); return 0; }",
+		// Globals, arrays, chars, loops, division.
+		"int g = 7;\nchar buf[32];\nint main() { int i; for (i = 0; i < 32; i = i + 1) { buf[i] = i * g; }\n" +
+			"int s = 0; while (g > 0) { s = s + buf[g]; g = g - 1; } print_int(s / 3); return 0; }",
+		// Nested conditionals and logical operators.
+		"int f(int x) { if (x > 3 && x < 10 || x == 0) { return x * 2; } return x - 1; }\n" +
+			"int main() { int i; int t = 0; for (i = 0; i < 12; i = i + 1) { t = t + f(i); } print_int(t); return 0; }",
+		// Near-misses for the parser and checker error paths.
+		"int main() { return 0 }",
+		"int main() { undeclared = 1; return 0; }",
+		"int f(int x) { return x; } int f(int y) { return y; }",
+		"int main() { int a[\n}",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) || len(src) > 1<<16 {
+			t.Skip()
+		}
+		flat, errFlat := Build("fuzz", src, ABIFlat)
+		win, errWin := Build("fuzz", src, ABIWindowed)
+		if (errFlat == nil) != (errWin == nil) {
+			t.Fatalf("ABIs disagree on validity: flat err %v, windowed err %v\n%s", errFlat, errWin, src)
+		}
+		if errFlat != nil {
+			return
+		}
+
+		mf := emu.New(flat, emu.Config{Windowed: false, MaxInsts: 2_000_000})
+		reasonF, errF := mf.Run()
+		if errF != nil || reasonF != emu.StopExited {
+			return // runtime fault or budget exhausted: nothing to compare
+		}
+		mw := emu.New(win, emu.Config{Windowed: true, MaxInsts: 20_000_000})
+		reasonW, errW := mw.Run()
+		if errW != nil || reasonW != emu.StopExited {
+			t.Fatalf("flat build exits cleanly but windowed does not: %v (%v)\n%s", errW, reasonW, src)
+		}
+		if fo, wo := mf.Output.String(), mw.Output.String(); fo != wo {
+			t.Fatalf("ABI output divergence: flat %q, windowed %q\n%s", fo, wo, src)
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Package progen generates random — but structurally safe — assembly
+// programs for differential testing of the simulator. It grew out of
+// the ad-hoc generator in internal/core's fuzz test and is shared by
+// the native fuzz harnesses, the squash/SMT stress tests, and the
+// config-space sweep runner (internal/verify).
+//
+// Every generated program is dual-ABI-safe: one binary produces the
+// same output under the flat and the windowed calling convention, so it
+// can run unmodified on all machine models (and both emulator modes)
+// and any output difference indicts the machine, not the program. The
+// construction rules:
+//
+//   - Control flow terminates by construction: branches are forward,
+//     except loop back-edges driven by a dedicated down-counting
+//     register (gp) that nothing else touches, and recursion bounded by
+//     a decrementing argument with a zero guard.
+//   - Helpers are called strictly downward (fK may call fJ only for
+//     J < K), so call depth is bounded.
+//   - Each helper owns a disjoint set of windowed registers and writes
+//     every one of them before any read, so flat (shared registers) and
+//     windowed (fresh frame) semantics coincide exactly.
+//   - The recursive helper touches no windowed registers at all: its
+//     return-address stack and accumulator live in data memory and its
+//     scratch registers are globals, so arbitrary window rotation —
+//     including the depth clamp on VCA-window machines — cannot change
+//     its result.
+//   - main keeps its state in caller-saved temporaries and globals that
+//     no helper touches.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config selects which structures a generated program contains. The
+// zero value generates a minimal straight-line program; Default returns
+// the general-purpose mix.
+type Config struct {
+	// Helpers is the length of the downward-call helper chain (0-4).
+	// Each helper keeps live state in its own windowed registers.
+	Helpers int `json:"helpers"`
+	// WindowLadder is the depth of an unconditional call ladder (0-7)
+	// that drives the machine to its maximum window depth on every
+	// traversal — the window-stress mode. The ladder owns the windowed
+	// register files, so it replaces Helpers when non-zero.
+	WindowLadder int `json:"window_ladder,omitempty"`
+	// Recursion includes a bounded recursive helper with a memory-based
+	// return-address stack.
+	Recursion bool `json:"recursion,omitempty"`
+	// MaxRecDepth bounds recursion depth (default 8, capped at 12).
+	MaxRecDepth int `json:"max_rec_depth,omitempty"`
+	// Blocks is the number of random blocks in main (default 16).
+	Blocks int `json:"blocks"`
+	// Loops enables bounded backward loops in main.
+	Loops bool `json:"loops,omitempty"`
+	// Aliasing enables overlapping mixed-width load/store blocks through
+	// the scratch buffer (exercises store-forwarding and partial-overlap
+	// ordering in the LSQ).
+	Aliasing bool `json:"aliasing,omitempty"`
+}
+
+// Default returns the general-purpose generator mix.
+func Default() Config {
+	return Config{Helpers: 3, Recursion: true, Blocks: 16, Loops: true, Aliasing: true}
+}
+
+// normalized clamps a configuration into the generator's safe envelope.
+func (c Config) normalized() Config {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	c.Helpers = clamp(c.Helpers, 0, 4)
+	c.WindowLadder = clamp(c.WindowLadder, 0, 7)
+	if c.WindowLadder > 0 {
+		c.Helpers = 0 // the ladder owns the windowed register files
+	}
+	if c.MaxRecDepth == 0 {
+		c.MaxRecDepth = 8
+	}
+	c.MaxRecDepth = clamp(c.MaxRecDepth, 1, 12)
+	if c.Blocks == 0 {
+		c.Blocks = 16
+	}
+	c.Blocks = clamp(c.Blocks, 1, 64)
+	return c
+}
+
+// FromSeed derives a varied configuration and program from one seed —
+// the single-knob entry point the fuzz harnesses use.
+func FromSeed(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	cfg := Config{
+		Helpers:  r.Intn(5),
+		Blocks:   8 + r.Intn(24),
+		Loops:    r.Intn(2) == 0,
+		Aliasing: r.Intn(2) == 0,
+	}
+	if r.Intn(3) == 0 {
+		cfg.WindowLadder = 2 + r.Intn(6)
+	}
+	if r.Intn(2) == 0 {
+		cfg.Recursion = true
+		cfg.MaxRecDepth = 2 + r.Intn(9)
+	}
+	return Generate(r, cfg)
+}
+
+// GenerateSMT returns one program per hardware thread, with per-thread
+// structural jitter so the threads stress different machine paths.
+func GenerateSMT(r *rand.Rand, cfg Config, threads int) []string {
+	out := make([]string, threads)
+	for t := range out {
+		c := cfg
+		c.Blocks = 1 + cfg.Blocks + r.Intn(8)
+		if t%2 == 1 && c.WindowLadder == 0 && r.Intn(2) == 0 {
+			c.WindowLadder = 2 + r.Intn(4)
+		}
+		out[t] = Generate(r, c)
+	}
+	return out
+}
+
+type gen struct {
+	b      strings.Builder
+	r      *rand.Rand
+	cfg    Config
+	labelN int
+	// call targets available to main and loop bodies
+	calls []string
+}
+
+// Generate emits one dual-ABI-safe assembly program.
+func Generate(r *rand.Rand, cfg Config) string {
+	g := &gen{r: r, cfg: cfg.normalized()}
+	g.emitHelpers()
+	g.emitLadder()
+	g.emitRecursive()
+	g.emitMain()
+	g.emitData()
+	return g.b.String()
+}
+
+func (g *gen) label() string {
+	g.labelN++
+	return fmt.Sprintf("L%d", g.labelN)
+}
+
+func (g *gen) f(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// emitHelpers writes the downward-call helper chain f0..f{n-1}. Helper
+// fK owns windowed work registers s{3K}..s{3K+2} and return-address
+// stash s{15-K} — disjoint across helpers, so values stay live across
+// nested calls under both ABIs.
+func (g *gen) emitHelpers() {
+	for k := 0; k < g.cfg.Helpers; k++ {
+		w0 := fmt.Sprintf("s%d", 3*k)
+		w1 := fmt.Sprintf("s%d", 3*k+1)
+		w2 := fmt.Sprintf("s%d", 3*k+2)
+		stash := fmt.Sprintf("s%d", 15-k)
+		g.f("f%d:\n", k)
+		// Windowed-safe: write own windowed registers before any read.
+		g.f("        mov %s, ra\n", stash)
+		g.f("        mov %s, a0\n", w0)
+		g.f("        li %s, %d\n", w1, g.r.Intn(1000))
+		g.f("        li %s, %d\n", w2, 1+g.r.Intn(50))
+		for i, ops := 0, 3+g.r.Intn(8); i < ops; i++ {
+			g.emitALU([]string{w0, w1, w2})
+		}
+		if k > 0 && g.r.Intn(2) == 0 {
+			g.f("        add a0, %s, %s\n", w0, w1)
+			g.f("        jsr f%d\n", g.r.Intn(k))
+			g.f("        add %s, %s, v0\n", w0, w0)
+		}
+		g.f("        add v0, %s, %s\n", w0, w2)
+		g.f("        ret (%s)\n", stash)
+		g.calls = append(g.calls, fmt.Sprintf("f%d", k))
+	}
+}
+
+// emitLadder writes the window-stress call ladder l{d-1} -> ... -> l0:
+// each rung calls the next unconditionally, so one call from main
+// reaches the full configured call depth (forcing window spills on
+// small machines and traps on conventional-window ones). Rung K owns
+// work register s{K} and stash s{15-K}.
+func (g *gen) emitLadder() {
+	for k := 0; k < g.cfg.WindowLadder; k++ {
+		work := fmt.Sprintf("s%d", k)
+		stash := fmt.Sprintf("s%d", 15-k)
+		g.f("l%d:\n", k)
+		g.f("        mov %s, ra\n", stash)
+		g.f("        addi %s, a0, %d\n", work, 1+g.r.Intn(97))
+		if k > 0 {
+			g.f("        mov a0, %s\n", work)
+			g.f("        jsr l%d\n", k-1)
+			g.f("        add %s, %s, v0\n", work, work)
+		}
+		g.f("        addi v0, %s, %d\n", work, g.r.Intn(13))
+		g.f("        ret (%s)\n", stash)
+	}
+	if g.cfg.WindowLadder > 0 {
+		g.calls = append(g.calls, fmt.Sprintf("l%d", g.cfg.WindowLadder-1))
+	}
+}
+
+// emitRecursive writes frec, the bounded recursive helper. It uses no
+// windowed registers: the return address is pushed on a memory stack
+// (rstk via the rsp cell), the running result accumulates in the racc
+// cell, and scratch lives in the global a4/a5 registers — so its
+// behavior is identical at any window depth, clamped or not.
+func (g *gen) emitRecursive() {
+	if !g.cfg.Recursion {
+		return
+	}
+	base := g.label()
+	g.f("frec:\n")
+	g.f("        beq a0, %s\n", base)
+	// Push ra on the memory stack.
+	g.f("        la a4, rsp\n")
+	g.f("        ldq a5, 0(a4)\n")
+	g.f("        stq ra, 0(a5)\n")
+	g.f("        addi a5, a5, 8\n")
+	g.f("        stq a5, 0(a4)\n")
+	g.f("        addi a0, a0, -1\n")
+	g.f("        jsr frec\n")
+	// Accumulate into the memory cell.
+	g.f("        la a4, racc\n")
+	g.f("        ldq a5, 0(a4)\n")
+	g.f("        addi a5, a5, %d\n", 1+g.r.Intn(211))
+	g.f("        stq a5, 0(a4)\n")
+	// Pop ra and return the accumulator.
+	g.f("        la a4, rsp\n")
+	g.f("        ldq a5, 0(a4)\n")
+	g.f("        addi a5, a5, -8\n")
+	g.f("        stq a5, 0(a4)\n")
+	g.f("        ldq ra, 0(a5)\n")
+	g.f("        la a4, racc\n")
+	g.f("        ldq v0, 0(a4)\n")
+	g.f("        ret (ra)\n")
+	g.f("%s:\n", base)
+	g.f("        li v0, %d\n", g.r.Intn(89))
+	g.f("        ret (ra)\n")
+}
+
+// emitMain writes the main body: temporaries t0..t3 hold live state (no
+// helper touches them), t4 is an address/mask scratch, gp is the loop
+// counter. Ends by printing two bounded checksums and exiting.
+func (g *gen) emitMain() {
+	g.f("main:\n")
+	if g.cfg.Recursion {
+		// Initialize the recursion helper's memory stack pointer.
+		g.f("        la a4, rsp\n")
+		g.f("        la a5, rstk\n")
+		g.f("        stq a5, 0(a4)\n")
+	}
+	g.f("        li t0, %d\n", g.r.Intn(100))
+	g.f("        li t1, %d\n", 1+g.r.Intn(100))
+	g.f("        li t2, %d\n", 1+g.r.Intn(100))
+	g.f("        li t3, %d\n", g.r.Intn(100))
+	for i := 0; i < g.cfg.Blocks; i++ {
+		g.emitBlock(true)
+	}
+	g.f("        li t4, 0xffffff\n")
+	g.f("        and a0, t0, t4\n")
+	g.f("        syscall 2\n")
+	g.f("        xor a0, t1, t2\n")
+	g.f("        and a0, a0, t4\n")
+	g.f("        syscall 2\n")
+	g.f("        li a0, 0\n")
+	g.f("        syscall 0\n")
+}
+
+// emitBlock writes one random main-body block. topLevel gates the block
+// kinds that may not nest (loops).
+func (g *gen) emitBlock(topLevel bool) {
+	kinds := []func(){
+		func() { g.emitALU([]string{"t0", "t1", "t2", "t3"}) },
+		g.emitForwardBranch,
+		g.emitMemRoundTrip,
+	}
+	if g.cfg.Aliasing {
+		kinds = append(kinds, g.emitAliasing)
+	}
+	if len(g.calls) > 0 || g.cfg.Recursion {
+		kinds = append(kinds, g.emitCall)
+	}
+	if topLevel && g.cfg.Loops {
+		kinds = append(kinds, g.emitLoop)
+	}
+	kinds[g.r.Intn(len(kinds))]()
+}
+
+func (g *gen) emitForwardBranch() {
+	l := g.label()
+	reg := []string{"t1", "t2", "t3"}[g.r.Intn(3)]
+	op := []string{"beq", "bne", "blt", "bge"}[g.r.Intn(4)]
+	g.f("        %s %s, %s\n", op, reg, l)
+	for j := 0; j <= g.r.Intn(3); j++ {
+		g.emitALU([]string{"t0", "t1", "t2"})
+	}
+	g.f("%s:\n", l)
+}
+
+func (g *gen) emitMemRoundTrip() {
+	off := 8 * g.r.Intn(8)
+	g.f("        la t4, buf\n")
+	g.f("        stq t%d, %d(t4)\n", g.r.Intn(4), off)
+	g.f("        ldq t%d, %d(t4)\n", 1+g.r.Intn(3), off)
+}
+
+// emitAliasing writes a burst of overlapping mixed-width accesses at
+// one buffer neighborhood: quad/long/byte stores and loads whose spans
+// intersect, driving the LSQ through store-forwarding hits, partial
+// overlaps (which must wait for commit), and sub-word extension.
+func (g *gen) emitAliasing() {
+	base := g.r.Intn(13) * 8 // keep every access within buf
+	g.f("        la t4, buf\n")
+	g.f("        stq t%d, %d(t4)\n", g.r.Intn(4), base)
+	n := 2 + g.r.Intn(4)
+	for i := 0; i < n; i++ {
+		t := g.r.Intn(4)
+		switch g.r.Intn(6) {
+		case 0:
+			g.f("        stl t%d, %d(t4)\n", t, base+4*g.r.Intn(3))
+		case 1:
+			g.f("        stb t%d, %d(t4)\n", t, base+g.r.Intn(9))
+		case 2:
+			g.f("        ldl t%d, %d(t4)\n", t, base+4*g.r.Intn(2))
+		case 3:
+			g.f("        ldbu t%d, %d(t4)\n", t, base+g.r.Intn(9))
+		case 4:
+			g.f("        ldq t%d, %d(t4)\n", t, base)
+		case 5:
+			g.f("        stq t%d, %d(t4)\n", t, base+8*g.r.Intn(2))
+		}
+	}
+	g.f("        ldq t%d, %d(t4)\n", 1+g.r.Intn(3), base)
+}
+
+func (g *gen) emitCall() {
+	targets := g.calls
+	if g.cfg.Recursion && (len(targets) == 0 || g.r.Intn(3) == 0) {
+		g.f("        li a0, %d\n", 1+g.r.Intn(g.cfg.MaxRecDepth))
+		g.f("        jsr frec\n")
+		g.f("        add t0, t0, v0\n")
+		return
+	}
+	g.f("        mov a0, t%d\n", g.r.Intn(4))
+	g.f("        jsr %s\n", targets[g.r.Intn(len(targets))])
+	g.f("        add t0, t0, v0\n")
+}
+
+// emitLoop writes a bounded backward loop. The counter lives in gp,
+// which no other generated code touches, so the loop terminates
+// regardless of what the body computes.
+func (g *gen) emitLoop() {
+	l := g.label()
+	g.f("        li gp, %d\n", 2+g.r.Intn(5))
+	g.f("%s:\n", l)
+	for j, n := 0, 1+g.r.Intn(3); j < n; j++ {
+		g.emitBlock(false)
+	}
+	g.f("        addi gp, gp, -1\n")
+	g.f("        bgt gp, %s\n", l)
+}
+
+func (g *gen) emitALU(regs []string) {
+	d := regs[g.r.Intn(len(regs))]
+	a := regs[g.r.Intn(len(regs))]
+	c := regs[g.r.Intn(len(regs))]
+	switch g.r.Intn(8) {
+	case 0:
+		g.f("        add %s, %s, %s\n", d, a, c)
+	case 1:
+		g.f("        sub %s, %s, %s\n", d, a, c)
+	case 2:
+		g.f("        mul %s, %s, %s\n", d, a, c)
+	case 3:
+		g.f("        xor %s, %s, %s\n", d, a, c)
+	case 4:
+		g.f("        addi %s, %s, %d\n", d, a, g.r.Intn(4096)-2048)
+	case 5:
+		g.f("        slli %s, %s, %d\n", d, a, g.r.Intn(8))
+		g.f("        srai %s, %s, %d\n", d, d, g.r.Intn(4))
+	case 6:
+		g.f("        cmplt %s, %s, %s\n", d, a, c)
+	case 7:
+		g.f("        div %s, %s, %s\n", d, a, c)
+	}
+}
+
+// emitData writes the data section: the load/store scratch buffer and
+// the recursion helper's stack and accumulator cells.
+func (g *gen) emitData() {
+	g.f("        .data\n")
+	g.f("buf:    .space 128\n")
+	g.f("rstk:   .space 128\n")
+	g.f("rsp:    .space 8\n")
+	g.f("racc:   .space 8\n")
+}

@@ -1,0 +1,118 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+
+	"vca/internal/asm"
+	"vca/internal/emu"
+	"vca/internal/isa"
+	"vca/internal/program"
+)
+
+// runBoth assembles a generated program and runs it under both emulator
+// ABIs, requiring identical output — the dual-ABI safety property every
+// generated program must have.
+func runBoth(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	run := func(windowed bool) string {
+		m := emu.New(prog, emu.Config{Windowed: windowed, MaxInsts: 10_000_000})
+		reason, err := m.Run()
+		if err != nil || reason != emu.StopExited {
+			t.Fatalf("emu (windowed=%v): %v (%v)\n%s", windowed, err, reason, src)
+		}
+		return m.Output.String()
+	}
+	flat := run(false)
+	if win := run(true); win != flat {
+		t.Fatalf("ABI divergence: flat %q, windowed %q\n%s", flat, win, src)
+	}
+	return flat
+}
+
+func TestFromSeedDualABISafe(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		runBoth(t, FromSeed(seed))
+	}
+}
+
+// TestAllFeaturesTogether forces every generator feature on at its
+// maximum so none of them hides behind seed luck.
+func TestAllFeaturesTogether(t *testing.T) {
+	cfgs := []Config{
+		{Helpers: 4, Recursion: true, MaxRecDepth: 12, Blocks: 64, Loops: true, Aliasing: true},
+		{WindowLadder: 7, Recursion: true, MaxRecDepth: 12, Blocks: 32, Loops: true, Aliasing: true},
+		{WindowLadder: 7, Blocks: 48},
+		{Recursion: true, MaxRecDepth: 12, Blocks: 24},
+		{Blocks: 1},
+	}
+	for i, cfg := range cfgs {
+		for seed := int64(0); seed < 8; seed++ {
+			r := rand.New(rand.NewSource(seed*100 + int64(i)))
+			runBoth(t, Generate(r, cfg))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), Default())
+	b := Generate(rand.New(rand.NewSource(7)), Default())
+	if a != b {
+		t.Fatal("Generate is not deterministic for a fixed seed and config")
+	}
+}
+
+func TestNormalizedClampsToSafeEnvelope(t *testing.T) {
+	c := Config{Helpers: 99, WindowLadder: 99, Recursion: true, MaxRecDepth: 99, Blocks: 9999}.normalized()
+	if c.WindowLadder != 7 || c.Helpers != 0 {
+		t.Errorf("ladder/helpers not clamped: %+v", c)
+	}
+	if c.MaxRecDepth != 12 {
+		t.Errorf("MaxRecDepth not clamped: %d", c.MaxRecDepth)
+	}
+	if c.Blocks != 64 {
+		t.Errorf("Blocks not clamped: %d", c.Blocks)
+	}
+	if d := (Config{}).normalized(); d.Blocks != 16 || d.MaxRecDepth != 8 {
+		t.Errorf("zero-value defaults wrong: %+v", d)
+	}
+}
+
+// TestGenerateSMT checks each per-thread program independently satisfies
+// the dual-ABI property and that thread programs actually differ.
+func TestGenerateSMT(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	progs := GenerateSMT(r, Default(), 4)
+	if len(progs) != 4 {
+		t.Fatalf("got %d programs, want 4", len(progs))
+	}
+	distinct := false
+	for i, src := range progs {
+		runBoth(t, src)
+		if i > 0 && src != progs[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("all SMT thread programs are identical")
+	}
+}
+
+// TestRecursionStackFits checks the deepest configured recursion stays
+// within the generated rstk backing store (12 levels * 8 bytes = 96 of
+// the 128 reserved), and that register-space layout assumptions used by
+// the window-stress ladder hold.
+func TestRecursionStackFits(t *testing.T) {
+	if maxDepth := (Config{Recursion: true, MaxRecDepth: 12}).normalized().MaxRecDepth; maxDepth*8 > 128 {
+		t.Fatalf("recursion stack may overflow: depth %d needs %d bytes, rstk has 128", maxDepth, maxDepth*8)
+	}
+	// Ladder depth 7 plus main is 8 windows; every thread's register space
+	// holds vastly more than that.
+	if depth := 8 * isa.WindowBytes; uint64(depth) > program.RegSpaceStride {
+		t.Fatalf("ladder windows exceed a thread's register space")
+	}
+}

@@ -501,9 +501,62 @@ func (v *VCA) DrainRSIDOps() []MemOp {
 	return ops
 }
 
+// MappedAddr reports the logical-register address a physical register
+// currently holds (ok=false when it is unmapped). The core's invariant
+// checker uses this to validate that every in-flight instruction's
+// previous-version pointer still names the version it captured at rename.
+func (v *VCA) MappedAddr(p int) (addr uint64, ok bool) {
+	r := &v.regs[p]
+	return r.addr, r.mapped
+}
+
+// PendingRSIDOps reports how many RSID-reuse spill operations await
+// DrainRSIDOps. Between rename cycles the queue must be empty (every
+// rename path drains it into the ASTQ before returning).
+func (v *VCA) PendingRSIDOps() int { return len(v.pendingRSIDOps) }
+
+// AuditPins cross-checks every register's Figure 2 reference counts
+// against the core's independently reconstructed in-flight view:
+// expectRef[p] is the number of pins (source reads plus the producer's
+// own pin) the ROB currently justifies, expectOW[p] the number of
+// in-flight overwriters. Both slices must have PhysRegs entries.
+func (v *VCA) AuditPins(expectRef, expectOW []int) error {
+	if len(expectRef) != len(v.regs) || len(expectOW) != len(v.regs) {
+		return fmt.Errorf("vca: audit slices sized %d/%d, want %d", len(expectRef), len(expectOW), len(v.regs))
+	}
+	for p := range v.regs {
+		r := &v.regs[p]
+		if r.ref != expectRef[p] {
+			return fmt.Errorf("vca: register %d ref count %d, but %d in-flight pins justify it (%+v)",
+				p, r.ref, expectRef[p], *r)
+		}
+		if r.owPending != expectOW[p] {
+			return fmt.Errorf("vca: register %d overwrite-pending %d, but %d in-flight overwriters exist (%+v)",
+				p, r.owPending, expectOW[p], *r)
+		}
+		if expectRef[p] > 0 && !r.mapped {
+			return fmt.Errorf("vca: register %d pinned by %d in-flight readers but unmapped", p, expectRef[p])
+		}
+	}
+	return nil
+}
+
+// InjectLeak drops one register off the free list without mapping it — a
+// deliberate conservation violation so tests can prove the invariant
+// checker notices. Returns false when the free list is empty.
+func (v *VCA) InjectLeak() bool {
+	if len(v.free) == 0 {
+		return false
+	}
+	v.free = v.free[:len(v.free)-1]
+	return true
+}
+
 // CheckInvariants validates the Figure 2 state machine globally: table
-// entries and register states must be mutually consistent, and no
-// register may be both free and mapped.
+// entries and register states must be mutually consistent, no register
+// may be both free and mapped, and — conservation — every register must
+// be exactly one of free or mapped (a register that is neither has
+// leaked; doubly listed free registers are double-frees).
 func (v *VCA) CheckInvariants() error {
 	inFree := make([]bool, v.cfg.PhysRegs)
 	for _, p := range v.free {
@@ -543,6 +596,14 @@ func (v *VCA) CheckInvariants() error {
 		r := &v.regs[p]
 		if r.ref < 0 || r.owPending < 0 {
 			return fmt.Errorf("vca: register %d has negative counts (%+v)", p, r)
+		}
+		switch {
+		case inFree[p] && r.mapped:
+			return fmt.Errorf("vca: register %d is simultaneously free and mapped to %#x", p, r.addr)
+		case !inFree[p] && !r.mapped:
+			return fmt.Errorf("vca: register %d leaked (neither free nor mapped)", p)
+		case inFree[p] && (r.ref != 0 || r.owPending != 0 || r.committed || r.dirty):
+			return fmt.Errorf("vca: free register %d has residual state (%+v)", p, *r)
 		}
 	}
 	return nil

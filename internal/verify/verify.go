@@ -1,0 +1,277 @@
+// Package verify implements the config-space lockstep sweep: it samples
+// randomized machine configurations and randomized (dual-ABI-safe)
+// programs, runs each pair on the cycle-level core with co-simulation
+// and the per-cycle invariant checker enabled, and — when a run
+// diverges from the functional emulator or trips an invariant — shrinks
+// the failing (machine, program) pair to a minimal reproduction that
+// serializes as JSON. `cmd/experiments -sweep` is the command-line
+// entry point; docs/VERIFICATION.md documents the repro format.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vca/internal/asm"
+	"vca/internal/core"
+	"vca/internal/emu"
+	"vca/internal/progen"
+	"vca/internal/program"
+)
+
+// MachineSpec is the JSON-serializable description of one sampled
+// machine configuration. Unset size fields take the paper's Table 1
+// defaults (DefaultConfig).
+type MachineSpec struct {
+	Rename   string `json:"rename"` // "conventional" | "vca"
+	Window   string `json:"window"` // "none" | "conv" | "ideal" | "vca"
+	Threads  int    `json:"threads"`
+	PhysRegs int    `json:"phys_regs"`
+	Width    int    `json:"width,omitempty"`
+	ROBSize  int    `json:"rob,omitempty"`
+	IQSize   int    `json:"iq,omitempty"`
+	LSQSize  int    `json:"lsq,omitempty"`
+	ASTQSize int    `json:"astq,omitempty"`
+
+	// VCA rename-table geometry (ignored for conventional rename).
+	TableSets  int `json:"table_sets,omitempty"`
+	TableWays  int `json:"table_ways,omitempty"`
+	TablePorts int `json:"table_ports,omitempty"`
+	ASTQWrites int `json:"astq_writes,omitempty"`
+
+	// Data-cache geometry.
+	DL1KB     int `json:"dl1_kb,omitempty"`
+	DL1Ways   int `json:"dl1_ways,omitempty"`
+	BlockBits int `json:"block_bits,omitempty"`
+	DL1Ports  int `json:"dl1_ports,omitempty"`
+}
+
+// ProgramSpec pins the generated workload: the generator configuration
+// plus the random seed. Threads come from the machine spec.
+type ProgramSpec struct {
+	Seed int64         `json:"seed"`
+	Gen  progen.Config `json:"gen"`
+}
+
+// Repro is one shrunk failure: the minimal machine/program pair that
+// still fails, plus the failure the original pair produced.
+type Repro struct {
+	Machine MachineSpec `json:"machine"`
+	Program ProgramSpec `json:"program"`
+	Failure string      `json:"failure"`
+}
+
+// Windowed reports whether the machine runs windowed-ABI binaries.
+func (s MachineSpec) Windowed() bool {
+	return s.Window == "conv" || s.Window == "ideal" || s.Window == "vca"
+}
+
+// coreConfig translates the spec into a core configuration with
+// co-simulation and invariant checking enabled.
+func (s MachineSpec) coreConfig() (core.Config, error) {
+	var rm core.RenameModel
+	switch s.Rename {
+	case "conventional":
+		rm = core.RenameConventional
+	case "vca":
+		rm = core.RenameVCA
+	default:
+		return core.Config{}, fmt.Errorf("verify: unknown rename model %q", s.Rename)
+	}
+	var wm core.WindowModel
+	switch s.Window {
+	case "none":
+		wm = core.WindowNone
+	case "conv":
+		wm = core.WindowConventional
+	case "ideal":
+		wm = core.WindowIdeal
+	case "vca":
+		wm = core.WindowVCA
+	default:
+		return core.Config{}, fmt.Errorf("verify: unknown window model %q", s.Window)
+	}
+	cfg := core.DefaultConfig(rm, wm, s.Threads, s.PhysRegs)
+	set := func(dst *int, v int) {
+		if v != 0 {
+			*dst = v
+		}
+	}
+	set(&cfg.Width, s.Width)
+	set(&cfg.ROBSize, s.ROBSize)
+	set(&cfg.IQSize, s.IQSize)
+	set(&cfg.LSQSize, s.LSQSize)
+	set(&cfg.ASTQSize, s.ASTQSize)
+	set(&cfg.VCA.Sets, s.TableSets)
+	set(&cfg.VCA.Ways, s.TableWays)
+	set(&cfg.VCA.Ports, s.TablePorts)
+	set(&cfg.VCA.ASTQWrites, s.ASTQWrites)
+	if s.DL1KB != 0 {
+		cfg.Hier.DL1.SizeBytes = s.DL1KB << 10
+	}
+	set(&cfg.Hier.DL1.Ways, s.DL1Ways)
+	set(&cfg.Hier.DL1.BlockBits, s.BlockBits)
+	set(&cfg.Hier.DL1Ports, s.DL1Ports)
+	cfg.CoSim = true
+	cfg.Check = true
+	cfg.MaxCycles = 50_000_000
+	return cfg, nil
+}
+
+// programs generates, assembles, and functionally executes the per-thread
+// programs, returning them with their reference outputs.
+func (p ProgramSpec) programs(threads int, windowed bool) ([]*program.Program, []string, error) {
+	srcs := progen.GenerateSMT(rand.New(rand.NewSource(p.Seed)), p.Gen, threads)
+	progs := make([]*program.Program, threads)
+	want := make([]string, threads)
+	for i, src := range srcs {
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("verify: generated program %d does not assemble: %w", i, err)
+		}
+		m := emu.New(prog, emu.Config{Windowed: windowed, MaxInsts: 10_000_000})
+		reason, err := m.Run()
+		if err != nil || reason != emu.StopExited {
+			return nil, nil, fmt.Errorf("verify: reference run of program %d: %v (%v)", i, err, reason)
+		}
+		progs[i] = prog
+		want[i] = m.Output.String()
+	}
+	return progs, want, nil
+}
+
+// RunOne executes one (machine, program) pair in lockstep with the
+// functional emulator. A nil result means the run committed every
+// instruction in agreement with the reference, produced identical
+// output on every thread, and never violated a cycle-level invariant.
+func RunOne(ms MachineSpec, ps ProgramSpec) error {
+	cfg, err := ms.coreConfig()
+	if err != nil {
+		return err
+	}
+	progs, want, err := ps.programs(ms.Threads, ms.Windowed())
+	if err != nil {
+		return err
+	}
+	m, err := core.New(cfg, progs, ms.Windowed())
+	if err != nil {
+		return fmt.Errorf("verify: machine construction: %w", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return fmt.Errorf("verify: %s/%s: %w", ms.Rename, ms.Window, err)
+	}
+	for i := range progs {
+		if got := res.Threads[i].Output; got != want[i] {
+			return fmt.Errorf("verify: %s/%s thread %d output %q, want %q",
+				ms.Rename, ms.Window, i, got, want[i])
+		}
+	}
+	return nil
+}
+
+// constructs reports whether the spec builds a valid machine (the
+// sampler uses it to reject out-of-range configurations, e.g. too few
+// physical registers for the thread count).
+func (s MachineSpec) constructs() bool {
+	cfg, err := s.coreConfig()
+	if err != nil {
+		return false
+	}
+	prog, err := asm.Assemble("main:\n        li a0, 0\n        syscall 0\n")
+	if err != nil {
+		return false
+	}
+	progs := make([]*program.Program, s.Threads)
+	for i := range progs {
+		progs[i] = prog
+	}
+	_, err = core.New(cfg, progs, s.Windowed())
+	return err == nil
+}
+
+// SampleSpec draws one valid random machine configuration and a program
+// configuration stressing it.
+func SampleSpec(r *rand.Rand) (MachineSpec, ProgramSpec) {
+	var ms MachineSpec
+	for {
+		ms = MachineSpec{
+			Threads: []int{1, 1, 2, 4}[r.Intn(4)],
+			Width:   []int{1, 2, 4, 8}[r.Intn(4)],
+			ROBSize: 32 << r.Intn(3),
+			IQSize:  16 << r.Intn(2),
+			LSQSize: 16 << r.Intn(2),
+
+			DL1KB:     4 << r.Intn(5),
+			DL1Ways:   1 << r.Intn(3),
+			BlockBits: 5 + r.Intn(2),
+			DL1Ports:  1 + r.Intn(2),
+		}
+		if r.Intn(2) == 0 {
+			ms.Rename = "conventional"
+			ms.Window = []string{"none", "conv"}[r.Intn(2)]
+			// Enough physical registers for every thread's logical file
+			// plus some number of in-flight destinations.
+			ms.PhysRegs = 65*ms.Threads + 32*(1+r.Intn(5))
+			if ms.Window == "conv" {
+				if ms.Threads > 2 {
+					continue // windowed SMT beyond 2 threads: not a paper config
+				}
+				// Room for at least one resident window per thread.
+				ms.PhysRegs = 96 + 32*(ms.Threads+r.Intn(5)) + 65*ms.Threads
+			}
+		} else {
+			ms.Rename = "vca"
+			ms.Window = []string{"none", "ideal", "vca"}[r.Intn(3)]
+			ms.PhysRegs = 40 + r.Intn(260) // the register cache can be tiny
+			ms.ASTQSize = 8 << r.Intn(2)
+			ms.TableSets = 16 << r.Intn(3)
+			ms.TableWays = 2 + r.Intn(5)
+			ms.TablePorts = 4 + r.Intn(5)
+			ms.ASTQWrites = 1 + r.Intn(4)
+		}
+		if ms.constructs() {
+			break
+		}
+	}
+
+	ps := ProgramSpec{
+		Seed: r.Int63(),
+		Gen: progen.Config{
+			Helpers:  r.Intn(5),
+			Blocks:   8 + r.Intn(25),
+			Loops:    r.Intn(2) == 0,
+			Aliasing: r.Intn(2) == 0,
+		},
+	}
+	if ms.Windowed() && r.Intn(2) == 0 {
+		ps.Gen.WindowLadder = 2 + r.Intn(6)
+	}
+	if r.Intn(2) == 0 {
+		ps.Gen.Recursion = true
+		ps.Gen.MaxRecDepth = 2 + r.Intn(9)
+	}
+	return ms, ps
+}
+
+// Sweep samples and runs n configurations from a fixed seed. Each
+// failure is shrunk to a minimal reproduction. progress (optional)
+// receives one call per completed run.
+func Sweep(seed int64, n int, progress func(i int, failed bool)) []Repro {
+	r := rand.New(rand.NewSource(seed))
+	var out []Repro
+	for i := 0; i < n; i++ {
+		ms, ps := SampleSpec(r)
+		err := RunOne(ms, ps)
+		if err != nil {
+			sm, sp := Shrink(ms, ps, func(m MachineSpec, p ProgramSpec) bool {
+				return RunOne(m, p) != nil
+			})
+			out = append(out, Repro{Machine: sm, Program: sp, Failure: err.Error()})
+		}
+		if progress != nil {
+			progress(i, err != nil)
+		}
+	}
+	return out
+}

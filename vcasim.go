@@ -112,6 +112,10 @@ type MachineSpec struct {
 	// DisableCoSim turns off the per-instruction architectural cross-check
 	// against the functional emulator (on by default).
 	DisableCoSim bool
+	// Check runs the cycle-level invariant checker after every simulated
+	// cycle (free-list conservation, queue age order, counter identities;
+	// see docs/VERIFICATION.md). Off by default; a violation aborts Run.
+	Check bool
 	// Trace, when non-nil, receives one line per committed instruction.
 	Trace io.Writer
 	// ChromeTrace, when non-nil, records a Chrome trace-event timeline of
@@ -187,6 +191,7 @@ func Run(spec MachineSpec, progs ...*Program) (Result, error) {
 	cfg.Hier.DL1Ports = spec.DL1Ports
 	cfg.StopAfter = spec.StopAfter
 	cfg.CoSim = !spec.DisableCoSim
+	cfg.Check = spec.Check
 	cfg.TraceWriter = spec.Trace
 	cfg.ChromeTrace = spec.ChromeTrace
 	m, err := core.New(cfg, progs, spec.Arch.Windowed())
