@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments
+.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci
 
 all: build test
 
@@ -11,9 +11,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Full suite under the race detector.
+# Full suite under the race detector. The sweep-heavy packages run
+# close to the default 10-minute package budget on small hosts once the
+# race detector's overhead lands, so the budget is set explicitly.
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Short-budget native fuzzing over the three fuzz targets (assembler,
 # mini-C compiler, whole-stack lockstep). Each target gets a small time
@@ -29,13 +31,35 @@ fuzz-smoke:
 sweep:
 	$(GO) run ./cmd/experiments -sweep 25 -sweepseed 1
 
-# Extended gate: static checks, the race suite, and the fuzz smoke.
-# Slower than `make test`; run before sending a change.
-check: docs-check test-race fuzz-smoke
+# Result-cache round-trip smoke: hits must reproduce cold-run results
+# bit for bit across the whole workload matrix.
+cache-smoke:
+	$(GO) test ./internal/simcache -run 'TestCacheRoundTrip' -count=1
+
+# Result-cache CI round trip: run the same experiment twice against a
+# fresh cache directory. The second pass must print byte-identical
+# output and be served almost entirely (>= 90%) from the cache —
+# cachecheck fails the build otherwise.
+CACHECI_DIR := .simcache-ci
+cache-ci:
+	rm -rf $(CACHECI_DIR)
+	mkdir -p $(CACHECI_DIR)
+	$(GO) run ./cmd/experiments -fig4 -stop 10000 -cachedir $(CACHECI_DIR) \
+		-cachestats $(CACHECI_DIR)/pass1.json > $(CACHECI_DIR)/pass1.out
+	$(GO) run ./cmd/experiments -fig4 -stop 10000 -cachedir $(CACHECI_DIR) \
+		-cachestats $(CACHECI_DIR)/pass2.json > $(CACHECI_DIR)/pass2.out
+	cmp $(CACHECI_DIR)/pass1.out $(CACHECI_DIR)/pass2.out
+	$(GO) run ./internal/tools/cachecheck -stats $(CACHECI_DIR)/pass2.json -min 0.9
+	rm -rf $(CACHECI_DIR)
+
+# Extended gate: static checks, the race suite, the fuzz smoke, and the
+# cache round-trip smoke. Slower than `make test`; run before sending a
+# change.
+check: docs-check test-race fuzz-smoke cache-smoke
 
 # Continuous-integration gate: everything check runs, plus the
-# fixed-seed verification sweep.
-ci: build docs-check test-race fuzz-smoke sweep
+# fixed-seed verification sweep and the run-twice cache round trip.
+ci: build docs-check test-race fuzz-smoke cache-smoke sweep cache-ci
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.
@@ -53,7 +77,7 @@ bench:
 # target filename when the tree's performance character changes; older
 # BENCH_N.json files stay committed as the trajectory.
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_2.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_3.json
 
 # Full paper evaluation at the default commit budget.
 experiments:

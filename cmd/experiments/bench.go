@@ -10,6 +10,7 @@ import (
 	"vca/internal/core"
 	"vca/internal/minic"
 	"vca/internal/program"
+	"vca/internal/simcache"
 	"vca/internal/workload"
 )
 
@@ -56,28 +57,43 @@ type benchResult struct {
 }
 
 // benchReport is the BENCH_*.json schema.
+//
+// Schema history: 2 added per-row counter maps; 3 added GoMaxProcs
+// (NumCPU alone misattributed capped-GOMAXPROCS runs: the harness
+// parallelizes with runtime.GOMAXPROCS(0), not runtime.NumCPU()) and
+// the simcache traffic block.
 type benchReport struct {
-	Schema           int           `json:"schema"`
-	GOOS             string        `json:"goos"`
-	GOARCH           string        `json:"goarch"`
-	NumCPU           int           `json:"num_cpu"`
-	CoSim            bool          `json:"cosim"`
-	Rows             []benchResult `json:"rows"`
-	TotalWallSeconds float64       `json:"total_wall_seconds"`
-	MeanSimMIPS      float64       `json:"mean_sim_mips"`
+	Schema int    `json:"schema"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// NumCPU is the machine's logical CPU count; GoMaxProcs is the
+	// parallelism the harness actually ran with. They differ under
+	// GOMAXPROCS caps (cgroup limits, taskset, GOMAXPROCS=N).
+	NumCPU           int               `json:"num_cpu"`
+	GoMaxProcs       int               `json:"gomaxprocs"`
+	CoSim            bool              `json:"cosim"`
+	Rows             []benchResult     `json:"rows"`
+	TotalWallSeconds float64           `json:"total_wall_seconds"`
+	MeanSimMIPS      float64           `json:"mean_sim_mips"`
+	Cache            map[string]uint64 `json:"cache,omitempty"` // simcache.* traffic counters of this invocation
 }
 
 // benchJSON measures simulator throughput (simulated MIPS = committed
 // instructions per host second, detailed core with co-simulation on) on
 // the fixed matrix and writes the report. Runs are sequential and
-// single-threaded so wall time and allocation counts are attributable.
-func benchJSON(path string) error {
+// single-threaded so wall time and allocation counts are attributable;
+// the result cache is deliberately not consulted (a memoized run has
+// no meaningful wall time), but its traffic counters from the wider
+// invocation are recorded so a suspicious MIPS figure can be checked
+// against how much simulation actually ran.
+func benchJSON(path string, cache *simcache.Cache) error {
 	rep := benchReport{
-		Schema: 2,
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
-		CoSim:  true,
+		Schema:     3,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CoSim:      true,
 	}
 	var mipsSum float64
 	for _, row := range benchMatrix {
@@ -139,6 +155,11 @@ func benchJSON(path string) error {
 	}
 	if len(rep.Rows) > 0 {
 		rep.MeanSimMIPS = mipsSum / float64(len(rep.Rows))
+	}
+	if cache != nil {
+		// Zero hits here is the desired proof: every row above was
+		// simulated for real, not replayed from the cache.
+		rep.Cache = cache.MetricsRegistry().CounterMap()
 	}
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 
 	"vca/internal/core"
 	"vca/internal/experiments"
+	"vca/internal/simcache"
 	"vca/internal/verify"
 )
 
@@ -42,6 +43,12 @@ var (
 	flagSweep     = flag.Int("sweep", 0, "run N randomized machine configurations in lockstep with the emulator (invariant checker + co-simulation); shrunk repros print as JSON on divergence")
 	flagSweepSeed = flag.Int64("sweepseed", 1, "RNG seed for -sweep (a fixed seed reproduces the exact configuration sequence)")
 
+	flagJobs       = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	flagCache      = flag.Bool("cache", true, "memoize simulation results on disk (see docs/EXPERIMENTS.md)")
+	flagCacheDir   = flag.String("cachedir", ".simcache", "result cache directory")
+	flagCacheClear = flag.Bool("cacheclear", false, "clear the result cache before running")
+	flagCacheStats = flag.String("cachestats", "", "write end-of-run cache hit/miss counters as JSON to this file")
+
 	flagBenchJSON  = flag.String("benchjson", "", "measure simulator throughput on a fixed workload matrix and write JSON to this file")
 	flagCPUProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMemProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -54,9 +61,29 @@ func main() {
 		*flagFig4, *flagFig5, *flagFig6 = true, true, true
 		*flagFig7, *flagFig8 = true, true
 	}
-	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "" || *flagSweep > 0) {
+	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "" || *flagSweep > 0 || *flagCacheClear) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	experiments.SetJobs(*flagJobs)
+	var cache *simcache.Cache
+	if *flagCache {
+		var err error
+		cache, err = simcache.Open(*flagCacheDir)
+		check(err)
+		if *flagCacheClear {
+			check(cache.Clear())
+		}
+		experiments.SetCache(cache)
+		defer func() {
+			if s := cache.Stats(); s.Hits+s.Misses > 0 || *flagCacheStats != "" {
+				fmt.Fprintf(os.Stderr, "simcache: %s in %s\n", s, cache.Dir())
+			}
+		}()
+		if *flagCacheStats != "" {
+			defer func() { check(writeCacheStats(*flagCacheStats, cache)) }()
+		}
 	}
 
 	if *flagCPUProfile != "" {
@@ -79,7 +106,7 @@ func main() {
 	}
 
 	if *flagBenchJSON != "" {
-		check(benchJSON(*flagBenchJSON))
+		check(benchJSON(*flagBenchJSON, cache))
 	}
 	if *flagSweep > 0 {
 		sweep(*flagSweepSeed, *flagSweep)
@@ -106,17 +133,21 @@ func main() {
 
 // sweep runs the config-space lockstep verification sweep and exits
 // non-zero if any run diverged (printing each shrunk repro as JSON —
-// the format docs/VERIFICATION.md documents).
+// the format docs/VERIFICATION.md documents) or a configuration took
+// the harness down (panic, reported as a failed cell).
 func sweep(seed int64, n int) {
 	fmt.Printf("== Lockstep verification sweep: %d runs, seed %d ==\n", n, seed)
-	repros := verify.Sweep(seed, n, func(i int, failed bool) {
+	repros, err := verify.Sweep(seed, n, *flagJobs, func(i int, failed bool) {
 		status := "ok"
 		if failed {
 			status = "DIVERGED"
 		}
 		fmt.Printf("run %3d/%d: %s\n", i+1, n, status)
 	})
-	if len(repros) == 0 {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: sweep harness failures:", err)
+	}
+	if len(repros) == 0 && err == nil {
 		fmt.Println("all runs agree with the functional emulator; no invariant violations")
 		return
 	}
@@ -126,6 +157,16 @@ func sweep(seed int64, n int) {
 		fmt.Printf("minimal repro:\n%s\n", b)
 	}
 	os.Exit(1)
+}
+
+// writeCacheStats dumps the cache traffic counters as JSON (consumed
+// by internal/tools/cachecheck in the `make cache-ci` gate).
+func writeCacheStats(path string, cache *simcache.Cache) error {
+	b, err := json.MarshalIndent(cache.Stats(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func check(err error) {

@@ -36,6 +36,9 @@ var (
 
 	flagStats  = flag.String("stats", "", "write the full event-counter dump to this file (.csv for CSV, otherwise JSON)")
 	flagChrome = flag.String("chrometrace", "", "record a Chrome trace-event timeline and write it to this file (bound the run with -stop)")
+
+	flagCache    = flag.Bool("cache", false, "memoize the run in the on-disk result cache (ignored with -trace/-stats/-chrometrace, which need a live run)")
+	flagCacheDir = flag.String("cachedir", ".simcache", "result cache directory for -cache")
 )
 
 func main() {
@@ -92,6 +95,18 @@ func main() {
 	}
 	if *flagChrome != "" {
 		spec.ChromeTrace = vca.NewTraceRecorder()
+	}
+	// The -stats dump reads the live metrics registry, which a cache
+	// hit does not carry — always simulate when it is requested.
+	if *flagCache && *flagStats == "" {
+		cache, err := vca.OpenResultCache(*flagCacheDir)
+		if err != nil {
+			fail(err)
+		}
+		spec.Cache = cache
+		defer func() {
+			fmt.Fprintf(os.Stderr, "vcasim: simcache %v in %s\n", cache.Stats(), cache.Dir())
+		}()
 	}
 	res, err := vca.Run(spec, progs...)
 	if err != nil {

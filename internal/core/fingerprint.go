@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion identifies the simulator's cycle-level semantics for
+// result memoization (internal/simcache). Bump it whenever a change to
+// internal/core (or the components it drives: rename, mem, branch)
+// alters simulated results — cycle counts, cache traffic, counter
+// values — for an unchanged configuration and program. Cached results
+// recorded under an older version then stop matching and are
+// re-simulated instead of trusted.
+//
+// History:
+//
+//	1  PR 1 fast-path core (pooled uops, word-granular memory)
+//	2  PR 2 event-counter registry (no timing change, counters added)
+//	3  PR 3 invariant checker (opt-in, no timing change)
+//	4  PR 4 this version: first memoized release
+const SchemaVersion = 4
+
+// fingerprintSkip lists Config fields that do not influence simulated
+// results and therefore must not contribute to a result-cache key:
+// observability hooks (trace writers) and cross-checking switches that
+// only verify — never alter — the simulation.
+var fingerprintSkip = map[string]bool{
+	"TraceWriter": true,
+	"ChromeTrace": true,
+	"CoSim":       true,
+	"Check":       true,
+}
+
+// Fingerprint returns a canonical, human-readable encoding of every
+// semantic configuration field, suitable for content-addressing
+// simulation results. Two configs with equal fingerprints produce
+// bit-identical runs on the same programs (given equal SchemaVersion).
+//
+// The encoding walks the struct reflectively so that a newly added
+// field changes the fingerprint automatically (safe direction: stale
+// cache entries are invalidated, never wrongly reused). Fields listed
+// in fingerprintSkip are observability-only and excluded. A field of a
+// kind the walker does not understand panics, forcing an explicit
+// decision when one is introduced.
+func (c *Config) Fingerprint() string {
+	var b strings.Builder
+	writeFingerprint(&b, reflect.ValueOf(*c), "Config", true)
+	return b.String()
+}
+
+func writeFingerprint(b *strings.Builder, v reflect.Value, name string, top bool) {
+	switch v.Kind() {
+	case reflect.Struct:
+		b.WriteString(name)
+		b.WriteByte('{')
+		t := v.Type()
+		first := true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() || (top && fingerprintSkip[f.Name]) {
+				continue
+			}
+			if !first {
+				b.WriteByte(';')
+			}
+			first = false
+			writeFingerprint(b, v.Field(i), f.Name, false)
+		}
+		b.WriteByte('}')
+	case reflect.Bool:
+		fmt.Fprintf(b, "%s=%v", name, v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(b, "%s=%d", name, v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		fmt.Fprintf(b, "%s=%d", name, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		fmt.Fprintf(b, "%s=%g", name, v.Float())
+	case reflect.String:
+		fmt.Fprintf(b, "%s=%q", name, v.String())
+	case reflect.Array, reflect.Slice:
+		fmt.Fprintf(b, "%s=[", name)
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeFingerprint(b, v.Index(i), fmt.Sprintf("%d", i), false)
+		}
+		b.WriteByte(']')
+	case reflect.Map:
+		keys := v.MapKeys()
+		strs := make([]string, len(keys))
+		for i, k := range keys {
+			var kb strings.Builder
+			writeFingerprint(&kb, v.MapIndex(k), fmt.Sprint(k.Interface()), false)
+			strs[i] = kb.String()
+		}
+		sort.Strings(strs)
+		fmt.Fprintf(b, "%s=map[%s]", name, strings.Join(strs, ","))
+	default:
+		panic(fmt.Sprintf("core: Config fingerprint cannot encode field %s of kind %v; "+
+			"add it to fingerprintSkip if it cannot affect results, or teach "+
+			"writeFingerprint the kind", name, v.Kind()))
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vca/internal/metrics"
+)
+
+func TestFingerprintStableAndComplete(t *testing.T) {
+	cfg := DefaultConfig(RenameVCA, WindowVCA, 2, 128)
+	fp := cfg.Fingerprint()
+	if fp != cfg.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	// Every semantic knob the experiments sweep must appear by name.
+	for _, want := range []string{"Threads=2", "PhysRegs=128", "Rename=1", "Window=2",
+		"Width=", "ROBSize=", "StopAfter=", "VCA{", "Hier{", "BP{", "DL1Ports="} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("fingerprint missing %q:\n%s", want, fp)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := DefaultConfig(RenameConventional, WindowNone, 1, 256)
+	fp := base.Fingerprint()
+
+	mutations := []func(*Config){
+		func(c *Config) { c.PhysRegs = 192 },
+		func(c *Config) { c.Threads = 2 },
+		func(c *Config) { c.Width = 8 },
+		func(c *Config) { c.StopAfter = 1 },
+		func(c *Config) { c.MaxCycles = 7 },
+		func(c *Config) { c.Hier.DL1Ports = 1 },
+		func(c *Config) { c.Hier.DL1.SizeBytes = 4 << 10 },
+		func(c *Config) { c.VCA.Ways = 7 },
+		func(c *Config) { c.BP.RASDepth = 3 },
+		func(c *Config) { c.RecoveryWalk = !c.RecoveryWalk },
+		func(c *Config) { c.TrapPenalty = 99 },
+	}
+	for i, mutate := range mutations {
+		c := base
+		mutate(&c)
+		if c.Fingerprint() == fp {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+func TestFingerprintIgnoresObservability(t *testing.T) {
+	base := DefaultConfig(RenameConventional, WindowNone, 1, 256)
+	fp := base.Fingerprint()
+
+	c := base
+	c.CoSim = !c.CoSim
+	c.Check = true
+	c.TraceWriter = &strings.Builder{}
+	c.ChromeTrace = metrics.NewTraceRecorder()
+	if c.Fingerprint() != fp {
+		t.Error("observability-only fields changed the fingerprint")
+	}
+}

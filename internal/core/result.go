@@ -41,8 +41,11 @@ type Result struct {
 
 	// Metrics is the machine's full event-counter registry (see
 	// internal/metrics and docs/OBSERVABILITY.md); exporters read it via
-	// Snapshot/WriteJSON/WriteCSV/CounterMap.
-	Metrics *metrics.Registry
+	// Snapshot/WriteJSON/WriteCSV/CounterMap. It is excluded from JSON
+	// serialization: a Result restored from the result cache
+	// (internal/simcache) carries the flat counter map instead and has a
+	// nil registry.
+	Metrics *metrics.Registry `json:"-"`
 }
 
 type branchSummary struct {

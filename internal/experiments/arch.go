@@ -7,15 +7,32 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"vca/internal/core"
 	"vca/internal/minic"
 	"vca/internal/program"
+	"vca/internal/simcache"
 	"vca/internal/workload"
 )
+
+// Package-wide execution state: the shared job runner and the optional
+// result cache. Both default to "plain": GOMAXPROCS workers, no
+// memoization. cmd/experiments wires the -jobs/-cache* flags here; the
+// public sweep API is unchanged.
+var (
+	runner = simcache.Runner{}
+	cache  *simcache.Cache // nil = simulate every job
+)
+
+// SetJobs sets the worker count of every sweep (0 restores GOMAXPROCS).
+func SetJobs(n int) { runner.Jobs = n }
+
+// SetCache installs the result cache consulted by every simulation job
+// (nil disables memoization).
+func SetCache(c *simcache.Cache) { cache = c }
+
+// CacheStats reports the installed cache's traffic (zero when disabled).
+func CacheStats() simcache.Stats { return cache.Stats() }
 
 // Arch enumerates the compared architectures.
 type Arch int
@@ -136,11 +153,7 @@ func RunSMT(benches []workload.Benchmark, arch Arch, physRegs, dl1Ports int, sto
 func runMachine(cfg core.Config, progs []*program.Program, windowed bool, stopAfter uint64) (Metrics, error) {
 	cfg.StopAfter = stopAfter
 	cfg.MaxCycles = 1 << 34
-	m, err := core.New(cfg, progs, windowed)
-	if err != nil {
-		return Metrics{}, err
-	}
-	res, err := m.Run()
+	res, _, _, err := cache.RunMachine(cfg, progs, windowed)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -176,39 +189,9 @@ func runMachine(cfg core.Config, progs []*program.Program, windowed bool, stopAf
 	return met, nil
 }
 
-// parallelFor runs fn(i) for i in [0,n) on all cores (each simulation is
-// independent and deterministic). Dispatch stops at the first worker
-// error: jobs already running finish, but no new ones start.
+// parallelFor dispatches fn(i) for i in [0,n) through the package's
+// shared runner (simcache.Runner): panic-safe jobs, deterministic
+// lowest-index-first error aggregation, -jobs-controlled parallelism.
 func parallelFor(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	var failed atomic.Bool
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := 0; i < n && !failed.Load(); i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return firstErr
+	return runner.Run(n, fn)
 }

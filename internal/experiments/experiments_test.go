@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"errors"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"vca/internal/simcache"
 	"vca/internal/workload"
 )
 
@@ -32,6 +34,9 @@ func TestTable2(t *testing.T) {
 func TestRegWindowSweepShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in -short mode")
+	}
+	if raceDetectorOn {
+		t.Skip("full-budget sweep takes tens of minutes under the race detector (see race_on_test.go)")
 	}
 	cells, err := RegWindowSweep(2, testStop)
 	if err != nil {
@@ -116,6 +121,9 @@ func TestSinglePortSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in -short mode")
 	}
+	if raceDetectorOn {
+		t.Skip("full-budget sweep takes tens of minutes under the race detector (see race_on_test.go)")
+	}
 	dual, err := RegWindowSweep(2, testStop)
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +183,9 @@ func TestSMTSweepShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep in -short mode")
 	}
+	if raceDetectorOn {
+		t.Skip("full-budget sweep takes tens of minutes under the race detector (see race_on_test.go)")
+	}
 	opts := SMTOptions{K2: 3, K4: 3, StopAfter: 50_000, Sizes: []int{128, 192, 320, 448}}
 	cells, err := SMTSweep(opts)
 	if err != nil {
@@ -231,5 +242,104 @@ func TestParallelForStopsOnError(t *testing.T) {
 	}
 	if got := calls.Load(); got > n/2 {
 		t.Fatalf("dispatched %d of %d jobs after the first error; dispatch should have stopped", got, n)
+	}
+}
+
+// withCache installs a fresh result cache for the duration of a test.
+// The experiments package state is global, so tests using it cannot run
+// in parallel with each other — none of this file's tests call
+// t.Parallel().
+func withCache(t *testing.T) *simcache.Cache {
+	t.Helper()
+	c, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCache(c)
+	t.Cleanup(func() { SetCache(nil) })
+	return c
+}
+
+// TestSweepRunTwiceMemoized is the run-twice acceptance demo at test
+// scale: a second pass over an identical sweep matrix must reproduce
+// the exact cells with zero re-simulated jobs, and the hit/miss
+// counters must prove it. The matrix here is a small explicit one so
+// the test stays cheap under -race; `make cache-ci` runs the same
+// round trip over the full Figure 4 sweep at the command level.
+func TestSweepRunTwiceMemoized(t *testing.T) {
+	cache := withCache(t)
+	benches := workload.CallFrequent()[:4]
+	archs := []Arch{ArchBaseline, ArchVCAWindow}
+	const stop = 5_000
+
+	pass := func() []Metrics {
+		cells := make([]Metrics, len(benches)*len(archs))
+		err := parallelFor(len(cells), func(i int) error {
+			m, err := RunSingle(benches[i%len(benches)], archs[i/len(benches)], 256, 2, stop)
+			cells[i] = m
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+
+	cold := pass()
+	afterCold := cache.Stats()
+	if want := uint64(len(cold)); afterCold.Misses != want || afterCold.Hits != 0 {
+		t.Fatalf("cold pass stats %v, want %d misses", afterCold, want)
+	}
+
+	warm := pass()
+	afterWarm := cache.Stats()
+	if afterWarm.Misses != afterCold.Misses {
+		t.Fatalf("warm pass re-simulated %d jobs; want 0 (stats %v)",
+			afterWarm.Misses-afterCold.Misses, afterWarm)
+	}
+	if afterWarm.Hits != afterCold.Misses {
+		t.Fatalf("warm pass hit %d of %d jobs (stats %v)", afterWarm.Hits, afterCold.Misses, afterWarm)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("memoized sweep differs from cold sweep:\ncold: %+v\nwarm: %+v", cold, warm)
+	}
+}
+
+// TestSweepResumesAfterInterrupt kills a sweep partway (a failing job
+// aborts dispatch) and re-runs it: completed cells must come from the
+// cache, not re-simulation.
+func TestSweepResumesAfterInterrupt(t *testing.T) {
+	cache := withCache(t)
+	benches := workload.CallFrequent()[:6]
+	const stop = 5_000
+
+	run := func(interruptAt int) error {
+		return parallelFor(len(benches), func(i int) error {
+			if i == interruptAt {
+				return errors.New("simulated interrupt")
+			}
+			met, err := RunSingle(benches[i], ArchVCAWindow, 128, 2, stop)
+			if err == nil && !met.Valid {
+				err = errors.New("invalid cell")
+			}
+			return err
+		})
+	}
+	if err := run(3); err == nil {
+		t.Fatal("interrupt did not surface")
+	}
+	interrupted := cache.Stats()
+	if interrupted.Stores == 0 {
+		t.Fatal("interrupted sweep stored nothing")
+	}
+	if err := run(-1); err != nil {
+		t.Fatal(err)
+	}
+	final := cache.Stats()
+	if final.Hits != interrupted.Stores {
+		t.Errorf("resume re-simulated completed cells: %d hits, want %d", final.Hits, interrupted.Stores)
+	}
+	if final.Misses != uint64(len(benches)) {
+		t.Errorf("total misses %d, want %d (each cell simulated exactly once)", final.Misses, len(benches))
 	}
 }

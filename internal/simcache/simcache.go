@@ -1,0 +1,409 @@
+// Package simcache memoizes cycle-level simulation results on disk and
+// provides the unified job runner of the experiment harness.
+//
+// Every table and figure of the paper's evaluation is a reduction over
+// independent simulation jobs (config, programs) → core.Result. Each
+// job is content-addressed: the cache key is a SHA-256 over the
+// canonicalized core.Config (Config.Fingerprint — every semantic field,
+// no observability hooks), the exact program images (text words, data
+// bytes, entry point, load bases), the windowed-ABI flag, and
+// core.SchemaVersion, which is bumped whenever simulator semantics
+// change. A hit therefore can only ever return a result the current
+// simulator would reproduce bit-for-bit; anything else — a config
+// tweak, a program edit, a schema bump, a corrupted file — misses and
+// re-simulates.
+//
+// Entries live under a cache directory (default .simcache/) as one
+// JSON file per key holding the full core.Result plus the flat event-
+// counter map, protected by an embedded payload checksum, with an
+// index.json sidecar recording provenance (schema, config fingerprint,
+// programs, creation time) for every stored key. Interrupted sweeps
+// resume for free: completed cells are already on disk, so a re-run
+// only simulates what is missing.
+//
+// docs/EXPERIMENTS.md documents key derivation, invalidation rules,
+// and the cmd/experiments -cache* flags.
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vca/internal/core"
+	"vca/internal/metrics"
+	"vca/internal/program"
+)
+
+// Key returns the content address of one simulation job. Identical
+// keys guarantee bit-identical simulation results under the current
+// core.SchemaVersion.
+func Key(cfg core.Config, progs []*program.Program, windowed bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\n", core.SchemaVersion)
+	fmt.Fprintf(h, "config=%s\n", cfg.Fingerprint())
+	fmt.Fprintf(h, "windowed=%v\nprograms=%d\n", windowed, len(progs))
+	var word [4]byte
+	var addr [8]byte
+	for _, p := range progs {
+		binary.LittleEndian.PutUint64(addr[:], p.TextBase)
+		h.Write(addr[:])
+		binary.LittleEndian.PutUint64(addr[:], p.DataBase)
+		h.Write(addr[:])
+		binary.LittleEndian.PutUint64(addr[:], p.Entry)
+		h.Write(addr[:])
+		for _, w := range p.Text {
+			binary.LittleEndian.PutUint32(word[:], uint32(w))
+			h.Write(word[:])
+		}
+		h.Write(p.Data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Entry is one stored simulation result: the full core.Result (minus
+// the live metrics registry) and the flat counter map, plus provenance
+// and an integrity checksum over the payload.
+type Entry struct {
+	Schema   int               `json:"schema"`
+	Key      string            `json:"key"`
+	Config   string            `json:"config"` // Config.Fingerprint at store time
+	Result   *core.Result      `json:"result"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	Checksum string            `json:"checksum"` // SHA-256 of payloadBytes(Result, Counters)
+}
+
+// payloadBytes is the canonical byte form the checksum covers:
+// encoding/json is deterministic over structs (declaration order) and
+// maps (sorted keys).
+func payloadBytes(res *core.Result, counters map[string]uint64) ([]byte, error) {
+	return json.Marshal(struct {
+		Result   *core.Result      `json:"result"`
+		Counters map[string]uint64 `json:"counters,omitempty"`
+	}{res, counters})
+}
+
+func checksum(res *core.Result, counters map[string]uint64) (string, error) {
+	b, err := payloadBytes(res, counters)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// IndexEntry is the provenance row index.json keeps per stored key —
+// enough to audit exactly which simulator version and configuration
+// produced a cached cell without opening the entry itself.
+type IndexEntry struct {
+	Schema   int    `json:"schema"`
+	Config   string `json:"config"`
+	Programs string `json:"programs"` // comma-joined program names
+	Cycles   uint64 `json:"cycles"`
+	Created  string `json:"created"` // RFC 3339
+}
+
+// Stats counts cache traffic since Open. Bypassed counts jobs run with
+// a nil cache handle (caching disabled).
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Stores  uint64 `json:"stores"`
+	Corrupt uint64 `json:"corrupt"` // entries that failed checksum/decode and were discarded
+	Errors  uint64 `json:"errors"`  // I/O errors (treated as misses)
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is an on-disk, content-addressed store of simulation results.
+// A nil *Cache is valid and means "caching disabled": RunMachine
+// simulates directly. Methods are safe for concurrent use by the
+// Runner's workers.
+type Cache struct {
+	dir string
+
+	hits, misses, stores, corrupt, errs atomic.Uint64
+
+	mu    sync.Mutex // guards index mutation + index.json rewrite
+	index map[string]IndexEntry
+}
+
+const indexFile = "index.json"
+
+// Open creates (if needed) and opens a cache directory, loading the
+// provenance index. An unreadable index is rebuilt empty rather than
+// trusted: entry files carry their own checksums, so the index is
+// advisory.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	c := &Cache{dir: dir, index: map[string]IndexEntry{}}
+	if b, err := os.ReadFile(filepath.Join(dir, indexFile)); err == nil {
+		if err := json.Unmarshal(b, &c.index); err != nil {
+			c.index = map[string]IndexEntry{}
+		}
+	}
+	return c, nil
+}
+
+// Dir returns the cache directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Clear removes every entry and the index.
+func (c *Cache) Clear() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	for _, e := range names {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.dir, e.Name())); err != nil {
+			return fmt.Errorf("simcache: %w", err)
+		}
+	}
+	c.index = map[string]IndexEntry{}
+	return nil
+}
+
+// Len returns the number of indexed entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry for key. ok=false on miss; a corrupted or
+// schema-stale entry is removed and reported as a miss. Get does not
+// touch the hit/miss statistics — RunMachine owns those.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.errs.Add(1)
+		}
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		c.discardCorrupt(key)
+		return nil, false
+	}
+	sum, err := checksum(e.Result, e.Counters)
+	if err != nil || sum != e.Checksum || e.Key != key || e.Schema != core.SchemaVersion || e.Result == nil {
+		c.discardCorrupt(key)
+		return nil, false
+	}
+	return &e, true
+}
+
+func (c *Cache) discardCorrupt(key string) {
+	c.corrupt.Add(1)
+	os.Remove(c.entryPath(key))
+	c.mu.Lock()
+	delete(c.index, key)
+	c.writeIndexLocked()
+	c.mu.Unlock()
+}
+
+// Put stores a result under key (atomic write: temp file + rename) and
+// records its provenance in the index.
+func (c *Cache) Put(key string, cfg core.Config, progs []*program.Program, res *core.Result, counters map[string]uint64) error {
+	if c == nil {
+		return nil
+	}
+	sum, err := checksum(res, counters)
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	e := Entry{
+		Schema:   core.SchemaVersion,
+		Key:      key,
+		Config:   cfg.Fingerprint(),
+		Result:   res,
+		Counters: counters,
+		Checksum: sum,
+	}
+	b, err := json.MarshalIndent(&e, "", " ")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.entryPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	c.stores.Add(1)
+
+	names := ""
+	for i, p := range progs {
+		if i > 0 {
+			names += ","
+		}
+		names += p.Name
+	}
+	c.mu.Lock()
+	c.index[key] = IndexEntry{
+		Schema:   core.SchemaVersion,
+		Config:   e.Config,
+		Programs: names,
+		Cycles:   res.Cycles,
+		Created:  time.Now().UTC().Format(time.RFC3339),
+	}
+	c.writeIndexLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// writeIndexLocked rewrites index.json atomically; c.mu must be held.
+// Index write failures are tolerated (the index is provenance, not
+// truth) but counted.
+func (c *Cache) writeIndexLocked() {
+	b, err := json.MarshalIndent(c.index, "", " ")
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "index-*")
+	if err != nil {
+		c.errs.Add(1)
+		return
+	}
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			err = os.Rename(tmp.Name(), filepath.Join(c.dir, indexFile))
+		}
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		c.errs.Add(1)
+	}
+}
+
+// RunMachine is the memoized simulation entry point: on a hit it
+// returns the stored result (and its counter map) without simulating;
+// on a miss it builds the machine, runs it, stores the result, and
+// returns it. The returned hit flag reports which path was taken.
+//
+// A hit's Result has a nil Metrics registry — callers needing live
+// registry access (histograms, stats dumps) must bypass the cache.
+func (c *Cache) RunMachine(cfg core.Config, progs []*program.Program, windowed bool) (res *core.Result, counters map[string]uint64, hit bool, err error) {
+	if c == nil {
+		res, err := simulate(cfg, progs, windowed)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return res, res.Metrics.CounterMap(), false, nil
+	}
+	key := Key(cfg, progs, windowed)
+	if e, ok := c.Get(key); ok {
+		c.hits.Add(1)
+		return e.Result, e.Counters, true, nil
+	}
+	c.misses.Add(1)
+	r, err := simulate(cfg, progs, windowed)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	cm := r.Metrics.CounterMap()
+	if err := c.Put(key, cfg, progs, r, cm); err != nil {
+		c.errs.Add(1) // a store failure degrades to "no caching", not a harness error
+	}
+	return r, cm, false, nil
+}
+
+func simulate(cfg core.Config, progs []*program.Program, windowed bool) (*core.Result, error) {
+	m, err := core.New(cfg, progs, windowed)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Stats returns a snapshot of the traffic counters (zero for nil).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stores:  c.stores.Load(),
+		Corrupt: c.corrupt.Load(),
+		Errors:  c.errs.Load(),
+	}
+}
+
+// MetricsRegistry exports the traffic counters as a point-in-time
+// internal/metrics registry (names simcache.*), the form the BENCH_*
+// report and other exporters consume.
+func (c *Cache) MetricsRegistry() *metrics.Registry {
+	s := c.Stats()
+	r := metrics.NewRegistry()
+	add := func(name string, v uint64, desc string) {
+		ctr := r.Counter("simcache."+name, "events", desc)
+		ctr.Add(v)
+	}
+	add("hits", s.Hits, "simulation jobs answered from the result cache")
+	add("misses", s.Misses, "simulation jobs that had to simulate")
+	add("stores", s.Stores, "results written to the cache")
+	add("corrupt", s.Corrupt, "cache entries discarded on checksum/decode failure")
+	add("errors", s.Errors, "cache I/O errors (degraded to misses)")
+	return r
+}
+
+// String renders the stats for the end-of-run summary line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses, %d stores, %d corrupt, %d errors (hit rate %.1f%%)",
+		s.Hits, s.Misses, s.Stores, s.Corrupt, s.Errors, 100*s.HitRate())
+}

@@ -1,0 +1,401 @@
+package simcache
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vca/internal/core"
+	"vca/internal/isa"
+	"vca/internal/minic"
+	"vca/internal/program"
+	"vca/internal/workload"
+)
+
+// testStop keeps the 15×3 matrix fast while still exercising the real
+// pipeline (window traffic, cache misses, branch recovery all happen
+// well before 2000 commits).
+const testStop = 2000
+
+type model struct {
+	name     string
+	rename   core.RenameModel
+	window   core.WindowModel
+	physRegs int
+	abi      minic.ABI
+}
+
+var testModels = []model{
+	{"baseline", core.RenameConventional, core.WindowNone, 256, minic.ABIFlat},
+	{"conv-window", core.RenameConventional, core.WindowConventional, 288, minic.ABIWindowed},
+	{"vca-window", core.RenameVCA, core.WindowVCA, 128, minic.ABIWindowed},
+}
+
+func jobFor(t *testing.T, b workload.Benchmark, m model) (core.Config, []*program.Program, bool) {
+	t.Helper()
+	cfg := core.DefaultConfig(m.rename, m.window, 1, m.physRegs)
+	cfg.StopAfter = testStop
+	cfg.MaxCycles = 1 << 34
+	prog, err := b.Build(m.abi)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", b.Name, m.name, err)
+	}
+	return cfg, []*program.Program{prog}, m.abi == minic.ABIWindowed
+}
+
+// resultJSON is the bit-identity witness: the canonical serialized form
+// of a result + counters.
+func resultJSON(t *testing.T, res *core.Result, counters map[string]uint64) string {
+	t.Helper()
+	b, err := payloadBytes(res, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCacheRoundTrip is the `make cache-smoke` target: across the full
+// suite — all 15 workloads × 3 machine models — a cache hit must return
+// a bit-identical core.Result and counter map compared with the cold
+// simulation that populated it.
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := workload.All()
+	if len(benches) != 15 {
+		t.Fatalf("suite has %d workloads, want 15", len(benches))
+	}
+	for _, m := range testModels {
+		for _, b := range benches {
+			cfg, progs, windowed := jobFor(t, b, m)
+			cold, coldCounters, hit, err := cache.RunMachine(cfg, progs, windowed)
+			if err != nil {
+				t.Fatalf("%s/%s cold: %v", b.Name, m.name, err)
+			}
+			if hit {
+				t.Fatalf("%s/%s: first run cannot hit", b.Name, m.name)
+			}
+			warm, warmCounters, hit, err := cache.RunMachine(cfg, progs, windowed)
+			if err != nil {
+				t.Fatalf("%s/%s warm: %v", b.Name, m.name, err)
+			}
+			if !hit {
+				t.Fatalf("%s/%s: second run must hit", b.Name, m.name)
+			}
+			if warm.Metrics != nil {
+				t.Fatalf("%s/%s: a replayed result must not carry a live registry", b.Name, m.name)
+			}
+			if got, want := resultJSON(t, warm, warmCounters), resultJSON(t, cold, coldCounters); got != want {
+				t.Errorf("%s/%s: hit is not bit-identical to the cold run\ngot:  %s\nwant: %s",
+					b.Name, m.name, got, want)
+			}
+		}
+	}
+	s := cache.Stats()
+	want := uint64(len(benches) * len(testModels))
+	if s.Hits != want || s.Misses != want || s.Corrupt != 0 {
+		t.Errorf("stats %v, want %d hits and %d misses", s, want, want)
+	}
+}
+
+// TestKeyInvalidation: any semantic change — a config field, a program
+// byte, the simulator schema — must change the key and force a miss.
+func TestKeyInvalidation(t *testing.T) {
+	b, err := workload.ByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, progs, windowed := jobFor(t, b, testModels[0])
+	base := Key(cfg, progs, windowed)
+
+	t.Run("config field", func(t *testing.T) {
+		c := cfg
+		c.Hier.DL1Ports = 1
+		if Key(c, progs, windowed) == base {
+			t.Error("DL1Ports change did not change the key")
+		}
+		c = cfg
+		c.StopAfter++
+		if Key(c, progs, windowed) == base {
+			t.Error("StopAfter change did not change the key")
+		}
+	})
+	t.Run("observability field", func(t *testing.T) {
+		c := cfg
+		c.CoSim = !c.CoSim
+		c.Check = true
+		if Key(c, progs, windowed) != base {
+			t.Error("observability toggles must not change the key")
+		}
+	})
+	t.Run("program byte", func(t *testing.T) {
+		clone := *progs[0]
+		clone.Text = append([]isa.Word{}, progs[0].Text...)
+		clone.Text[len(clone.Text)/2] ^= 1
+		if Key(cfg, []*program.Program{&clone}, windowed) == base {
+			t.Error("text change did not change the key")
+		}
+		clone = *progs[0]
+		clone.Data = append([]byte{}, progs[0].Data...)
+		if len(clone.Data) == 0 {
+			clone.Data = []byte{1}
+		} else {
+			clone.Data[0] ^= 1
+		}
+		if Key(cfg, []*program.Program{&clone}, windowed) == base {
+			t.Error("data change did not change the key")
+		}
+	})
+	t.Run("windowed flag", func(t *testing.T) {
+		if Key(cfg, progs, !windowed) == base {
+			t.Error("windowed flag did not change the key")
+		}
+	})
+}
+
+// TestSchemaBumpForcesMiss simulates a simulator-semantics change: an
+// entry recorded under a different schema version must not be trusted.
+func TestSchemaBumpForcesMiss(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("twolf")
+	cfg, progs, windowed := jobFor(t, b, testModels[0])
+	if _, _, _, err := cache.RunMachine(cfg, progs, windowed); err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, progs, windowed)
+
+	// Rewrite the stored entry as if an older simulator had written it.
+	path := cache.entryPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e Entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Schema = core.SchemaVersion - 1
+	out, _ := json.Marshal(&e)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("stale-schema entry must miss")
+	}
+	if _, _, hit, err := cache.RunMachine(cfg, progs, windowed); err != nil || hit {
+		t.Fatalf("stale-schema entry must re-simulate (hit=%v err=%v)", hit, err)
+	}
+}
+
+// TestCorruptEntryResimulated: a damaged cache file is detected by the
+// payload checksum, discarded, and re-simulated — never trusted.
+func TestCorruptEntryResimulated(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("gcc_expr")
+	cfg, progs, windowed := jobFor(t, b, testModels[0])
+	ref, refCounters, _, err := cache.RunMachine(cfg, progs, windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(cfg, progs, windowed)
+	path := cache.entryPath(key)
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bit flip": func(b []byte) []byte {
+			out := append([]byte{}, b...)
+			// Flip inside the payload (past the header fields) so the
+			// JSON still parses but the checksum catches it.
+			for i := len(out) / 2; i < len(out); i++ {
+				if out[i] >= '1' && out[i] <= '8' {
+					out[i]++
+					return out
+				}
+			}
+			t.Fatal("no digit to flip")
+			return out
+		},
+		"not JSON": func([]byte) []byte { return []byte("ceci n'est pas un résultat") },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				// Re-populate (previous subtest discarded the entry).
+				if _, _, _, err := cache.RunMachine(cfg, progs, windowed); err != nil {
+					t.Fatal(err)
+				}
+				raw, err = os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			before := cache.Stats().Corrupt
+			res, counters, hit, err := cache.RunMachine(cfg, progs, windowed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit {
+				t.Fatal("corrupted entry served as a hit")
+			}
+			if cache.Stats().Corrupt <= before {
+				t.Error("corruption not counted")
+			}
+			if resultJSON(t, res, counters) != resultJSON(t, ref, refCounters) {
+				t.Error("re-simulated result differs from the original run")
+			}
+		})
+	}
+}
+
+// TestResumeAfterInterrupt: a sweep killed mid-run must resume from the
+// cells already on disk — re-running recomputes only what is missing.
+func TestResumeAfterInterrupt(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := workload.All()[:8]
+	m := testModels[0]
+	runAll := func(c *Cache, interruptAt int) error {
+		return Runner{Jobs: 1}.Run(len(benches), func(i int) error {
+			if i == interruptAt {
+				return errors.New("simulated interrupt")
+			}
+			cfg, progs, windowed := jobFor(t, benches[i], m)
+			_, _, _, err := c.RunMachine(cfg, progs, windowed)
+			return err
+		})
+	}
+	// First pass dies at cell 4. Early-stop dispatch is best-effort:
+	// cells 0–3 always complete first (one worker, in order), and at
+	// most one already-dispatched later cell may slip through before
+	// the stop lands — but never all of them.
+	if err := runAll(cache, 4); err == nil {
+		t.Fatal("interrupt did not surface")
+	}
+	stored := cache.Stats().Stores
+	if stored < 4 || stored >= uint64(len(benches)) {
+		t.Fatalf("interrupted pass stored %d cells, want 4..%d", stored, len(benches)-1)
+	}
+
+	// A fresh process (new cache handle on the same directory) resumes:
+	// every completed cell hits, only the missing ones simulate.
+	resumed, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runAll(resumed, -1); err != nil {
+		t.Fatal(err)
+	}
+	want := Stats{Hits: stored, Misses: uint64(len(benches)) - stored, Stores: uint64(len(benches)) - stored}
+	if s := resumed.Stats(); s != want {
+		t.Fatalf("resume stats %v, want %v", s, want)
+	}
+}
+
+// TestNilCacheBypasses: a nil handle means "disabled", not "broken".
+func TestNilCacheBypasses(t *testing.T) {
+	var c *Cache
+	b, _ := workload.ByName("parser")
+	cfg, progs, windowed := jobFor(t, b, testModels[0])
+	res, counters, hit, err := c.RunMachine(cfg, progs, windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || res == nil || len(counters) == 0 {
+		t.Fatalf("nil cache must simulate directly (hit=%v)", hit)
+	}
+	if c.Stats() != (Stats{}) || c.Len() != 0 || c.Dir() != "" {
+		t.Error("nil cache must report zero state")
+	}
+}
+
+// TestIndexProvenance: every stored key carries a provenance row with
+// the schema and config fingerprint that produced it.
+func TestIndexProvenance(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("gap")
+	cfg, progs, windowed := jobFor(t, b, testModels[2])
+	if _, _, _, err := cache.RunMachine(cfg, progs, windowed); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx map[string]IndexEntry
+	if err := json.Unmarshal(raw, &idx); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := idx[Key(cfg, progs, windowed)]
+	if !ok {
+		t.Fatal("stored key missing from index")
+	}
+	if e.Schema != core.SchemaVersion || e.Config != cfg.Fingerprint() ||
+		!strings.HasPrefix(e.Programs, "gap") || e.Cycles == 0 {
+		t.Errorf("bad provenance row: %+v", e)
+	}
+
+	// Reopening the directory loads the index back.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Errorf("reopened index has %d entries, want 1", re.Len())
+	}
+
+	if err := re.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 {
+		t.Error("Clear left index entries")
+	}
+	if _, ok := re.Get(Key(cfg, progs, windowed)); ok {
+		t.Error("Clear left a readable entry")
+	}
+}
+
+func TestMetricsRegistryExport(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("mesa")
+	cfg, progs, windowed := jobFor(t, b, testModels[0])
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := cache.RunMachine(cfg, progs, windowed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := cache.MetricsRegistry().CounterMap()
+	want := map[string]uint64{
+		"simcache.hits": 2, "simcache.misses": 1, "simcache.stores": 1,
+		"simcache.corrupt": 0, "simcache.errors": 0,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("exported counters %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,56 @@
+// Command cachecheck gates the result-cache CI round trip: it reads a
+// cache-statistics JSON file (written by `experiments -cachestats`) and
+// fails unless the hit rate meets a threshold. The `make cache-ci`
+// target runs the experiment harness twice against a fresh cache
+// directory and uses cachecheck to assert that the second pass was
+// served from the cache (>= 90% hits) rather than re-simulated.
+//
+// Usage:
+//
+//	go run ./internal/tools/cachecheck -stats pass2.json -min 0.9
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vca/internal/simcache"
+)
+
+var (
+	flagStats = flag.String("stats", "", "cache statistics JSON file (from experiments -cachestats)")
+	flagMin   = flag.Float64("min", 0.9, "minimum acceptable hit rate in [0,1]")
+)
+
+func main() {
+	flag.Parse()
+	if *flagStats == "" {
+		fmt.Fprintln(os.Stderr, "cachecheck: -stats FILE is required")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(*flagStats)
+	if err != nil {
+		fail(err)
+	}
+	var s simcache.Stats
+	if err := json.Unmarshal(b, &s); err != nil {
+		fail(fmt.Errorf("%s: %v", *flagStats, err))
+	}
+	if s.Hits+s.Misses == 0 {
+		fail(fmt.Errorf("%s records no cache lookups at all", *flagStats))
+	}
+	if s.Corrupt > 0 || s.Errors > 0 {
+		fail(fmt.Errorf("cache reported %d corrupt entries and %d I/O errors: %v", s.Corrupt, s.Errors, s))
+	}
+	if got := s.HitRate(); got < *flagMin {
+		fail(fmt.Errorf("hit rate %.1f%% below the %.1f%% floor: %v", 100*got, 100**flagMin, s))
+	}
+	fmt.Printf("cachecheck: ok — %v\n", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cachecheck:", err)
+	os.Exit(1)
+}

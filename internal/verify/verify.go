@@ -11,12 +11,14 @@ package verify
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"vca/internal/asm"
 	"vca/internal/core"
 	"vca/internal/emu"
 	"vca/internal/progen"
 	"vca/internal/program"
+	"vca/internal/simcache"
 )
 
 // MachineSpec is the JSON-serializable description of one sampled
@@ -254,24 +256,82 @@ func SampleSpec(r *rand.Rand) (MachineSpec, ProgramSpec) {
 	return ms, ps
 }
 
-// Sweep samples and runs n configurations from a fixed seed. Each
-// failure is shrunk to a minimal reproduction. progress (optional)
-// receives one call per completed run.
-func Sweep(seed int64, n int, progress func(i int, failed bool)) []Repro {
+// Case is one planned sweep run: a sampled machine and the program
+// spec (with its pinned seed) to run on it.
+type Case struct {
+	Machine MachineSpec `json:"machine"`
+	Program ProgramSpec `json:"program"`
+}
+
+// Plan samples the sweep's n cases up front from a fixed seed. The
+// sampling pass is strictly sequential over one RNG, so the planned
+// cases — including every program's repro seed — are a pure function
+// of (seed, n), independent of how many workers later execute them.
+// (The previous Sweep consumed a shared RNG in dispatch order, which
+// would have tied repro seeds to worker scheduling once the sweep ran
+// in parallel.)
+func Plan(seed int64, n int) []Case {
 	r := rand.New(rand.NewSource(seed))
-	var out []Repro
-	for i := 0; i < n; i++ {
-		ms, ps := SampleSpec(r)
-		err := RunOne(ms, ps)
-		if err != nil {
-			sm, sp := Shrink(ms, ps, func(m MachineSpec, p ProgramSpec) bool {
-				return RunOne(m, p) != nil
-			})
-			out = append(out, Repro{Machine: sm, Program: sp, Failure: err.Error()})
-		}
-		if progress != nil {
-			progress(i, err != nil)
-		}
+	out := make([]Case, n)
+	for i := range out {
+		out[i].Machine, out[i].Program = SampleSpec(r)
 	}
 	return out
+}
+
+// runOne is indirected for worker-independence tests.
+var runOne = RunOne
+
+// Sweep plans and runs n configurations from a fixed seed on the
+// shared job runner (jobs=0 means GOMAXPROCS workers). Each divergence
+// is shrunk to a minimal reproduction; repros are returned in run-index
+// order regardless of completion order. progress (optional) receives
+// one call per run, delivered in index order. The returned error
+// aggregates harness-level failures (a panicking configuration, never
+// a mere divergence), lowest run index first.
+func Sweep(seed int64, n, jobs int, progress func(i int, failed bool)) ([]Repro, error) {
+	cases := Plan(seed, n)
+	repros := make([]*Repro, n)
+	failed := make([]bool, n)
+
+	// Deliver progress strictly in index order as runs complete.
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, n)
+		nextTell = 0
+	)
+	tell := func(i int) {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for nextTell < n && done[nextTell] {
+			progress(nextTell, failed[nextTell])
+			nextTell++
+		}
+	}
+
+	runner := simcache.Runner{Jobs: jobs, KeepGoing: true}
+	err := runner.Run(n, func(i int) error {
+		defer tell(i) // also on panic, so in-order progress never stalls
+		c := cases[i]
+		if err := runOne(c.Machine, c.Program); err != nil {
+			failed[i] = true
+			sm, sp := Shrink(c.Machine, c.Program, func(m MachineSpec, p ProgramSpec) bool {
+				return runOne(m, p) != nil
+			})
+			repros[i] = &Repro{Machine: sm, Program: sp, Failure: err.Error()}
+		}
+		return nil
+	})
+
+	var out []Repro
+	for _, r := range repros {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out, err
 }

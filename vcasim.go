@@ -28,6 +28,7 @@ import (
 	"vca/internal/metrics"
 	"vca/internal/minic"
 	"vca/internal/program"
+	"vca/internal/simcache"
 )
 
 // ABI selects the calling convention for compiled programs.
@@ -124,7 +125,23 @@ type MachineSpec struct {
 	// load the file at ui.perfetto.dev or chrome://tracing. Timeline
 	// recording buffers events in memory — bound the run with StopAfter.
 	ChromeTrace *TraceRecorder
+	// Cache, when non-nil, memoizes the run in a content-addressed
+	// on-disk result cache (see internal/simcache and
+	// docs/EXPERIMENTS.md): an identical (config, programs) pair is
+	// answered from disk without simulating. Ignored — the run always
+	// simulates — when Trace, ChromeTrace, or Check is set, because a
+	// replayed result has no live metrics registry or event stream
+	// (Result.Metrics is nil on a cache hit).
+	Cache *ResultCache
 }
+
+// ResultCache re-exports the content-addressed simulation result cache;
+// open one with OpenResultCache and share it across Run calls.
+type ResultCache = simcache.Cache
+
+// OpenResultCache creates (if needed) and opens a result cache
+// directory for MachineSpec.Cache.
+func OpenResultCache(dir string) (*ResultCache, error) { return simcache.Open(dir) }
 
 // TraceRecorder re-exports the Chrome trace-event recorder; see
 // MachineSpec.ChromeTrace and docs/OBSERVABILITY.md.
@@ -194,6 +211,13 @@ func Run(spec MachineSpec, progs ...*Program) (Result, error) {
 	cfg.Check = spec.Check
 	cfg.TraceWriter = spec.Trace
 	cfg.ChromeTrace = spec.ChromeTrace
+	if cache := spec.Cache; cache != nil && spec.Trace == nil && spec.ChromeTrace == nil && !spec.Check {
+		res, _, _, err := cache.RunMachine(cfg, progs, spec.Arch.Windowed())
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{res}, nil
+	}
 	m, err := core.New(cfg, progs, spec.Arch.Windowed())
 	if err != nil {
 		return Result{}, err
