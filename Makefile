@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci
+.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke clean gitignore-check
 
 all: build test
 
@@ -55,11 +55,12 @@ cache-ci:
 # Extended gate: static checks, the race suite, the fuzz smoke, and the
 # cache round-trip smoke. Slower than `make test`; run before sending a
 # change.
-check: docs-check test-race fuzz-smoke cache-smoke
+check: docs-check gitignore-check test-race fuzz-smoke cache-smoke
 
 # Continuous-integration gate: everything check runs, plus the
-# fixed-seed verification sweep and the run-twice cache round trip.
-ci: build docs-check test-race fuzz-smoke cache-smoke sweep cache-ci
+# fixed-seed verification sweep, the run-twice cache round trip, and the
+# throughput smoke gate.
+ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke sweep cache-ci bench-smoke
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.
@@ -73,12 +74,36 @@ docs-check:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkTable1Baseline|BenchmarkCorePipeline' -benchmem .
 
+# Throughput smoke gate (wired into `make ci`): BenchmarkSimThroughput at
+# a fixed -benchtime, best-of-3, compared against the committed baseline
+# (bench_smoke_baseline.json). Fails on an allocs/inst regression above
+# the PR-1 steady-state floor or a >25% ns/inst regression.
+bench-smoke:
+	$(GO) run ./internal/tools/benchsmoke -baseline bench_smoke_baseline.json
+
 # Regenerate the committed throughput report for this tree. Bump the
 # target filename when the tree's performance character changes; older
 # BENCH_N.json files stay committed as the trajectory.
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_3.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_4.json
 
 # Full paper evaluation at the default commit budget.
 experiments:
 	$(GO) run ./cmd/experiments -all
+
+# Remove stray build and run artifacts. Everything removed here must
+# also be covered by .gitignore (gitignore-check enforces this, and runs
+# as part of `make check` and `make ci`).
+clean:
+	rm -f *.test *.prof *.pprof experiments_output.txt stats.json trace.json
+	rm -f experiments vcaasm vcacc vcasim
+	rm -rf .simcache-ci
+
+# Every artifact `make clean` removes must be git-ignored, so a build or
+# experiment run can never dirty the tree.
+gitignore-check:
+	@for f in vca.test core.test cpu.prof heap.pprof experiments_output.txt \
+	    stats.json trace.json experiments vcaasm vcacc vcasim .simcache-ci/; do \
+		git check-ignore -q "$$f" || { echo "gitignore-check: $$f is not covered by .gitignore"; exit 1; }; \
+	done
+	@echo "gitignore-check: all clean artifacts are ignored"

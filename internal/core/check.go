@@ -106,7 +106,11 @@ func (m *Machine) checkStructures(inRun bool) error {
 	clear(chk.nonIssued)
 	chk.inFlight = chk.inFlight[:0]
 
-	// ROB: age order, per-thread occupancy, rename pins, readiness.
+	// ROB: age order, per-thread occupancy, rename pins, readiness, and
+	// scheduler membership — every ROB resident is exactly one of: in
+	// the IQ (validated against the wakeup network), issued and awaiting
+	// completion in the timing wheel, or done.
+	iqScan, readyScan, wheelScan, sumPending := 0, 0, 0, 0
 	clear(chk.lastSeq)
 	for _, u := range m.rob[m.robHead:] {
 		if u.seq <= chk.lastSeq[u.thread] {
@@ -119,6 +123,57 @@ func (m *Machine) checkStructures(inRun bool) error {
 		}
 		if u.destPhys >= 0 && !u.done && m.physReady[u.destPhys] {
 			return fmt.Errorf("destination p%d of un-executed uop seq %d is marked ready", u.destPhys, u.seq)
+		}
+		switch {
+		case u.inIQ:
+			if u.issued {
+				return fmt.Errorf("iq resident seq %d is marked issued", u.seq)
+			}
+			iqScan++
+			pend := 0
+			for i := 0; i < u.nsrc; i++ {
+				p := u.srcPhys[i]
+				unready := p >= 0 && !m.physReady[p]
+				if u.srcWaiting[i] != unready {
+					return fmt.Errorf("uop seq %d source %d: srcWaiting=%v but source-unready=%v",
+						u.seq, i, u.srcWaiting[i], unready)
+				}
+				if !u.srcWaiting[i] {
+					continue
+				}
+				pend++
+				found := false
+				for _, cr := range m.consumers[p] {
+					if cr.u == u && int(cr.slot) == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("uop seq %d source %d awaits p%d but is not on its consumer list", u.seq, i, p)
+				}
+			}
+			if int(u.pendingSrcs) != pend {
+				return fmt.Errorf("uop seq %d pendingSrcs %d, scan finds %d waiting sources", u.seq, u.pendingSrcs, pend)
+			}
+			sumPending += pend
+			if (pend == 0) != u.inReady {
+				return fmt.Errorf("uop seq %d: %d pending sources but inReady=%v", u.seq, pend, u.inReady)
+			}
+			if u.inReady {
+				readyScan++
+			}
+		case !u.issued:
+			return fmt.Errorf("rob uop seq %d neither in IQ nor issued", u.seq)
+		case !u.done:
+			if !u.inWheel {
+				return fmt.Errorf("issued uop seq %d awaits completion but is not in the timing wheel", u.seq)
+			}
+			wheelScan++
+		default:
+			if u.inWheel {
+				return fmt.Errorf("completed uop seq %d still flagged in the timing wheel", u.seq)
+			}
 		}
 		switch m.cfg.Rename {
 		case RenameConventional:
@@ -157,16 +212,61 @@ func (m *Machine) checkStructures(inRun bool) error {
 		}
 	}
 
-	// IQ: age order, membership flags, nothing issued still resident.
-	clear(chk.lastSeq)
-	for _, u := range m.iq {
-		if u.seq <= chk.lastSeq[u.thread] {
-			return fmt.Errorf("iq age order broken: thread %d seq %d after %d", u.thread, u.seq, chk.lastSeq[u.thread])
+	// Scheduler conservation. The ROB scan derived who must be in the
+	// IQ, on the ready list, and in the wheel; the live structures must
+	// agree exactly — a leak in any direction (stale consumer entry,
+	// missed wakeup, un-drained bucket) breaks a count here.
+	if iqScan != m.iqCount {
+		return fmt.Errorf("iqCount %d, rob scan finds %d IQ residents", m.iqCount, iqScan)
+	}
+	var lastStamp uint64
+	for i, u := range m.ready {
+		if !u.inReady || !u.inIQ || u.issued || u.pendingSrcs != 0 {
+			return fmt.Errorf("ready list holds seq %d with inReady=%v inIQ=%v issued=%v pendingSrcs=%d",
+				u.seq, u.inReady, u.inIQ, u.issued, u.pendingSrcs)
 		}
-		chk.lastSeq[u.thread] = u.seq
-		if !u.inIQ || u.issued {
-			return fmt.Errorf("iq holds uop seq %d with inIQ=%v issued=%v", u.seq, u.inIQ, u.issued)
+		if !m.readyDirty && i > 0 && u.stamp <= lastStamp {
+			return fmt.Errorf("ready list dispatch order broken: stamp %d after %d", u.stamp, lastStamp)
 		}
+		lastStamp = u.stamp
+	}
+	if readyScan != len(m.ready) {
+		return fmt.Errorf("%d source-ready IQ residents but ready list holds %d", readyScan, len(m.ready))
+	}
+	sumCons := 0
+	for p, refs := range m.consumers {
+		if len(refs) == 0 {
+			continue
+		}
+		if m.physReady[p] {
+			return fmt.Errorf("p%d is ready but still has %d registered consumers", p, len(refs))
+		}
+		sumCons += len(refs)
+		for _, cr := range refs {
+			if !cr.u.inIQ || !cr.u.srcWaiting[cr.slot] || cr.u.srcPhys[cr.slot] != p {
+				return fmt.Errorf("consumer list of p%d holds stale entry (seq %d slot %d)", p, cr.u.seq, cr.slot)
+			}
+		}
+	}
+	if sumCons != sumPending {
+		return fmt.Errorf("consumer lists hold %d registrations but IQ residents await %d sources", sumCons, sumPending)
+	}
+	wheelCount := 0
+	for b, bucket := range m.ewheel.buckets {
+		for _, u := range bucket {
+			if !u.issued || u.done || !u.inWheel || u.squashed {
+				return fmt.Errorf("wheel bucket holds seq %d with issued=%v done=%v inWheel=%v squashed=%v",
+					u.seq, u.issued, u.done, u.inWheel, u.squashed)
+			}
+			if u.doneAt&m.ewheel.mask != uint64(b) || u.doneAt <= m.cycle {
+				return fmt.Errorf("wheel bucket %d holds seq %d with doneAt %d at cycle %d", b, u.seq, u.doneAt, m.cycle)
+			}
+			wheelCount++
+		}
+	}
+	if wheelCount != m.ewheel.count || wheelCount != wheelScan {
+		return fmt.Errorf("timing wheel holds %d entries, count says %d, rob scan finds %d in flight",
+			wheelCount, m.ewheel.count, wheelScan)
 	}
 
 	// LSQ: age order, stores only, per-thread store counts.
@@ -180,12 +280,6 @@ func (m *Machine) checkStructures(inRun bool) error {
 			return fmt.Errorf("lsq holds non-store uop seq %d (inLSQ=%v)", u.seq, u.inLSQ)
 		}
 		chk.lsqCnt[u.thread]++
-	}
-
-	for _, u := range m.inExec {
-		if !u.issued {
-			return fmt.Errorf("in-flight execution list holds un-issued uop seq %d", u.seq)
-		}
 	}
 
 	// Per-thread incremental bookkeeping vs the fresh scans.
@@ -267,10 +361,20 @@ func (m *Machine) checkASTQ() error {
 			pendFills++
 		}
 	}
-	for _, e := range m.inastq {
-		if !e.issued {
-			return fmt.Errorf("in-flight ASTQ list holds un-issued operation (enq %d)", e.enq)
+	awCount := 0
+	for b, bucket := range m.awheel.buckets {
+		for _, e := range bucket {
+			if !e.issued {
+				return fmt.Errorf("astq timing wheel holds un-issued operation (enq %d)", e.enq)
+			}
+			if e.doneAt&m.awheel.mask != uint64(b) || e.doneAt <= m.cycle {
+				return fmt.Errorf("astq wheel bucket %d holds enq %d with doneAt %d at cycle %d", b, e.enq, e.doneAt, m.cycle)
+			}
+			awCount++
 		}
+	}
+	if awCount != m.awheel.count {
+		return fmt.Errorf("astq timing wheel holds %d entries but count says %d", awCount, m.awheel.count)
 	}
 	if ideal {
 		if m.astqLen() != 0 {
@@ -307,7 +411,7 @@ func (m *Machine) checkCounterIdentities(inRun bool) error {
 		return fmt.Errorf("rob occupancy %d but counters imply %d (renamed %d - committed %d - squashed %d)",
 			got, want, renamed, cnt.commitUops.Value(), cnt.squashedROB.Value())
 	}
-	if got, want := uint64(len(m.iq)), renamed-cnt.issueUops.Value()-cnt.squashedIQ.Value(); got != want {
+	if got, want := uint64(m.iqCount), renamed-cnt.issueUops.Value()-cnt.squashedIQ.Value(); got != want {
 		return fmt.Errorf("iq occupancy %d but counters imply %d (renamed %d - issued %d - purged %d)",
 			got, want, renamed, cnt.issueUops.Value(), cnt.squashedIQ.Value())
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"vca/internal/emu"
 	"vca/internal/isa"
 	"vca/internal/rename"
 )
@@ -205,8 +206,8 @@ func (m *Machine) startTrap(th *thread, u *uop) {
 // cosimCheck steps the golden-model emulator one instruction and compares
 // architectural effects.
 func (m *Machine) cosimCheck(th *thread, u *uop) error {
-	info, err := th.ref.Step()
-	if err != nil {
+	var info emu.StepInfo
+	if err := th.ref.StepInto(&info); err != nil {
 		return fmt.Errorf("core: co-sim reference error at cycle %d: %w", m.cycle, err)
 	}
 	if info.PC != u.pc {

@@ -264,14 +264,19 @@ func (m *Machine) noteRenameStall(th *thread, cause renameStall) {
 // blocked, so each stalled cycle is counted exactly once. No trace
 // instant is emitted: the head uop's retire slice already spans the wait.
 func (m *Machine) noteCommitStall(u *uop) {
-	cause := csHeadExec
+	m.cnt.commitStall[commitStallCause(u)]++
+}
+
+// commitStallCause classifies a not-yet-done ROB head (shared between
+// the per-cycle path and the quiesced-skip bulk accounting).
+func commitStallCause(u *uop) commitStall {
 	switch {
 	case u.isLoad():
-		cause = csHeadLoad
+		return csHeadLoad
 	case u.isStore():
-		cause = csHeadStore
+		return csHeadStore
 	}
-	m.cnt.commitStall[cause]++
+	return csHeadExec
 }
 
 // sampleOccupancy runs once per cycle after all stages and feeds the
@@ -286,10 +291,10 @@ func (m *Machine) sampleOccupancy() {
 			rec.Counter("occ.lsq", th.id, m.cycle, uint64(th.lsqStores))
 		}
 	}
-	m.cnt.iqOcc.Observe(uint64(len(m.iq)))
+	m.cnt.iqOcc.Observe(uint64(m.iqCount))
 	m.cnt.astqOcc.Observe(uint64(m.astqLen()))
 	if rec != nil {
-		rec.Counter("occ.iq", 0, m.cycle, uint64(len(m.iq)))
+		rec.Counter("occ.iq", 0, m.cycle, uint64(m.iqCount))
 		rec.Counter("occ.astq", 0, m.cycle, uint64(m.astqLen()))
 	}
 }

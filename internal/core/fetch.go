@@ -1,7 +1,6 @@
 package core
 
 import (
-	"vca/internal/branch"
 	"vca/internal/isa"
 )
 
@@ -35,7 +34,7 @@ func (m *Machine) fetchStage() {
 		if m.fetchBufCount(th) >= m.fetchBufCap() {
 			break
 		}
-		inst := th.prog.InstAt(th.pc)
+		inst, mt := th.instAt(th.pc)
 		m.seq++
 		u := m.newUop()
 		u.seq = m.seq
@@ -43,17 +42,17 @@ func (m *Machine) fetchStage() {
 		u.fetchedAt = uint32(m.cycle)
 		u.pc = th.pc
 		u.inst = inst
-		u.class = inst.Op.OpClass()
+		u.class = mt.Class
+		u.renSrcs[0], u.renSrcs[1], u.renDest = mt.RenSrcA, mt.RenSrcB, mt.RenDest
 		u.destPhys, u.destPrev = -1, -1
 		u.srcPhys[0], u.srcPhys[1] = -1, -1
 
 		nextPC := th.pc + 4
 		endGroup := false
-		if inst.Op.IsControl() {
+		if mt.Ctl != isa.CtlNone {
 			u.isCtl = true
-			cond, call, ret, indirect := branch.Classify(inst)
-			switch {
-			case cond:
+			switch mt.Ctl {
+			case isa.CtlCond:
 				taken, ck := m.bp.PredictCond(th.id, th.pc)
 				u.ck = ck
 				u.predTaken = taken
@@ -62,20 +61,20 @@ func (m *Machine) fetchStage() {
 					nextPC = t
 					endGroup = true
 				}
-			case ret:
+			case isa.CtlRet:
 				t, ck := m.bp.PredictReturn(th.id, th.pc)
 				u.ck = ck
 				u.predTaken = true
 				nextPC = t
 				endGroup = true
-			case indirect:
+			case isa.CtlIndirect:
 				t, hit, ck := m.bp.PredictIndirect(th.id, th.pc)
 				u.ck = ck
 				u.predTaken = true
 				if hit {
 					nextPC = t
 				} // else guess fall-through; repaired at resolve
-				if call {
+				if mt.Call {
 					m.bp.PushRAS(th.id, th.pc+4)
 				}
 				endGroup = true
@@ -84,7 +83,7 @@ func (m *Machine) fetchStage() {
 				u.predTaken = true
 				t, _ := inst.ControlTarget(th.pc)
 				nextPC = t
-				if call {
+				if mt.Call {
 					m.bp.PushRAS(th.id, th.pc+4)
 				}
 				endGroup = true
@@ -102,6 +101,23 @@ func (m *Machine) fetchStage() {
 		}
 	}
 }
+
+// instAt reads the predecoded text image and its metadata, avoiding any
+// per-instruction re-derivation on the fetch hot path. Off-text and
+// misaligned PCs (wrong path) decode as invalid, matching
+// program.InstAt's zero-word semantics; a pc below TextBase wraps to a
+// huge index and fails the bound.
+func (th *thread) instAt(pc uint64) (isa.Inst, *isa.Meta) {
+	if i := pc - th.prog.TextBase; pc%4 == 0 && i < uint64(len(th.text))*4 {
+		return th.text[i/4], &th.meta[i/4]
+	}
+	return invalidInst, &invalidMeta
+}
+
+var (
+	invalidInst = isa.Decode(0)
+	invalidMeta = isa.MetaOf(invalidInst)
+)
 
 // pickFetchThread implements ICOUNT: the runnable thread with the fewest
 // in-flight instructions fetches.

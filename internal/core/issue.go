@@ -1,53 +1,58 @@
 package core
 
 import (
+	"cmp"
+	"slices"
+
 	"vca/internal/isa"
 	"vca/internal/mem"
 )
 
-// issueStage selects ready instructions from the IQ in age order, subject
-// to functional-unit and data-cache-port limits, and executes them (the
-// simulator computes values at issue; completion is signaled after the
-// operation's latency by the writeback stage). Leftover data-cache ports
-// issue the head of the ASTQ (§2.2.2).
+// issueStage selects ready instructions from the ready list in age
+// (dispatch) order, subject to functional-unit and data-cache-port
+// limits, and executes them (the simulator computes values at issue;
+// completion is signaled after the operation's latency by the writeback
+// stage). Leftover data-cache ports issue the head of the ASTQ (§2.2.2).
+//
+// The ready list holds exactly the IQ residents with all sources ready
+// (the wakeup network's invariant), so the old full-IQ scan's stall
+// evidence falls out directly: issueNoReady is "IQ non-empty and ready
+// list empty" — the width cutoff cannot hide the first ready uop, since
+// width only decrements when something (necessarily ready) issues.
 func (m *Machine) issueStage() {
 	intALU := m.cfg.IntALUs
 	mulDiv := m.cfg.IntMulDivs
 	fpu := m.cfg.FPUs
 	width := m.cfg.Width
 
-	// Per-cycle stall evidence: whether anything in the IQ had ready
-	// sources, and whether a ready instruction was denied a functional
-	// unit or a DL1 port (several causes may fire in one cycle).
-	iqNonEmpty := len(m.iq) > 0
-	anyReady := false
+	// Per-cycle stall evidence: whether a ready instruction was denied a
+	// functional unit or a DL1 port (several causes may fire in one
+	// cycle).
+	anyReady := len(m.ready) > 0
 	fuSat := false
 	dl1Denied := false
 
-	kept := m.iq[:0]
-	for idx, u := range m.iq {
+	m.sortReady()
+	kept := m.ready[:0]
+	for idx, u := range m.ready {
 		if width == 0 {
 			// Issue bandwidth exhausted: nothing younger can issue either,
-			// so keep the rest of the queue wholesale (kept trails idx, so
+			// so keep the rest of the list wholesale (kept trails idx, so
 			// the overlapping copy is safe).
-			kept = append(kept, m.iq[idx:]...)
+			kept = append(kept, m.ready[idx:]...)
 			break
 		}
 		issued := false
 		switch {
-		case !m.allSrcsReady(u):
 		case u.isLoad():
-			anyReady = true
 			if m.dl1Ports == 0 {
 				dl1Denied = true
 			} else {
 				issued = m.tryIssueLoad(u)
 			}
 		case u.isStore():
-			anyReady = true
 			issued = m.tryIssueStore(u)
 		case u.class == isa.ClassIntMul || u.class == isa.ClassIntDiv:
-			anyReady = true
 			if mulDiv > 0 {
 				mulDiv--
 				m.execute(u)
@@ -56,7 +61,6 @@ func (m *Machine) issueStage() {
 				fuSat = true
 			}
 		case u.class == isa.ClassFPALU || u.class == isa.ClassFPMul || u.class == isa.ClassFPDiv:
-			anyReady = true
 			if fpu > 0 {
 				fpu--
 				m.execute(u)
@@ -65,7 +69,6 @@ func (m *Machine) issueStage() {
 				fuSat = true
 			}
 		default: // integer ALU, control, syscall, invalid
-			anyReady = true
 			if intALU > 0 {
 				intALU--
 				m.execute(u)
@@ -80,17 +83,19 @@ func (m *Machine) issueStage() {
 			u.issuedAt = uint32(m.cycle)
 			m.cnt.issueUops++
 			u.inIQ = false
+			u.inReady = false
+			m.iqCount--
 			if !u.injected {
 				m.threads[u.thread].inFlight--
 			}
-			m.inExec = append(m.inExec, u)
+			m.ewheel.insert(u, m.cycle)
 		} else {
 			kept = append(kept, u)
 		}
 	}
-	m.iq = kept
+	m.ready = kept
 
-	if iqNonEmpty && !anyReady {
+	if m.iqCount > 0 && !anyReady {
 		m.cnt.issueNoReady++
 	}
 	if fuSat {
@@ -119,7 +124,7 @@ func (m *Machine) issueStage() {
 		if m.cfg.ChromeTrace != nil {
 			m.chromeASTQ(e, m.cycle)
 		}
-		m.inastq = append(m.inastq, e)
+		m.awheel.insert(e, m.cycle)
 	}
 }
 
@@ -261,26 +266,24 @@ func (m *Machine) execute(u *uop) {
 }
 
 // writebackStage completes executions and ASTQ operations whose latency
-// has elapsed: destination registers become ready, dependents wake, and
-// control instructions resolve (possibly triggering recovery).
+// has elapsed: destination registers become ready, dependents wake onto
+// the ready list, and control instructions resolve (possibly triggering
+// recovery). The timing wheels hand over exactly this cycle's bucket;
+// nothing else in flight is touched.
 func (m *Machine) writebackStage() {
-	kept := m.inExec[:0]
 	resolved := m.resolvedScratch[:0]
-	for _, u := range m.inExec {
-		if u.doneAt > m.cycle {
-			kept = append(kept, u)
-			continue
-		}
+	for _, u := range m.ewheel.take(m.cycle) {
+		u.inWheel = false
 		u.done = true
 		if u.destPhys >= 0 {
 			m.physVal[u.destPhys] = u.result
 			m.physReady[u.destPhys] = true
+			m.wakeConsumers(u.destPhys)
 		}
 		if u.isCtl {
 			resolved = append(resolved, u)
 		}
 	}
-	m.inExec = kept
 
 	// Resolve oldest-first; a recovery may squash younger branches that
 	// resolved in the same cycle — they must then be ignored.
@@ -292,12 +295,7 @@ func (m *Machine) writebackStage() {
 	}
 	m.resolvedScratch = resolved[:0]
 
-	keptA := m.inastq[:0]
-	for _, e := range m.inastq {
-		if e.doneAt > m.cycle {
-			keptA = append(keptA, e)
-			continue
-		}
+	for _, e := range m.awheel.take(m.cycle) {
 		if !e.op.IsSpill {
 			// Fill completes: deliver the value unless the register was
 			// recycled after its consumers were squashed.
@@ -305,18 +303,14 @@ func (m *Machine) writebackStage() {
 				th := m.threads[e.thread]
 				m.physVal[e.op.Phys] = th.mem.Read(e.op.Addr, 8)
 				m.physReady[e.op.Phys] = true
+				m.wakeConsumers(e.op.Phys)
 			}
 		}
 	}
-	m.inastq = keptA
 }
 
 func sortBySeq(us []*uop) {
-	for i := 1; i < len(us); i++ {
-		for j := i; j > 0 && us[j].seq < us[j-1].seq; j-- {
-			us[j], us[j-1] = us[j-1], us[j]
-		}
-	}
+	slices.SortFunc(us, func(a, b *uop) int { return cmp.Compare(a.seq, b.seq) })
 }
 
 // resolveControl trains the predictor and recovers from mispredictions.

@@ -19,6 +19,7 @@ type thread struct {
 	id   int
 	prog *program.Program
 	text []isa.Inst
+	meta []isa.Meta // predecoded operand/class view, index-aligned with text
 	mem  *mem.Memory
 
 	pc       uint64
@@ -72,12 +73,24 @@ type Machine struct {
 	physVal   []uint64
 	physReady []bool
 
-	cycle  uint64
-	seq    uint64
-	iq     []*uop
-	lsq    []*uop
-	inExec []*uop
-	inastq []astqEntry // issued ASTQ ops in flight
+	cycle uint64
+	seq   uint64
+	lsq   []*uop
+
+	// Event-driven scheduler (wakeup.go / wheel.go / quiesce.go). The IQ
+	// no longer exists as a scanned slice: a dispatched uop lives on
+	// consumer lists until its sources resolve, then on the ready list
+	// until issue; iqCount tracks logical IQ occupancy for the size limit
+	// and occupancy sampling. ewheel/awheel bucket in-flight completions
+	// by doneAt. noSkip is a test knob disabling the quiesced-cycle skip.
+	iqCount     int
+	ready       []*uop
+	readyDirty  bool
+	dispatchSeq uint64
+	consumers   [][]consRef
+	ewheel      execWheel
+	awheel      astqWheel
+	noSkip      bool
 
 	// FIFO queues drained from the front every cycle. Each is a slice
 	// plus a head index so pops recycle the backing array instead of
@@ -164,6 +177,18 @@ func New(cfg Config, progs []*program.Program, windowed bool) (*Machine, error) 
 	m.stats.Committed = make([]uint64, cfg.Threads)
 	m.physVal = make([]uint64, cfg.PhysRegs)
 	m.physReady = make([]bool, cfg.PhysRegs)
+	// Pre-carve per-register consumer-list capacity from one backing
+	// array (same reasoning as the wheel buckets: reach allocation-free
+	// steady state without per-list append growth).
+	m.consumers = make([][]consRef, cfg.PhysRegs)
+	consBacking := make([]consRef, cfg.PhysRegs*4)
+	for p := range m.consumers {
+		m.consumers[p] = consBacking[p*4 : p*4 : (p+1)*4]
+	}
+	m.ready = make([]*uop, 0, cfg.IQSize)
+	memSpan := cfg.Hier.DL1.HitLat + cfg.Hier.L2.HitLat + cfg.Hier.MemLat
+	m.ewheel.init(memSpan)
+	m.awheel.init(memSpan)
 
 	// Rename substrate.
 	switch cfg.Rename {
@@ -199,6 +224,7 @@ func New(cfg Config, progs []*program.Program, windowed bool) (*Machine, error) 
 			id:       t,
 			prog:     p,
 			text:     p.Predecode(),
+			meta:     p.Meta(),
 			mem:      mem.NewMemory(),
 			pc:       p.Entry,
 			windowed: windowed,
@@ -343,6 +369,11 @@ func (m *Machine) Run() (*Result, error) {
 					return m.result(), nil
 				}
 			}
+		}
+
+		m.quiesceSkip()
+		if m.err != nil {
+			return nil, m.err
 		}
 	}
 	if m.cycle > m.cfg.MaxCycles {

@@ -94,7 +94,7 @@ func (m *Machine) renameOne(th *thread, u *uop) bool {
 		m.noteRenameStall(th, rsROBFull)
 		return false
 	}
-	if len(m.iq) >= m.cfg.IQSize {
+	if m.iqCount >= m.cfg.IQSize {
 		m.stats.IQFullStalls++
 		m.noteRenameStall(th, rsIQFull)
 		return false
@@ -152,43 +152,41 @@ func (m *Machine) renameOne(th *thread, u *uop) bool {
 	th.robCount++
 	m.cnt.renameUops++
 	u.renamedAt = uint32(m.cycle)
-	m.iq = append(m.iq, u)
 	u.inIQ = true
+	m.iqCount++
 	if u.isStore() {
 		m.lsq = append(m.lsq, u)
 		u.inLSQ = true
 		th.lsqStores++
 	}
+	// Wire into the wakeup network last: the rename path above (including
+	// applyVCAOps' ideal instant fills) must have finalized source
+	// readiness first.
+	m.registerDispatch(u)
 	return true
 }
 
 func (m *Machine) lsqCount() int { return len(m.lsq) }
 
-// operandsOf computes a uop's architectural operands positionally:
+// operandsOf returns a uop's architectural operands positionally:
 // srcs[0] is SrcA, srcs[1] is SrcB; RegNone marks absent operands and
 // hardwired zero registers (which read as zero and are never renamed).
+// For fetched instructions the operands were precomputed at fetch from
+// the program's predecoded metadata.
 func (m *Machine) operandsOf(th *thread, u *uop) (srcs [2]isa.Reg, dest isa.Reg) {
-	srcs[0], srcs[1] = isa.RegNone, isa.RegNone
 	if u.injected {
 		// Injected trap ops address logical slots directly; handled by
 		// the per-substrate rename paths.
-		return srcs, isa.RegNone
+		return [2]isa.Reg{isa.RegNone, isa.RegNone}, isa.RegNone
 	}
 	if u.class == isa.ClassSyscall {
+		srcs[0], srcs[1] = isa.RegNone, isa.RegNone
 		for i, r := range syscallSrcs(u.inst.Imm) {
 			srcs[i] = r
 		}
 		return srcs, isa.RegNone
 	}
-	norm := func(r isa.Reg) isa.Reg {
-		if r == isa.RegNone || r.IsZero() {
-			return isa.RegNone
-		}
-		return r
-	}
-	srcs[0] = norm(u.inst.SrcA())
-	srcs[1] = norm(u.inst.SrcB())
-	return srcs, u.inst.DestRenamed()
+	return u.renSrcs, u.renDest
 }
 
 // renameConventional maps sources through the map table and allocates the
@@ -354,6 +352,7 @@ func (m *Machine) applyVCAOps(th *thread, ops []rename.MemOp, ideal bool) {
 			} else {
 				m.physVal[op.Phys] = owner.mem.Read(op.Addr, 8)
 				m.physReady[op.Phys] = true
+				m.wakeConsumers(op.Phys)
 			}
 			continue
 		}

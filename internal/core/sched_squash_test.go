@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"vca/internal/asm"
+	"vca/internal/progen"
+	"vca/internal/program"
+)
+
+// This file covers the scheduler/squash interaction of the event-driven
+// core: squashes must unlink victims from the wakeup network's consumer
+// lists, from the ready list, and from future timing-wheel buckets, and
+// machines whose squashes land during window traps or with ASTQ
+// completions still pending must stay invariant-clean and produce
+// output identical to an uninstrumented Run.
+
+// stepper drives a Machine one simulated cycle at a time by replaying
+// Run's loop body verbatim, so a test can inspect scheduler structures
+// between cycles. Behavioral equivalence with Run is asserted by
+// TestStepDrivenRunMatchesRun below.
+type stepper struct {
+	m    *Machine
+	done bool
+}
+
+func (s *stepper) step(t *testing.T) {
+	t.Helper()
+	m := s.m
+	if m.cycle == 0 {
+		m.cycle = 1
+	} else {
+		m.cycle++
+	}
+	m.dl1Ports = m.cfg.Hier.DL1Ports
+	m.commitStage()
+	if m.err != nil {
+		t.Fatalf("cycle %d: %v", m.cycle, m.err)
+	}
+	m.writebackStage()
+	m.issueStage()
+	m.renameStage()
+	m.fetchStage()
+	m.sampleOccupancy()
+	if m.cfg.Check {
+		if m.checkCycle(); m.err != nil {
+			t.Fatalf("cycle %d: %v", m.cycle, m.err)
+		}
+	}
+	if m.Done() {
+		s.done = true
+		return
+	}
+	m.quiesceSkip()
+	if m.err != nil {
+		t.Fatalf("cycle %d: %v", m.cycle, m.err)
+	}
+}
+
+// uopRef snapshots a uop's identity: pool recycling reuses the struct,
+// so a pointer alone cannot witness "this instruction was squashed" —
+// the sequence number disambiguates.
+type uopRef struct {
+	u   *uop
+	seq uint64
+}
+
+func snapshotScheduler(m *Machine) (cons, ready, wheel []uopRef) {
+	for _, refs := range m.consumers {
+		for _, cr := range refs {
+			cons = append(cons, uopRef{cr.u, cr.u.seq})
+		}
+	}
+	for _, u := range m.ready {
+		ready = append(ready, uopRef{u, u.seq})
+	}
+	for _, b := range m.ewheel.buckets {
+		for _, u := range b {
+			// Strictly future buckets: not completing on the very next
+			// cycle's writeback.
+			if u.doneAt > m.cycle+1 {
+				wheel = append(wheel, uopRef{u, u.seq})
+			}
+		}
+	}
+	return
+}
+
+func anySquashed(refs []uopRef) bool {
+	for _, r := range refs {
+		if r.u.squashed && r.u.seq == r.seq {
+			return true
+		}
+	}
+	return false
+}
+
+// assertNoSquashedResidue fails if any squashed uop is still reachable
+// from a scheduler structure — the unlink-on-squash obligation.
+func assertNoSquashedResidue(t *testing.T, m *Machine) {
+	t.Helper()
+	for p, refs := range m.consumers {
+		for _, cr := range refs {
+			if cr.u.squashed {
+				t.Fatalf("cycle %d: squashed uop seq %d still on consumer list of p%d", m.cycle, cr.u.seq, p)
+			}
+		}
+	}
+	for _, u := range m.ready {
+		if u.squashed {
+			t.Fatalf("cycle %d: squashed uop seq %d still on ready list", m.cycle, u.seq)
+		}
+		if !u.inReady {
+			t.Fatalf("cycle %d: ready-list entry seq %d lost its inReady flag", m.cycle, u.seq)
+		}
+	}
+	for _, b := range m.ewheel.buckets {
+		for _, u := range b {
+			if u.squashed {
+				t.Fatalf("cycle %d: squashed uop seq %d still in wheel bucket (doneAt %d)", m.cycle, u.seq, u.doneAt)
+			}
+			if !u.inWheel {
+				t.Fatalf("cycle %d: wheel entry seq %d lost its inWheel flag", m.cycle, u.seq)
+			}
+		}
+	}
+}
+
+func buildProgram(t *testing.T, seed int64, gcfg progen.Config) *program.Program {
+	t.Helper()
+	src := progen.Generate(rand.New(rand.NewSource(seed)), gcfg)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	return prog
+}
+
+// TestSquashUnlinksSchedulerStructures steps a checked VCA machine over
+// branchy programs until it has directly witnessed a squash hitting a
+// uop that was (a) registered on a consumer list, (b) sitting on the
+// ready list, and (c) parked in a future wheel bucket — then verifies
+// after every cycle that no squashed uop remains reachable, that
+// CheckNow stays clean, and that the run's output matches the reference
+// emulator.
+func TestSquashUnlinksSchedulerStructures(t *testing.T) {
+	gcfg := progen.Config{Blocks: 40, Loops: true, Aliasing: true}
+	sawCons, sawReady, sawWheel := false, false, false
+	for seed := int64(1); seed <= 6; seed++ {
+		prog := buildProgram(t, seed, gcfg)
+		want := runEmu(t, prog, false)
+
+		cfg := DefaultConfig(RenameVCA, WindowNone, 1, 96)
+		cfg.Check = true
+		m, err := New(cfg, []*program.Program{prog}, false)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		s := &stepper{m: m}
+		for cycles := 0; !s.done && cycles < 2_000_000; cycles++ {
+			squashedBefore := m.stats.Squashed
+			cons, ready, wheel := snapshotScheduler(m)
+			s.step(t)
+			if m.stats.Squashed > squashedBefore {
+				sawCons = sawCons || anySquashed(cons)
+				sawReady = sawReady || anySquashed(ready)
+				sawWheel = sawWheel || anySquashed(wheel)
+			}
+			assertNoSquashedResidue(t, m)
+		}
+		if !s.done {
+			t.Fatalf("seed %d: machine did not finish", seed)
+		}
+		if err := m.CheckNow(); err != nil {
+			t.Fatalf("seed %d: CheckNow after completion: %v", seed, err)
+		}
+		if got := m.result().Threads[0].Output; got != want {
+			t.Fatalf("seed %d: output %q, want %q", seed, got, want)
+		}
+	}
+	if !sawCons || !sawReady || !sawWheel {
+		t.Fatalf("squash scenarios not all witnessed: consumer-list=%v ready-list=%v wheel=%v",
+			sawCons, sawReady, sawWheel)
+	}
+}
+
+// TestSquashDuringTrapsAndASTQ witnesses the two timing-sensitive squash
+// windows the event scheduler must survive: a conventional-window
+// machine squashing while injected window-trap operations are still
+// pending rename, and a VCA-windowed machine squashing while ASTQ
+// spill/fill completions are still parked in the ASTQ timing wheel.
+func TestSquashDuringTrapsAndASTQ(t *testing.T) {
+	t.Run("conventional window trap in flight", func(t *testing.T) {
+		// A trap flushes its own thread's younger instructions before
+		// injecting, so on one thread nothing squashable remains while
+		// injections are pending; the overlap needs SMT — one thread's
+		// mispredicts squashing while the other's trap operations await
+		// rename. 136 physical registers leave one resident window per
+		// thread, so every call and return traps.
+		saw := false
+		for seed := int64(1); seed <= 4 && !saw; seed++ {
+			progA := buildProgram(t, seed, progen.Config{WindowLadder: 7, Blocks: 20, Loops: true})
+			progB := buildProgram(t, seed+100, progen.Config{Blocks: 40, Loops: true, Aliasing: true})
+			wantA := runEmu(t, progA, true)
+			wantB := runEmu(t, progB, true)
+			cfg := DefaultConfig(RenameConventional, WindowConventional, 2, 136)
+			cfg.Check = true
+			m, err := New(cfg, []*program.Program{progA, progB}, true)
+			if err != nil {
+				t.Fatalf("new: %v", err)
+			}
+			s := &stepper{m: m}
+			for cycles := 0; !s.done && cycles < 4_000_000; cycles++ {
+				squashedBefore := m.stats.Squashed
+				pendingTrap := false
+				for _, th := range m.threads {
+					pendingTrap = pendingTrap || th.injectPending() > 0
+				}
+				s.step(t)
+				if pendingTrap && m.stats.Squashed > squashedBefore {
+					saw = true
+				}
+				assertNoSquashedResidue(t, m)
+			}
+			if err := m.CheckNow(); err != nil {
+				t.Fatalf("seed %d: CheckNow: %v", seed, err)
+			}
+			res := m.result()
+			if got := res.Threads[0].Output; got != wantA {
+				t.Fatalf("seed %d: thread 0 output %q, want %q", seed, got, wantA)
+			}
+			if got := res.Threads[1].Output; got != wantB {
+				t.Fatalf("seed %d: thread 1 output %q, want %q", seed, got, wantB)
+			}
+		}
+		if !saw {
+			t.Fatal("no squash landed while window-trap operations were pending")
+		}
+	})
+	t.Run("vca astq completions pending", func(t *testing.T) {
+		gcfg := progen.Config{WindowLadder: 6, Blocks: 30, Loops: true}
+		saw := false
+		for seed := int64(1); seed <= 4 && !saw; seed++ {
+			prog := buildProgram(t, seed, gcfg)
+			want := runEmu(t, prog, true)
+			// 64 registers: heavy spill/fill traffic keeps the ASTQ busy.
+			cfg := DefaultConfig(RenameVCA, WindowVCA, 1, 64)
+			cfg.Check = true
+			m, err := New(cfg, []*program.Program{prog}, true)
+			if err != nil {
+				t.Fatalf("new: %v", err)
+			}
+			s := &stepper{m: m}
+			for cycles := 0; !s.done && cycles < 2_000_000; cycles++ {
+				squashedBefore := m.stats.Squashed
+				pendingASTQ := m.awheel.count > 0
+				s.step(t)
+				if pendingASTQ && m.stats.Squashed > squashedBefore {
+					saw = true
+				}
+				assertNoSquashedResidue(t, m)
+			}
+			if err := m.CheckNow(); err != nil {
+				t.Fatalf("seed %d: CheckNow: %v", seed, err)
+			}
+			if got := m.result().Threads[0].Output; got != want {
+				t.Fatalf("seed %d: output %q, want %q", seed, got, want)
+			}
+		}
+		if !saw {
+			t.Fatal("no squash landed while ASTQ completions were in the wheel")
+		}
+	})
+}
+
+// TestStepDrivenRunMatchesRun proves the stepper's cycle replay is
+// faithful: the same program on two identical machines — one driven by
+// Run, one stepped — must produce bit-identical Results, down to the
+// full counter map.
+func TestStepDrivenRunMatchesRun(t *testing.T) {
+	prog := buildProgram(t, 7, progen.Config{Blocks: 30, Loops: true, Aliasing: true})
+	cfg := DefaultConfig(RenameVCA, WindowNone, 1, 96)
+
+	mRun, err := New(cfg, []*program.Program{prog}, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	want, err := mRun.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	mStep, err := New(cfg, []*program.Program{prog}, false)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	s := &stepper{m: mStep}
+	for cycles := 0; !s.done && cycles < 2_000_000; cycles++ {
+		s.step(t)
+	}
+	if !s.done {
+		t.Fatal("stepped machine did not finish")
+	}
+	got := mStep.result()
+
+	wantCounters, gotCounters := want.Metrics.CounterMap(), got.Metrics.CounterMap()
+	if !reflect.DeepEqual(wantCounters, gotCounters) {
+		for k, v := range wantCounters {
+			if gotCounters[k] != v {
+				t.Errorf("counter %s: stepped %d, Run %d", k, gotCounters[k], v)
+			}
+		}
+		t.Fatal("counter maps diverge between Run and stepped execution")
+	}
+	wantCmp, gotCmp := *want, *got
+	wantCmp.Metrics, gotCmp.Metrics = nil, nil
+	if !reflect.DeepEqual(wantCmp, gotCmp) {
+		t.Fatalf("results diverge:\nRun:     %+v\nstepped: %+v", wantCmp, gotCmp)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks for sortBySeq on the set sizes the writeback stage actually
+// produces: the resolved-control list rarely exceeds the machine width,
+// and is typically 1-4 entries. sortInsertion below is the replaced
+// hand-rolled O(n²) implementation, kept as the benchmark baseline so
+// the cost of slices.SortFunc on these tiny inputs stays visible:
+//
+//	go test ./internal/core -bench 'BenchmarkSort' -benchtime 200000x
+//
+// Measured: slices.SortFunc pays a fixed dispatch overhead of ~2-15ns
+// per call on 1-4 element sets (8.5 vs 6.2ns at n=1, 29 vs 14ns at
+// n=4). Control instructions resolve on a minority of cycles and the
+// simulator runs at ~200ns per instruction, so the end-to-end effect on
+// BenchmarkCorePipeline is below measurement noise — while SortFunc
+// removes the quadratic cliff if a wide machine ever resolves many
+// branches in one cycle.
+func sortInsertion(us []*uop) {
+	for i := 1; i < len(us); i++ {
+		u := us[i]
+		j := i - 1
+		for j >= 0 && us[j].seq > u.seq {
+			us[j+1] = us[j]
+			j--
+		}
+		us[j+1] = u
+	}
+}
+
+// benchSets builds reproducible shuffled resolved sets of one size.
+func benchSets(n, count int) [][]*uop {
+	rng := rand.New(rand.NewSource(int64(n)))
+	sets := make([][]*uop, count)
+	for i := range sets {
+		s := make([]*uop, n)
+		for k := range s {
+			s[k] = &uop{seq: uint64(rng.Intn(1000))}
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+func benchSort(b *testing.B, n int, sort func([]*uop)) {
+	sets := benchSets(n, 64)
+	scratch := make([]*uop, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, sets[i&63])
+		sort(scratch)
+	}
+}
+
+func BenchmarkSortBySeq1(b *testing.B)     { benchSort(b, 1, sortBySeq) }
+func BenchmarkSortBySeq2(b *testing.B)     { benchSort(b, 2, sortBySeq) }
+func BenchmarkSortBySeq4(b *testing.B)     { benchSort(b, 4, sortBySeq) }
+func BenchmarkSortBySeq8(b *testing.B)     { benchSort(b, 8, sortBySeq) }
+func BenchmarkSortInsertion1(b *testing.B) { benchSort(b, 1, sortInsertion) }
+func BenchmarkSortInsertion2(b *testing.B) { benchSort(b, 2, sortInsertion) }
+func BenchmarkSortInsertion4(b *testing.B) { benchSort(b, 4, sortInsertion) }
+func BenchmarkSortInsertion8(b *testing.B) { benchSort(b, 8, sortInsertion) }
+
+// TestSortBySeqMatchesInsertion pins the two implementations to the same
+// ordering on every size the writeback stage produces.
+func TestSortBySeqMatchesInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(8)
+		a := make([]*uop, n)
+		for i := range a {
+			a[i] = &uop{seq: uint64(rng.Intn(32))}
+		}
+		b := append([]*uop{}, a...)
+		sortBySeq(a)
+		sortInsertion(b)
+		for i := range a {
+			if a[i].seq != b[i].seq {
+				t.Fatalf("trial %d: order differs at %d", trial, i)
+			}
+		}
+	}
+}

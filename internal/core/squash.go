@@ -111,11 +111,23 @@ func (m *Machine) flushYounger(th *thread, seq uint64) int {
 	return n
 }
 
-// rollbackUop undoes one squashed instruction's rename-time state.
+// rollbackUop undoes one squashed instruction's rename-time state and
+// unlinks it from the event-driven scheduler: its consumer-list
+// registrations (if still waiting on sources) or its timing-wheel
+// bucket (if in flight). Ready-list removal happens in purgeStructures,
+// which filters the list once per squash.
 func (m *Machine) rollbackUop(th *thread, v *uop) {
 	v.squashed = true
 	if !v.issued && !v.injected {
 		th.inFlight--
+	}
+	if v.inIQ {
+		v.inIQ = false
+		m.iqCount--
+		m.cnt.squashedIQ++
+		m.unregisterConsumers(v)
+	} else if v.inWheel {
+		m.ewheel.remove(v)
 	}
 	switch m.cfg.Rename {
 	case RenameConventional:
@@ -138,19 +150,11 @@ func (m *Machine) rollbackUop(th *thread, v *uop) {
 	th.specDepth -= v.depDelta
 }
 
-// purgeStructures removes squashed uops from the IQ, LSQ, and in-flight
-// execution list.
+// purgeStructures removes squashed uops from the LSQ and the ready
+// list (consumer lists and wheel buckets are unlinked per victim in
+// rollbackUop).
 func (m *Machine) purgeStructures(tid int, seq uint64) {
 	keep := func(v *uop) bool { return v.thread != tid || v.seq <= seq }
-	iq := m.iq[:0]
-	for _, v := range m.iq {
-		if keep(v) {
-			iq = append(iq, v)
-		} else {
-			m.cnt.squashedIQ++
-		}
-	}
-	m.iq = iq
 	lsq := m.lsq[:0]
 	for _, v := range m.lsq {
 		if keep(v) {
@@ -160,11 +164,13 @@ func (m *Machine) purgeStructures(tid int, seq uint64) {
 		}
 	}
 	m.lsq = lsq
-	ex := m.inExec[:0]
-	for _, v := range m.inExec {
+	ready := m.ready[:0]
+	for _, v := range m.ready {
 		if keep(v) {
-			ex = append(ex, v)
+			ready = append(ready, v)
+		} else {
+			v.inReady = false
 		}
 	}
-	m.inExec = ex
+	m.ready = ready
 }

@@ -13,6 +13,11 @@ type uop struct {
 	pc     uint64
 	inst   isa.Inst
 	class  isa.Class
+	// Architectural operands in the rename view (zero registers already
+	// normalized to RegNone), copied from the program's predecoded
+	// metadata at fetch so the rename stage never re-derives them.
+	renSrcs [2]isa.Reg
+	renDest isa.Reg
 
 	// Injected window-trap traffic (conventional windows, §4.1).
 	injected   bool
@@ -54,6 +59,18 @@ type uop struct {
 	storeData uint64
 	result    uint64
 
+	// Event-driven scheduler state (see wakeup.go / wheel.go). stamp is
+	// the dispatch-order serial: the IQ's selection order is rename order,
+	// not seq order (injected window-trap uops carry younger seqs yet
+	// rename first), so the ready list sorts by stamp. pendingSrcs counts
+	// the source operands still awaiting a producer; srcWaiting marks
+	// which slots hold a live consumer-list registration.
+	stamp       uint64
+	pendingSrcs int8
+	srcWaiting  [2]bool
+	inReady     bool // on the machine's ready list
+	inWheel     bool // issued, completion pending in the timing wheel
+
 	// Control flow.
 	isCtl     bool
 	predNPC   uint64
@@ -73,7 +90,8 @@ type uop struct {
 // returns to the pool at commit or squash.
 //
 // Pool safety invariant: a uop may be freed only once no machine
-// structure (rob, iq, lsq, inExec, fetchQ, pendingInject) references it.
+// structure (rob, lsq, fetchQ, pendingInject, ready list, consumer
+// lists, timing wheel) references it.
 // Stale pointers in writeback's resolved scratch are tolerated because a
 // freed uop keeps its squashed flag until reallocation, and no uop is
 // allocated between squash and the end of the writeback stage.

@@ -98,13 +98,17 @@ type Machine struct {
 	prog *program.Program
 	mem  *mem.Memory
 	text []isa.Inst
+	meta []isa.Meta // predecoded operand/class view, index-aligned with text
 
 	pc      uint64
 	globals [isa.GlobalSlots]uint64
 	// Windowed machines keep a logical stack of window frames; flat
-	// machines use windows[0] only.
+	// machines use windows[0] only. cur caches &windows[depth] (always
+	// &windows[0] when flat) and must be refreshed whenever depth moves
+	// or the windows slice reallocates.
 	windows []frame
 	depth   int // index of current frame
+	cur     *frame
 
 	Stats    Stats
 	Output   bytes.Buffer
@@ -139,9 +143,11 @@ func New(p *program.Program, cfg Config) *Machine {
 		prog:    p,
 		mem:     mem.NewMemory(),
 		text:    p.Predecode(),
+		meta:    p.Meta(),
 		pc:      p.Entry,
 		windows: make([]frame, 1, 64),
 	}
+	m.cur = &m.windows[0]
 	p.LoadInto(m.mem)
 	m.WriteReg(isa.RegSP, cfg.StackTop)
 	return m
@@ -162,32 +168,49 @@ func (m *Machine) Exited() (bool, int64) { return m.exited, m.exitCode }
 // frame). Flat machines always report 0.
 func (m *Machine) CallDepth() int { return m.depth }
 
+// regSlot flattens the ReadReg/WriteReg register classification into one
+// table lookup: -1 for zero registers (and RegNone), window-frame slots
+// as [0,WindowSlots), global slots offset by WindowSlots.
+var regSlot = func() (t [256]int8) {
+	for i := range t {
+		t[i] = -1
+	}
+	for r := isa.Reg(0); r < isa.NumArchRegs; r++ {
+		switch {
+		case r.IsZero():
+		case r.IsWindowed():
+			t[r] = int8(r.WindowSlot())
+		default:
+			t[r] = int8(isa.WindowSlots + r.GlobalSlot())
+		}
+	}
+	return
+}()
+
 // ReadReg returns the architectural value of r in the current context.
 func (m *Machine) ReadReg(r isa.Reg) uint64 {
-	switch {
-	case r == isa.RegNone || r.IsZero():
+	s := regSlot[r]
+	if s < 0 {
 		return 0
-	case r.IsWindowed() && m.cfg.Windowed:
-		return m.windows[m.depth][r.WindowSlot()]
-	case r.IsWindowed():
-		return m.windows[0][r.WindowSlot()]
-	default:
-		return m.globals[r.GlobalSlot()]
 	}
+	if s < isa.WindowSlots {
+		return m.cur[s]
+	}
+	return m.globals[s-isa.WindowSlots]
 }
 
 // WriteReg sets the architectural value of r in the current context.
 // Writes to zero registers are discarded.
 func (m *Machine) WriteReg(r isa.Reg, v uint64) {
-	switch {
-	case r == isa.RegNone || r.IsZero():
-	case r.IsWindowed() && m.cfg.Windowed:
-		m.windows[m.depth][r.WindowSlot()] = v
-	case r.IsWindowed():
-		m.windows[0][r.WindowSlot()] = v
-	default:
-		m.globals[r.GlobalSlot()] = v
+	s := regSlot[r]
+	if s < 0 {
+		return
 	}
+	if s < isa.WindowSlots {
+		m.cur[s] = v
+		return
+	}
+	m.globals[s-isa.WindowSlots] = v
 }
 
 func (m *Machine) pushWindow() {
@@ -200,6 +223,7 @@ func (m *Machine) pushWindow() {
 	} else {
 		m.windows[m.depth] = frame{}
 	}
+	m.cur = &m.windows[m.depth]
 	if m.depth > m.Stats.MaxCallDepth {
 		m.Stats.MaxCallDepth = m.depth
 	}
@@ -213,58 +237,70 @@ func (m *Machine) popWindow() error {
 		return fmt.Errorf("emu: register window underflow at pc %#x", m.pc)
 	}
 	m.depth--
+	m.cur = &m.windows[m.depth]
 	return nil
 }
 
 // Step executes one instruction and reports what it did.
 func (m *Machine) Step() (StepInfo, error) {
+	var info StepInfo
+	err := m.StepInto(&info)
+	return info, err
+}
+
+// StepInto is Step without the by-value StepInfo return: callers on hot
+// paths (co-simulation steps once per committed instruction) reuse one
+// StepInfo instead of copying ~100 bytes per step.
+func (m *Machine) StepInto(info *StepInfo) error {
 	if m.exited {
-		return StepInfo{}, fmt.Errorf("emu: program has exited")
+		*info = StepInfo{}
+		return fmt.Errorf("emu: program has exited")
 	}
 	if !m.prog.InText(m.pc) {
-		return StepInfo{}, fmt.Errorf("emu: pc %#x outside text (%s)", m.pc, m.prog.SymbolFor(m.pc))
+		*info = StepInfo{}
+		return fmt.Errorf("emu: pc %#x outside text (%s)", m.pc, m.prog.SymbolFor(m.pc))
 	}
-	inst := m.text[(m.pc-m.prog.TextBase)/4]
-	info := StepInfo{PC: m.pc, Inst: inst, Dest: isa.RegNone, NextPC: m.pc + 4}
+	idx := (m.pc - m.prog.TextBase) / 4
+	inst := m.text[idx]
+	mt := &m.meta[idx]
+	*info = StepInfo{PC: m.pc, Inst: inst, Dest: isa.RegNone, NextPC: m.pc + 4}
 	if !inst.Op.Valid() {
-		return info, fmt.Errorf("emu: invalid instruction at %#x (%s)", m.pc, m.prog.SymbolFor(m.pc))
+		return fmt.Errorf("emu: invalid instruction at %#x (%s)", m.pc, m.prog.SymbolFor(m.pc))
 	}
 	m.Stats.Insts++
 
-	switch inst.Op.OpClass() {
+	switch mt.Class {
 	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv, isa.ClassFPALU, isa.ClassFPMul, isa.ClassFPDiv:
-		a := m.ReadReg(inst.SrcA())
+		a := m.ReadReg(mt.SrcA)
 		var b uint64
-		if inst.HasImmOperand() {
-			b = inst.ImmOperand()
+		if mt.HasImm {
+			b = mt.Imm
 		} else {
-			b = m.ReadReg(inst.SrcB())
+			b = m.ReadReg(mt.SrcB)
 		}
 		v := isa.EvalALU(inst.Op, a, b)
-		d := inst.Dest()
-		m.WriteReg(d, v)
-		info.Dest, info.DestVal = d, v
-		if inst.Op.OpClass() == isa.ClassIntALU || inst.Op.OpClass() == isa.ClassIntMul || inst.Op.OpClass() == isa.ClassIntDiv {
+		m.WriteReg(mt.Dest, v)
+		info.Dest, info.DestVal = mt.Dest, v
+		if mt.Class <= isa.ClassIntDiv {
 			m.Stats.IntOps++
 		} else {
 			m.Stats.FPOps++
 		}
 
 	case isa.ClassLoad:
-		addr := inst.MemEA(m.ReadReg(inst.SrcA()))
-		raw := m.mem.Read(addr, inst.Op.MemBytes())
-		if inst.Op.MemSigned() {
+		addr := inst.MemEA(m.ReadReg(mt.SrcA))
+		raw := m.mem.Read(addr, int(mt.MemBytes))
+		if mt.MemSigned {
 			raw = uint64(int64(int32(raw)))
 		}
-		d := inst.Dest()
-		m.WriteReg(d, raw)
-		info.Dest, info.DestVal, info.Addr = d, raw, addr
+		m.WriteReg(mt.Dest, raw)
+		info.Dest, info.DestVal, info.Addr = mt.Dest, raw, addr
 		m.Stats.Loads++
 
 	case isa.ClassStore:
-		addr := inst.MemEA(m.ReadReg(inst.SrcA()))
-		v := m.ReadReg(inst.SrcB())
-		size := inst.Op.MemBytes()
+		addr := inst.MemEA(m.ReadReg(mt.SrcA))
+		v := m.ReadReg(mt.SrcB)
+		size := int(mt.MemBytes)
 		if size < 8 {
 			v &= 1<<(8*size) - 1 // report the stored (truncated) value
 		}
@@ -274,7 +310,7 @@ func (m *Machine) Step() (StepInfo, error) {
 
 	case isa.ClassBranch:
 		m.Stats.CondBranches++
-		if isa.BranchTaken(inst.Op, m.ReadReg(inst.SrcA())) {
+		if isa.BranchTaken(inst.Op, m.ReadReg(mt.SrcA)) {
 			t, _ := inst.ControlTarget(m.pc)
 			info.NextPC, info.Taken = t, true
 			m.Stats.TakenCond++
@@ -285,7 +321,7 @@ func (m *Machine) Step() (StepInfo, error) {
 			t, _ := inst.ControlTarget(m.pc)
 			info.NextPC = t
 		} else {
-			info.NextPC = m.ReadReg(inst.SrcA())
+			info.NextPC = m.ReadReg(mt.SrcA)
 		}
 		info.Taken = true
 
@@ -295,7 +331,7 @@ func (m *Machine) Step() (StepInfo, error) {
 		if inst.Op == isa.OpJsr {
 			t, _ = inst.ControlTarget(m.pc)
 		} else {
-			t = m.ReadReg(inst.SrcA())
+			t = m.ReadReg(mt.SrcA)
 		}
 		// ra is global, so it is written before the window rotates (and
 		// would be visible either way).
@@ -306,31 +342,32 @@ func (m *Machine) Step() (StepInfo, error) {
 		m.Stats.Calls++
 
 	case isa.ClassRet:
-		t := m.ReadReg(inst.SrcA())
+		t := m.ReadReg(mt.SrcA)
 		if err := m.popWindow(); err != nil {
-			return info, err
+			return err
 		}
 		info.NextPC, info.Taken = t, true
 		m.Stats.Returns++
 
 	case isa.ClassSyscall:
 		if err := m.syscall(inst.Imm); err != nil {
-			return info, err
+			return err
 		}
 		m.Stats.Syscalls++
 
 	default:
-		return info, fmt.Errorf("emu: unhandled class for %v at %#x", inst.Op, m.pc)
+		return fmt.Errorf("emu: unhandled class for %v at %#x", inst.Op, m.pc)
 	}
 
 	m.pc = info.NextPC
-	return info, nil
+	return nil
 }
 
 // Run executes until exit, error, or the instruction budget is exhausted.
 func (m *Machine) Run() (StopReason, error) {
+	var info StepInfo
 	for m.Stats.Insts < m.cfg.MaxInsts {
-		if _, err := m.Step(); err != nil {
+		if err := m.StepInto(&info); err != nil {
 			return StopError, err
 		}
 		if m.exited {

@@ -1,0 +1,87 @@
+package isa
+
+// Meta is the fully pre-derived operand/class view of one decoded
+// instruction. The hot simulator loops (fetch, rename, the functional
+// emulator's step) each need the same handful of facts — which registers
+// the instruction reads and writes, its scheduling class, how control
+// transfers classify — and deriving them from the instruction word costs
+// several opTable lookups and format switches per instruction per stage.
+// Precomputing them once per static instruction (see program.Meta) turns
+// every per-dynamic-instruction derivation into a single indexed load.
+type Meta struct {
+	// Architectural operands as the functional model reads them:
+	// RegNone marks an absent operand. Dest includes hardwired zero
+	// destinations (writes to them are discarded by WriteReg).
+	SrcA, SrcB, Dest Reg
+	// Rename view of the same operands: hardwired zero registers are
+	// normalized to RegNone (they are never renamed and read as zero).
+	RenSrcA, RenSrcB, RenDest Reg
+
+	Class Class
+	Ctl   CtlKind
+	Call  bool // control transfer pushes a return address (jsr/jsrr)
+
+	HasImm    bool  // second ALU operand is the immediate
+	MemSigned bool  // load sign-extends
+	MemBytes  uint8 // memory access size (0 for non-memory ops)
+	Imm       uint64
+}
+
+// CtlKind classifies control transfers the way the fetch stage predicts
+// them; CtlNone marks non-control instructions.
+type CtlKind uint8
+
+const (
+	CtlNone     CtlKind = iota
+	CtlCond             // conditional branch
+	CtlRet              // return (predicted via the RAS)
+	CtlIndirect         // register-indirect jump or call (BTB-predicted)
+	CtlDirect           // direct jump or call (statically-known target)
+)
+
+// MetaOf derives the metadata for one instruction. It is pure table
+// work — callers should cache the result per static instruction rather
+// than calling it per dynamic one.
+func MetaOf(i Inst) Meta {
+	m := Meta{
+		SrcA:  i.SrcA(),
+		SrcB:  i.SrcB(),
+		Dest:  i.Dest(),
+		Class: i.Op.OpClass(),
+	}
+	m.RenSrcA, m.RenSrcB, m.RenDest = normReg(m.SrcA), normReg(m.SrcB), i.DestRenamed()
+	switch m.Class {
+	case ClassBranch:
+		m.Ctl = CtlCond
+	case ClassRet:
+		m.Ctl = CtlRet
+	case ClassJump:
+		if i.Op == OpJmpR {
+			m.Ctl = CtlIndirect
+		} else {
+			m.Ctl = CtlDirect
+		}
+	case ClassCall:
+		m.Call = true
+		if i.Op == OpJsrR {
+			m.Ctl = CtlIndirect
+		} else {
+			m.Ctl = CtlDirect
+		}
+	}
+	if i.HasImmOperand() {
+		m.HasImm = true
+		m.Imm = i.ImmOperand()
+	}
+	m.MemBytes = uint8(i.Op.MemBytes())
+	m.MemSigned = i.Op.MemSigned()
+	return m
+}
+
+// normReg maps hardwired zero registers to RegNone (the rename view).
+func normReg(r Reg) Reg {
+	if r == RegNone || r.IsZero() {
+		return RegNone
+	}
+	return r
+}

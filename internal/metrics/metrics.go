@@ -84,6 +84,16 @@ func (h *Histogram) Observe(v uint64) {
 	h.Buckets[BucketOf(v)]++
 }
 
+// ObserveN records the same value n times, equivalent to (but O(1)
+// instead of O(n)) calling Observe(v) n times. Event-driven simulators
+// use it to bulk-account a run of identical per-cycle samples when the
+// sampled state is provably frozen across skipped cycles.
+func (h *Histogram) ObserveN(v, n uint64) {
+	h.Count += Counter(n)
+	h.Sum += Counter(v * n)
+	h.Buckets[BucketOf(v)] += Counter(n)
+}
+
 // Mean returns the average observed value (0 when empty).
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {
@@ -106,6 +116,15 @@ func (o *Occupancy) Observe(n uint64) {
 	o.Hist.Observe(n)
 	if Counter(n) > o.Max {
 		o.Max = Counter(n)
+	}
+}
+
+// ObserveN records the same occupancy sample n times (see
+// Histogram.ObserveN).
+func (o *Occupancy) ObserveN(v, n uint64) {
+	o.Hist.ObserveN(v, n)
+	if Counter(v) > o.Max {
+		o.Max = Counter(v)
 	}
 }
 

@@ -7,6 +7,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vca/internal/isa"
 )
@@ -34,6 +35,13 @@ type Program struct {
 	Data     []byte
 	Entry    uint64
 	Symbols  map[string]uint64
+
+	// Lazily-built decode caches, shared by every machine bound to this
+	// program (see Predecode and Meta). Both slices are read-only after
+	// construction; Text must not be mutated once either accessor has run.
+	decodeOnce sync.Once
+	decoded    []isa.Inst
+	meta       []isa.Meta
 }
 
 // TextEnd returns the first address past the text segment.
@@ -61,13 +69,29 @@ func (p *Program) WordAt(pc uint64) isa.Word {
 func (p *Program) InstAt(pc uint64) isa.Inst { return isa.Decode(p.WordAt(pc)) }
 
 // Predecode decodes the entire text segment once, for simulators that want
-// an indexable decoded form.
+// an indexable decoded form. The result is computed on first use and
+// shared by all callers; treat it as read-only.
 func (p *Program) Predecode() []isa.Inst {
-	out := make([]isa.Inst, len(p.Text))
+	p.decodeOnce.Do(p.decode)
+	return p.decoded
+}
+
+// Meta returns per-instruction predecoded operand and class metadata
+// (isa.MetaOf of each text word), index-aligned with Predecode. Like
+// Predecode, it is computed once and shared; treat it as read-only.
+func (p *Program) Meta() []isa.Meta {
+	p.decodeOnce.Do(p.decode)
+	return p.meta
+}
+
+func (p *Program) decode() {
+	p.decoded = make([]isa.Inst, len(p.Text))
+	p.meta = make([]isa.Meta, len(p.Text))
 	for i, w := range p.Text {
-		out[i] = isa.Decode(w)
+		inst := isa.Decode(w)
+		p.decoded[i] = inst
+		p.meta[i] = isa.MetaOf(inst)
 	}
-	return out
 }
 
 // Symbol returns the address of a label defined by the source.

@@ -26,17 +26,17 @@ func TestValidate(t *testing.T) {
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := *p
+	bad := sampleProgram()
 	bad.Entry = 12 // unaligned + outside text
 	if bad.Validate() == nil {
 		t.Error("bad entry accepted")
 	}
-	empty := *p
+	empty := sampleProgram()
 	empty.Text = nil
 	if empty.Validate() == nil {
 		t.Error("empty text accepted")
 	}
-	overlap := *p
+	overlap := sampleProgram()
 	overlap.DataBase = overlap.TextBase
 	if overlap.Validate() == nil {
 		t.Error("overlapping segments accepted")

@@ -1,0 +1,164 @@
+package rename
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// commitTable maps a logical-register backing address to the physical
+// register holding its committed version. It replaces a Go map on the
+// renamer's hottest path: every committing destination performs a lookup
+// and an insert, and every eviction a delete. The table can never hold
+// more than one entry per physical register (each committed address names
+// a distinct register), so a fixed open-addressed array at <=25% load
+// needs no growth and stays cache-resident.
+//
+// A zero key marks an empty slot; address zero itself (unused by the core,
+// whose register spaces start at program.RegSpaceBase, but legal through
+// the API) lives in a dedicated side slot. Deletion uses backward
+// shifting, keeping probe chains tombstone-free regardless of churn.
+type commitTable struct {
+	keys  []uint64
+	vals  []int32
+	mask  uint64
+	shift uint
+	n     int
+
+	zeroVal int32
+	zeroSet bool
+}
+
+func newCommitTable(physRegs int) commitTable {
+	cap := 64
+	for cap < 4*physRegs {
+		cap *= 2
+	}
+	return commitTable{
+		keys:  make([]uint64, cap),
+		vals:  make([]int32, cap),
+		mask:  uint64(cap - 1),
+		shift: uint(64 - bits.TrailingZeros(uint(cap))),
+	}
+}
+
+// slot is the home position: Fibonacci hashing on the 8-byte-aligned
+// address (low three bits are always zero and carry no entropy).
+func (t *commitTable) slot(addr uint64) uint64 {
+	return ((addr >> 3) * 0x9E3779B97F4A7C15) >> t.shift
+}
+
+func (t *commitTable) get(addr uint64) (int, bool) {
+	if addr == 0 {
+		return int(t.zeroVal), t.zeroSet
+	}
+	i := t.slot(addr)
+	for {
+		k := t.keys[i]
+		if k == addr {
+			return int(t.vals[i]), true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *commitTable) put(addr uint64, phys int) {
+	if addr == 0 {
+		t.zeroVal, t.zeroSet = int32(phys), true
+		return
+	}
+	i := t.slot(addr)
+	for {
+		k := t.keys[i]
+		if k == addr {
+			t.vals[i] = int32(phys)
+			return
+		}
+		if k == 0 {
+			if t.n == len(t.keys)-1 {
+				panic("rename: commit table over capacity")
+			}
+			t.keys[i] = addr
+			t.vals[i] = int32(phys)
+			t.n++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *commitTable) del(addr uint64) {
+	if addr == 0 {
+		t.zeroSet = false
+		return
+	}
+	i := t.slot(addr)
+	for t.keys[i] != addr {
+		if t.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	// Backward-shift deletion: pull every displaced entry of the probe
+	// chain back over the hole so lookups never need tombstones. An entry
+	// at j may fill slot i iff i lies on its probe path, i.e. the cyclic
+	// distance home->i is shorter than home->j.
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		k := t.keys[j]
+		if k == 0 {
+			break
+		}
+		if h := t.slot(k); ((i - h) & t.mask) < ((j - h) & t.mask) {
+			t.keys[i], t.vals[i] = k, t.vals[j]
+			i = j
+		}
+	}
+	t.keys[i] = 0
+	t.n--
+}
+
+// each visits every live entry, stopping at the first error.
+func (t *commitTable) each(f func(addr uint64, phys int) error) error {
+	if t.zeroSet {
+		if err := f(0, int(t.zeroVal)); err != nil {
+			return err
+		}
+	}
+	for i, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		if err := f(k, int(t.vals[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// check validates the probe-chain invariant: every entry must be
+// reachable from its home slot without crossing an empty slot.
+func (t *commitTable) check() error {
+	live := 0
+	for j, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		live++
+		for i := t.slot(k); ; i = (i + 1) & t.mask {
+			if i == uint64(j) {
+				break
+			}
+			if t.keys[i] == 0 {
+				return fmt.Errorf("rename: commit table entry %#x unreachable from its home slot", k)
+			}
+		}
+	}
+	if live != t.n {
+		return fmt.Errorf("rename: commit table count %d but %d live entries", t.n, live)
+	}
+	return nil
+}

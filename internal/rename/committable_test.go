@@ -1,0 +1,108 @@
+package rename
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCommitTableMatchesMap drives the open-addressed commit table
+// through a long random interleaving of put/del/get and cross-checks
+// every observation against a Go map, validating the probe-chain
+// invariant (backward-shift deletion leaves no unreachable entries)
+// after each step.
+func TestCommitTableMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ct := newCommitTable(64)
+	ref := map[uint64]int{}
+	addrs := make([]uint64, 40)
+	for i := range addrs {
+		addrs[i] = 0x4000_0000_0000 + uint64(rng.Intn(1<<16))*8
+	}
+	for step := 0; step < 200000; step++ {
+		a := addrs[rng.Intn(len(addrs))]
+		switch rng.Intn(3) {
+		case 0:
+			if len(ref) < 60 {
+				p := rng.Intn(64)
+				ct.put(a, p)
+				ref[a] = p
+			}
+		case 1:
+			ct.del(a)
+			delete(ref, a)
+		case 2:
+			p, ok := ct.get(a)
+			rp, rok := ref[a]
+			if ok != rok || (ok && p != rp) {
+				t.Fatalf("step %d get(%#x) = %d,%v want %d,%v", step, a, p, ok, rp, rok)
+			}
+		}
+		if err := ct.check(); err != nil {
+			t.Fatalf("step %d: %v (ref len %d, ct.n %d)", step, err, len(ref), ct.n)
+		}
+		if ct.n != len(ref) {
+			t.Fatalf("step %d: n=%d want %d", step, ct.n, len(ref))
+		}
+	}
+}
+
+// TestCommitTableZeroAddress exercises the dedicated side slot for
+// address zero, which would otherwise collide with the empty marker.
+func TestCommitTableZeroAddress(t *testing.T) {
+	ct := newCommitTable(8)
+	if _, ok := ct.get(0); ok {
+		t.Fatal("empty table reports address 0 present")
+	}
+	ct.put(0, 5)
+	if p, ok := ct.get(0); !ok || p != 5 {
+		t.Fatalf("get(0) = %d,%v want 5,true", p, ok)
+	}
+	ct.put(0, 7)
+	if p, _ := ct.get(0); p != 7 {
+		t.Fatalf("get(0) = %d after overwrite, want 7", p)
+	}
+	seen := false
+	if err := ct.each(func(addr uint64, phys int) error {
+		if addr == 0 && phys == 7 {
+			seen = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("each did not visit the zero-address entry")
+	}
+	ct.del(0)
+	if _, ok := ct.get(0); ok {
+		t.Fatal("address 0 still present after delete")
+	}
+}
+
+// TestCommitTableDeleteChain deletes from the middle of occupied runs so
+// the backward shift must relocate entries, then verifies every
+// remaining key is still reachable.
+func TestCommitTableDeleteChain(t *testing.T) {
+	ct := newCommitTable(16) // 64 slots
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = 0x4000_0000_0000 + uint64(i)*8
+		ct.put(keys[i], i)
+	}
+	for i := 0; i < len(keys); i += 2 {
+		ct.del(keys[i])
+	}
+	if err := ct.check(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		p, ok := ct.get(k)
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %#x still present", k)
+			}
+		} else if !ok || p != i {
+			t.Fatalf("get(%#x) = %d,%v want %d,true", k, p, ok, i)
+		}
+	}
+}

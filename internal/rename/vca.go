@@ -45,21 +45,26 @@ func DefaultVCAConfig(threads, physRegs int) VCAConfig {
 // physState is the per-register state of Figure 2: the backing logical
 // register memory address, a reference count (pinned when > 0), the
 // committed and dirty bits, LRU time, and the count of in-flight
-// instructions that will overwrite this logical register.
+// instructions that will overwrite this logical register. Field widths
+// are chosen to pack the struct into 32 bytes: the renamer's hot paths
+// (lookup, eviction scans, commit) are bound by how many of these fit a
+// cache line, and int32 counts are ample for any in-flight window.
 type physState struct {
 	addr      uint64
+	lru       uint64
+	ref       int32
+	owPending int32
 	mapped    bool
-	ref       int
 	committed bool
 	dirty     bool
-	lru       uint64
-	owPending int
 }
 
+// tableEntry packs into 16 bytes (4 entries per cache line) for the same
+// reason: every rename scans a full set of ways.
 type tableEntry struct {
-	valid bool
 	addr  uint64
-	phys  int
+	phys  int32
+	valid bool
 }
 
 // MemOp is a spill or fill handed to the core's ASTQ.
@@ -91,19 +96,20 @@ type VCAStats struct {
 
 // VCA is the virtual context architecture renamer. The speculative rename
 // table is modeled faithfully (tags, sets, ways); the commit-side table
-// that drives recovery and overwrite freeing is kept as a map, since its
-// conflict behavior is not what the paper evaluates.
+// that drives recovery and overwrite freeing is an unbounded associative
+// structure, since its conflict behavior is not what the paper evaluates.
 type VCA struct {
 	cfg    VCAConfig
 	table  []tableEntry // sets × ways
 	regs   []physState
 	free   []int
-	commit map[uint64]int
+	commit commitTable
 	clock  uint64
 
 	rsidTags       []uint64 // translation table: upper-address tags
 	rsidLRU        []uint64
 	rsidValid      []bool
+	rsidLast       int // most recent hit index (fast path; no state effect)
 	pendingRSIDOps []MemOp
 
 	// ReadValue lets the renamer capture a spill victim's value at rename
@@ -122,7 +128,7 @@ func NewVCA(cfg VCAConfig) *VCA {
 		cfg:       cfg,
 		table:     make([]tableEntry, cfg.Sets*cfg.Ways),
 		regs:      make([]physState, cfg.PhysRegs),
-		commit:    make(map[uint64]int),
+		commit:    newCommitTable(cfg.PhysRegs),
 		rsidTags:  make([]uint64, cfg.RSIDs),
 		rsidLRU:   make([]uint64, cfg.RSIDs),
 		rsidValid: make([]bool, cfg.RSIDs),
@@ -158,7 +164,7 @@ func (v *VCA) lookup(addr uint64) (way *tableEntry, phys int) {
 	ways := v.ways(addr)
 	for i := range ways {
 		if ways[i].valid && ways[i].addr == addr {
-			return &ways[i], ways[i].phys
+			return &ways[i], int(ways[i].phys)
 		}
 	}
 	return nil, PhysNone
@@ -184,7 +190,7 @@ func (v *VCA) victimIn(ways []tableEntry) *tableEntry {
 	}{}
 	for i := range ways {
 		e := &ways[i]
-		if !e.valid || !v.evictable(e.phys) {
+		if !e.valid || !v.evictable(int(e.phys)) {
 			continue
 		}
 		r := &v.regs[e.phys]
@@ -202,7 +208,7 @@ func (v *VCA) victimIn(ways []tableEntry) *tableEntry {
 // evict frees the register behind a table entry, generating a spill when
 // dirty. The caller gets the freed physical register.
 func (v *VCA) evict(e *tableEntry, ops *[]MemOp) int {
-	p := e.phys
+	p := int(e.phys)
 	r := &v.regs[p]
 	if r.dirty {
 		val := uint64(0)
@@ -212,7 +218,7 @@ func (v *VCA) evict(e *tableEntry, ops *[]MemOp) int {
 		*ops = append(*ops, MemOp{Phys: p, Addr: r.addr, IsSpill: true, Value: val})
 		v.Stats.Spills++
 	}
-	delete(v.commit, r.addr)
+	v.commit.del(r.addr)
 	e.valid = false
 	*r = physState{}
 	return p
@@ -233,7 +239,7 @@ func (v *VCA) allocPhys(ops *[]MemOp) int {
 	var bestLRU uint64
 	for i := range v.table {
 		e := &v.table[i]
-		if !e.valid || !v.evictable(e.phys) {
+		if !e.valid || !v.evictable(int(e.phys)) {
 			continue
 		}
 		r := &v.regs[e.phys]
@@ -256,7 +262,7 @@ func (v *VCA) installMapping(addr uint64, phys int, ops *[]MemOp) bool {
 	ways := v.ways(addr)
 	for i := range ways {
 		if !ways[i].valid {
-			ways[i] = tableEntry{valid: true, addr: addr, phys: phys}
+			ways[i] = tableEntry{valid: true, addr: addr, phys: int32(phys)}
 			return true
 		}
 	}
@@ -267,7 +273,7 @@ func (v *VCA) installMapping(addr uint64, phys int, ops *[]MemOp) bool {
 	v.Stats.TableConflictEvicts++
 	freed := v.evict(victim, ops)
 	v.free = append(v.free, freed)
-	*victim = tableEntry{valid: true, addr: addr, phys: phys}
+	*victim = tableEntry{valid: true, addr: addr, phys: int32(phys)}
 	return true
 }
 
@@ -297,7 +303,7 @@ func (v *VCA) RenameSource(addr uint64, ops *[]MemOp) (phys int, filled bool, ok
 	}
 	r := &v.regs[p]
 	*r = physState{addr: addr, mapped: true, ref: 1, committed: true, dirty: false, lru: v.tick()}
-	v.commit[addr] = p
+	v.commit.put(addr, p)
 	*ops = append(*ops, MemOp{Phys: p, Addr: addr, IsSpill: false})
 	v.Stats.Fills++
 	return p, true, true
@@ -324,7 +330,7 @@ func (v *VCA) RenameDest(addr uint64, ops *[]MemOp) (newPhys, prevSpec int, ok b
 		// previous version stays alive (reachable via the commit table or
 		// pinned by consumers) for recovery.
 		v.regs[prev].owPending++
-		entry.phys = p
+		entry.phys = int32(p)
 	} else if !v.installMapping(addr, p, ops) {
 		v.free = append(v.free, p)
 		v.Stats.RenameStalls++
@@ -362,7 +368,7 @@ func (v *VCA) CommitDest(addr uint64, phys, prevSpec int) {
 	if prevSpec != PhysNone && v.regs[prevSpec].mapped && v.regs[prevSpec].addr == addr {
 		v.regs[prevSpec].owPending--
 	}
-	if old, ok := v.commit[addr]; ok && old != phys {
+	if old, ok := v.commit.get(addr); ok && old != phys {
 		o := &v.regs[old]
 		if o.ref > 0 {
 			// Still pinned by in-flight consumers; it will be freed when
@@ -375,7 +381,7 @@ func (v *VCA) CommitDest(addr uint64, phys, prevSpec int) {
 		}
 		v.Stats.Overwrites++
 	}
-	v.commit[addr] = phys
+	v.commit.put(addr, phys)
 }
 
 // freeUnmapped returns a register to the free list, removing any table
@@ -417,7 +423,7 @@ func (v *VCA) RollbackDest(addr uint64, newPhys, prevSpec int) {
 	if prevSpec != PhysNone && v.regs[prevSpec].mapped && v.regs[prevSpec].addr == addr {
 		v.regs[prevSpec].owPending--
 		if entry != nil && cur == newPhys {
-			entry.phys = prevSpec
+			entry.phys = int32(prevSpec)
 		}
 	} else if entry != nil && cur == newPhys {
 		entry.valid = false
@@ -458,10 +464,20 @@ func (v *VCA) touchRSID(addr uint64) {
 		return
 	}
 	tag := addr >> uint(v.cfg.OffsetBits)
+	// Fast path: consecutive renames overwhelmingly touch the same register
+	// space (one thread's globals or window region), so the last hit index
+	// usually matches. A hit's only effects are the LRU touch and the stat,
+	// so skipping the scan is behavior-preserving.
+	if last := v.rsidLast; v.rsidValid[last] && v.rsidTags[last] == tag {
+		v.rsidLRU[last] = v.tick()
+		v.Stats.RSIDHits++
+		return
+	}
 	victim, oldest := -1, ^uint64(0)
 	for i := 0; i < v.cfg.RSIDs; i++ {
 		if v.rsidValid[i] && v.rsidTags[i] == tag {
 			v.rsidLRU[i] = v.tick()
+			v.rsidLast = i
 			v.Stats.RSIDHits++
 			return
 		}
@@ -480,7 +496,7 @@ func (v *VCA) touchRSID(addr uint64) {
 		var ops []MemOp
 		for i := range v.table {
 			e := &v.table[i]
-			if e.valid && e.addr>>uint(v.cfg.OffsetBits) == old && v.evictable(e.phys) {
+			if e.valid && e.addr>>uint(v.cfg.OffsetBits) == old && v.evictable(int(e.phys)) {
 				v.Stats.RSIDFlushRegs++
 				freed := v.evict(e, &ops)
 				v.free = append(v.free, freed)
@@ -491,6 +507,7 @@ func (v *VCA) touchRSID(addr uint64) {
 	v.rsidValid[victim] = true
 	v.rsidTags[victim] = tag
 	v.rsidLRU[victim] = v.tick()
+	v.rsidLast = victim
 }
 
 // DrainRSIDOps returns spills generated by RSID-reuse flushes since the
@@ -526,11 +543,11 @@ func (v *VCA) AuditPins(expectRef, expectOW []int) error {
 	}
 	for p := range v.regs {
 		r := &v.regs[p]
-		if r.ref != expectRef[p] {
+		if int(r.ref) != expectRef[p] {
 			return fmt.Errorf("vca: register %d ref count %d, but %d in-flight pins justify it (%+v)",
 				p, r.ref, expectRef[p], *r)
 		}
-		if r.owPending != expectOW[p] {
+		if int(r.owPending) != expectOW[p] {
 			return fmt.Errorf("vca: register %d overwrite-pending %d, but %d in-flight overwriters exist (%+v)",
 				p, r.owPending, expectOW[p], *r)
 		}
@@ -583,7 +600,10 @@ func (v *VCA) CheckInvariants() error {
 			return fmt.Errorf("vca: table entry %#x disagrees with register %d state (%+v)", e.addr, e.phys, r)
 		}
 	}
-	for addr, p := range v.commit {
+	if err := v.commit.check(); err != nil {
+		return err
+	}
+	if err := v.commit.each(func(addr uint64, p int) error {
 		r := &v.regs[p]
 		if !r.mapped || r.addr != addr {
 			return fmt.Errorf("vca: commit table entry %#x -> %d inconsistent (%+v)", addr, p, r)
@@ -591,6 +611,9 @@ func (v *VCA) CheckInvariants() error {
 		if !r.committed {
 			return fmt.Errorf("vca: commit table references uncommitted register %d", p)
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	for p := range v.regs {
 		r := &v.regs[p]

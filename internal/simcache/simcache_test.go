@@ -135,13 +135,22 @@ func TestKeyInvalidation(t *testing.T) {
 		}
 	})
 	t.Run("program byte", func(t *testing.T) {
-		clone := *progs[0]
+		// Field-wise clone: Program embeds a sync.Once decode cache and
+		// must not be copied by value.
+		cloneOf := func(p *program.Program) program.Program {
+			return program.Program{
+				Name: p.Name, TextBase: p.TextBase, Text: p.Text,
+				DataBase: p.DataBase, Data: p.Data, Entry: p.Entry,
+				Symbols: p.Symbols,
+			}
+		}
+		clone := cloneOf(progs[0])
 		clone.Text = append([]isa.Word{}, progs[0].Text...)
 		clone.Text[len(clone.Text)/2] ^= 1
 		if Key(cfg, []*program.Program{&clone}, windowed) == base {
 			t.Error("text change did not change the key")
 		}
-		clone = *progs[0]
+		clone = cloneOf(progs[0])
 		clone.Data = append([]byte{}, progs[0].Data...)
 		if len(clone.Data) == 0 {
 			clone.Data = []byte{1}

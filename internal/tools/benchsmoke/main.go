@@ -1,0 +1,118 @@
+// Command benchsmoke is the CI throughput gate: it runs
+// BenchmarkSimThroughput (the root package's detailed-core benchmark:
+// crafty, conventional rename, 256 physical registers, co-simulation
+// on, 100k committed instructions) a few times at a fixed -benchtime
+// and fails the build when either
+//
+//   - allocs per simulated instruction exceed the steady-state floor
+//     established in PR 1 (the simulator is expected to allocate
+//     essentially nothing per instruction once warm), or
+//   - ns per simulated instruction regresses more than the configured
+//     fraction against the committed baseline file.
+//
+// The baseline (bench_smoke_baseline.json) records the blessed ns/inst
+// for the machine class CI runs on; re-baseline it deliberately, in a
+// reviewed commit, when a change legitimately shifts throughput.
+// Multiple -count passes are taken and the minimum is compared, so
+// transient scheduler noise does not fail the gate; only a persistent
+// slowdown across every pass can.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	// NsPerInst is the blessed wall-nanoseconds per simulated
+	// instruction (min across passes on an otherwise idle host).
+	NsPerInst float64 `json:"ns_per_inst"`
+	// Instructions is the benchmark's committed-instruction budget; it
+	// converts go test's ns/op into ns/inst.
+	Instructions float64 `json:"instructions"`
+	// MaxAllocsPerInst is the PR-1 steady-state allocation floor.
+	MaxAllocsPerInst float64 `json:"max_allocs_per_inst"`
+	// MaxRegression is the tolerated fractional ns/inst increase.
+	MaxRegression float64 `json:"max_regression"`
+}
+
+// benchLine matches e.g.
+// BenchmarkSimThroughput  5  16166833 ns/op  5.68 simMIPS  1234 B/op  7 allocs/op
+var benchLine = regexp.MustCompile(`^BenchmarkSimThroughput\S*\s+\d+\s+([0-9.]+) ns/op.*?\s([0-9.]+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_smoke_baseline.json", "committed baseline file")
+	benchtime := flag.String("benchtime", "5x", "go test -benchtime value")
+	count := flag.Int("count", 3, "benchmark passes (minimum is compared)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse baseline: %v", err)
+	}
+	if base.NsPerInst <= 0 || base.Instructions <= 0 || base.MaxRegression <= 0 {
+		fatal("baseline %s: ns_per_inst, instructions, and max_regression must be positive", *baselinePath)
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^BenchmarkSimThroughput$",
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count),
+		"-benchmem", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fatal("go test -bench failed: %v\n%s", err, out)
+	}
+
+	minNsOp, minAllocsOp := 0.0, 0.0
+	passes := 0
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		nsOp, err1 := strconv.ParseFloat(m[1], 64)
+		allocsOp, err2 := strconv.ParseFloat(m[2], 64)
+		if err1 != nil || err2 != nil {
+			fatal("unparseable benchmark line: %q", line)
+		}
+		if passes == 0 || nsOp < minNsOp {
+			minNsOp = nsOp
+		}
+		if passes == 0 || allocsOp < minAllocsOp {
+			minAllocsOp = allocsOp
+		}
+		passes++
+	}
+	if passes == 0 {
+		fatal("no BenchmarkSimThroughput result in output:\n%s", out)
+	}
+
+	nsPerInst := minNsOp / base.Instructions
+	allocsPerInst := minAllocsOp / base.Instructions
+	limit := base.NsPerInst * (1 + base.MaxRegression)
+
+	fmt.Printf("bench-smoke: %d passes, best %.1f ns/inst (baseline %.1f, limit %.1f), %.4f allocs/inst (max %.4f)\n",
+		passes, nsPerInst, base.NsPerInst, limit, allocsPerInst, base.MaxAllocsPerInst)
+
+	if allocsPerInst > base.MaxAllocsPerInst {
+		fatal("allocs/inst %.4f exceeds steady-state floor %.4f", allocsPerInst, base.MaxAllocsPerInst)
+	}
+	if nsPerInst > limit {
+		fatal("ns/inst %.1f regresses more than %.0f%% over baseline %.1f",
+			nsPerInst, base.MaxRegression*100, base.NsPerInst)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}

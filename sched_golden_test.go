@@ -1,0 +1,127 @@
+package vca
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"vca/internal/minic"
+	"vca/internal/workload"
+)
+
+// schedGoldenArchs is the architecture axis of the scheduler golden
+// matrix: the three machine flavors the paper's figures compare. The
+// conventional-window and ideal-window models are covered separately by
+// the core package's own tests; the matrix here pins the full workload
+// suite on the three models every figure sweeps.
+var schedGoldenArchs = []Arch{Baseline, VCAFlat, VCAWindowed}
+
+// schedGoldenStop keeps the 15x3 matrix fast enough for the tier-1 test
+// run while still deep enough to exercise spills, squashes, and
+// long-latency stalls on every workload.
+const schedGoldenStop = 25_000
+
+// schedGoldenCell runs one (workload, arch) cell and returns a digest of
+// everything the experiments consume: the Result aggregates and the full
+// deterministic stats dump (every counter, histogram, and occupancy
+// track).
+func schedGoldenCell(t *testing.T, archIdx Arch, w workload.Benchmark) string {
+	t.Helper()
+	abi := minic.ABIFlat
+	if archIdx.Windowed() {
+		abi = minic.ABIWindowed
+	}
+	prog, err := w.Build(abi)
+	if err != nil {
+		t.Fatalf("%s: build: %v", w.Name, err)
+	}
+	physRegs := 256
+	if archIdx != Baseline {
+		physRegs = 128
+	}
+	res, err := Run(MachineSpec{Arch: archIdx, PhysRegs: physRegs, StopAfter: schedGoldenStop}, prog)
+	if err != nil {
+		t.Fatalf("%s/%s: run: %v", archIdx, w.Name, err)
+	}
+
+	h := sha256.New()
+	resJSON, err := json.Marshal(res.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(resJSON)
+	var stats bytes.Buffer
+	if err := res.WriteStats(&stats, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.Write(stats.Bytes())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSchedulerGoldenMatrix pins the simulated output of all 15 workloads
+// on baseline, VCA-flat, and VCA-windowed machines against digests
+// recorded before the event-driven scheduler rework: identical Result
+// stats, identical counter maps, identical occupancy histograms. Any
+// cycle-level behavior change — an instruction issuing a cycle early, a
+// stall attributed to a different cause, an occupancy sample missed by
+// the quiesced-cycle skip — lands here as a digest mismatch.
+//
+// Regenerate (only for a change that is *meant* to alter simulated
+// behavior) with: go test -run TestSchedulerGoldenMatrix -update
+func TestSchedulerGoldenMatrix(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "sched_golden.json")
+	got := make(map[string]string)
+	for _, arch := range schedGoldenArchs {
+		for _, w := range workload.All() {
+			key := fmt.Sprintf("%s/%s", arch, w.Name)
+			got[key] = schedGoldenCell(t, arch, w)
+		}
+	}
+
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		out, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(goldenPath, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (run with -update to generate): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cells, matrix produced %d", len(want), len(got))
+	}
+	for key, wd := range want {
+		if gd, ok := got[key]; !ok {
+			t.Errorf("%s: missing from run", key)
+		} else if gd != wd {
+			t.Errorf("%s: simulated output diverged from pre-rework golden (digest %s, want %s)", key, gd[:12], wd[:12])
+		}
+	}
+}
