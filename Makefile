@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke clean gitignore-check
+.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate clean gitignore-check
 
 all: build test
 
@@ -52,15 +52,22 @@ cache-ci:
 	$(GO) run ./internal/tools/cachecheck -stats $(CACHECI_DIR)/pass2.json -min 0.9
 	rm -rf $(CACHECI_DIR)
 
-# Extended gate: static checks, the race suite, the fuzz smoke, and the
-# cache round-trip smoke. Slower than `make test`; run before sending a
-# change.
-check: docs-check gitignore-check test-race fuzz-smoke cache-smoke
+# Parallel-region identity gate: a K-way parallel-region run must
+# stitch to the bit-identical counter map of a sequential run, and to
+# the architectural results (committed count, output) of one continuous
+# detailed run of the same budget. See internal/experiments/regions.go.
+region-gate:
+	$(GO) test ./internal/experiments -run '^TestRegionStitchedIdentityGate$$' -count=1 -v
+
+# Extended gate: static checks, the race suite, the fuzz smoke, the
+# cache round-trip smoke, and the parallel-region identity gate. Slower
+# than `make test`; run before sending a change.
+check: docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate
 
 # Continuous-integration gate: everything check runs, plus the
 # fixed-seed verification sweep, the run-twice cache round trip, and the
-# throughput smoke gate.
-ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke sweep cache-ci bench-smoke
+# throughput smoke gate (detailed + functional engines).
+ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate sweep cache-ci bench-smoke
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.
@@ -85,7 +92,7 @@ bench-smoke:
 # target filename when the tree's performance character changes; older
 # BENCH_N.json files stay committed as the trajectory.
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_4.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_5.json
 
 # Full paper evaluation at the default commit budget.
 experiments:

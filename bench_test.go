@@ -293,6 +293,49 @@ func BenchmarkEmulator(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
 }
 
+// BenchmarkEmuFastRun measures the fast functional engine (predecoded
+// micro-op array, tight dispatch loop — the fast-forward path) on the
+// same workload as BenchmarkSimThroughput. Each op is exactly 100k
+// executed instructions, so ns/op / 100000 is ns per simulated
+// instruction; cmd/benchsmoke gates both this engine's absolute
+// throughput and its speedup over the detailed core.
+func BenchmarkEmuFastRun(b *testing.B) {
+	bench, err := workload.ByName("crafty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := bench.Build(minic.ABIFlat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 100_000
+	m := emu.New(prog, emu.Config{})
+	if _, err := m.FastRun(budget); err != nil { // warm up: predecode, touch pages
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		need := uint64(budget)
+		for need > 0 {
+			ran, err := m.FastRun(need)
+			if err != nil {
+				b.Fatal(err)
+			}
+			need -= ran
+			if ex, _ := m.Exited(); ex {
+				m = emu.New(prog, emu.Config{})
+			}
+		}
+		insts += budget
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(insts), "ns/inst")
+	if sec > 0 {
+		b.ReportMetric(float64(insts)/sec/1e6, "funcMIPS")
+	}
+}
+
 // BenchmarkSimThroughput is the repo's tracked perf headline: simulated
 // MIPS (committed instructions per host second) of the detailed core on
 // the cmd/experiments entry-point configuration, co-simulation on — the

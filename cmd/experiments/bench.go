@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vca/internal/core"
+	"vca/internal/emu"
 	"vca/internal/minic"
 	"vca/internal/program"
 	"vca/internal/simcache"
@@ -18,6 +19,11 @@ import (
 // matches the per-run budget of the detailed experiments so the recorded
 // MIPS numbers describe the same work every figure pays for.
 const benchStop = 100_000
+
+// funcBenchBudget is the instruction budget of the functional A/B leg:
+// larger than benchStop so the tens-of-MIPS engine accumulates enough
+// wall time (tens of milliseconds) to measure stably.
+const funcBenchBudget = 2_000_000
 
 // benchRow is one (architecture, workload) point of the matrix.
 type benchRow struct {
@@ -42,18 +48,28 @@ var benchMatrix = []benchRow{
 // benchResult is one measured row of the JSON report. Since schema 2 a
 // row also carries the full event-counter map of the measured run (see
 // docs/OBSERVABILITY.md), so a throughput regression can be traced to
-// the microarchitectural event mix that caused it.
+// the microarchitectural event mix that caused it. Since schema 4 a row
+// carries the functional A/B leg: the fast engine (emu.FastRun, the
+// fast-forward path) timed on the same workload, and its speedup over
+// the detailed core measured in the same invocation on the same host.
 type benchResult struct {
-	Name          string            `json:"name"`
-	PhysRegs      int               `json:"phys_regs"`
-	Workload      string            `json:"workload"`
-	StopAfter     uint64            `json:"stop_after"`
-	Committed     uint64            `json:"committed"`
-	Cycles        uint64            `json:"cycles"`
-	WallSeconds   float64           `json:"wall_seconds"`
-	SimMIPS       float64           `json:"sim_mips"`
-	AllocsPerInst float64           `json:"allocs_per_inst"`
-	Counters      map[string]uint64 `json:"counters,omitempty"`
+	Name          string  `json:"name"`
+	PhysRegs      int     `json:"phys_regs"`
+	Workload      string  `json:"workload"`
+	StopAfter     uint64  `json:"stop_after"`
+	Committed     uint64  `json:"committed"`
+	Cycles        uint64  `json:"cycles"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	SimMIPS       float64 `json:"sim_mips"`
+	AllocsPerInst float64 `json:"allocs_per_inst"`
+	// FuncInsts instructions ran on the fast functional engine in
+	// FuncWallSeconds, giving FuncMIPS; FuncSpeedup is ns-per-inst of
+	// the detailed run divided by ns-per-inst of the functional run.
+	FuncInsts       uint64            `json:"func_insts"`
+	FuncWallSeconds float64           `json:"func_wall_seconds"`
+	FuncMIPS        float64           `json:"func_mips"`
+	FuncSpeedup     float64           `json:"func_speedup"`
+	Counters        map[string]uint64 `json:"counters,omitempty"`
 }
 
 // benchReport is the BENCH_*.json schema.
@@ -61,7 +77,9 @@ type benchResult struct {
 // Schema history: 2 added per-row counter maps; 3 added GoMaxProcs
 // (NumCPU alone misattributed capped-GOMAXPROCS runs: the harness
 // parallelizes with runtime.GOMAXPROCS(0), not runtime.NumCPU()) and
-// the simcache traffic block.
+// the simcache traffic block; 4 added the functional A/B leg
+// (func_insts/func_wall_seconds/func_mips/func_speedup per row and
+// mean_func_mips/mean_func_speedup).
 type benchReport struct {
 	Schema int    `json:"schema"`
 	GOOS   string `json:"goos"`
@@ -75,7 +93,32 @@ type benchReport struct {
 	Rows             []benchResult     `json:"rows"`
 	TotalWallSeconds float64           `json:"total_wall_seconds"`
 	MeanSimMIPS      float64           `json:"mean_sim_mips"`
+	MeanFuncMIPS     float64           `json:"mean_func_mips"`
+	MeanFuncSpeedup  float64           `json:"mean_func_speedup"`
 	Cache            map[string]uint64 `json:"cache,omitempty"` // simcache.* traffic counters of this invocation
+}
+
+// funcBench times the fast functional engine executing budget
+// instructions of prog (restarting the program if it exits early, so
+// exactly budget instructions are measured).
+func funcBench(prog *program.Program, windowed bool, budget uint64) (insts uint64, wall float64, err error) {
+	m := emu.New(prog, emu.Config{Windowed: windowed})
+	if _, err := m.FastRun(benchStop); err != nil { // warm up: predecode, touch pages
+		return 0, 0, err
+	}
+	start := time.Now()
+	need := budget
+	for need > 0 {
+		ran, err := m.FastRun(need)
+		if err != nil {
+			return 0, 0, err
+		}
+		need -= ran
+		if ex, _ := m.Exited(); ex {
+			m = emu.New(prog, emu.Config{Windowed: windowed})
+		}
+	}
+	return budget, time.Since(start).Seconds(), nil
 }
 
 // benchJSON measures simulator throughput (simulated MIPS = committed
@@ -88,14 +131,14 @@ type benchReport struct {
 // against how much simulation actually ran.
 func benchJSON(path string, cache *simcache.Cache) error {
 	rep := benchReport{
-		Schema:     3,
+		Schema:     4,
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		CoSim:      true,
 	}
-	var mipsSum float64
+	var mipsSum, funcMipsSum, funcSpeedupSum float64
 	for _, row := range benchMatrix {
 		bench, err := workload.ByName(row.Workload)
 		if err != nil {
@@ -147,14 +190,32 @@ func benchJSON(path string, cache *simcache.Cache) error {
 		if committed > 0 {
 			res.AllocsPerInst = float64(ms1.Mallocs-ms0.Mallocs) / float64(committed)
 		}
+
+		fInsts, fWall, err := funcBench(prog, windowed, funcBenchBudget)
+		if err != nil {
+			return err
+		}
+		res.FuncInsts = fInsts
+		res.FuncWallSeconds = fWall
+		if fWall > 0 {
+			res.FuncMIPS = float64(fInsts) / fWall / 1e6
+		}
+		if res.SimMIPS > 0 {
+			res.FuncSpeedup = res.FuncMIPS / res.SimMIPS
+		}
+
 		rep.Rows = append(rep.Rows, res)
-		rep.TotalWallSeconds += wall
+		rep.TotalWallSeconds += wall + fWall
 		mipsSum += res.SimMIPS
-		fmt.Fprintf(os.Stderr, "bench %-26s %8d inst  %6.3fs  %6.3f simMIPS  %.3f allocs/inst\n",
-			row.Name, committed, wall, res.SimMIPS, res.AllocsPerInst)
+		funcMipsSum += res.FuncMIPS
+		funcSpeedupSum += res.FuncSpeedup
+		fmt.Fprintf(os.Stderr, "bench %-26s %8d inst  %6.3fs  %6.3f simMIPS  %.3f allocs/inst  | func %6.1f MIPS  %5.1fx\n",
+			row.Name, committed, wall, res.SimMIPS, res.AllocsPerInst, res.FuncMIPS, res.FuncSpeedup)
 	}
 	if len(rep.Rows) > 0 {
 		rep.MeanSimMIPS = mipsSum / float64(len(rep.Rows))
+		rep.MeanFuncMIPS = funcMipsSum / float64(len(rep.Rows))
+		rep.MeanFuncSpeedup = funcSpeedupSum / float64(len(rep.Rows))
 	}
 	if cache != nil {
 		// Zero hits here is the desired proof: every row above was

@@ -7,6 +7,9 @@
 //	vcasim -bench crafty,mesa -arch vca-flat -regs 192          # 2-thread SMT
 //	vcasim -bench gcc_expr -arch vca-windowed -stats stats.json # counter dump
 //	vcasim -bench twolf -stop 20000 -chrometrace trace.json     # Perfetto timeline
+//	vcasim -bench crafty -fastforward 1000000 -stop 50000       # skip warmup functionally
+//	vcasim -bench crafty -fastforward 1000000 -checkpoint ck.json
+//	vcasim -bench crafty -restore ck.json -stop 50000           # resume from the image
 //	vcasim -list
 //
 // The counter catalogue and the trace-viewer workflow are documented in
@@ -39,6 +42,10 @@ var (
 
 	flagCache    = flag.Bool("cache", false, "memoize the run in the on-disk result cache (ignored with -trace/-stats/-chrometrace, which need a live run)")
 	flagCacheDir = flag.String("cachedir", ".simcache", "result cache directory for -cache")
+
+	flagFastForward = flag.Uint64("fastforward", 0, "skip the first N instructions of every thread at functional speed before detailed simulation")
+	flagCheckpoint  = flag.String("checkpoint", "", "write the fast-forwarded architectural state to this file (single thread, requires -fastforward)")
+	flagRestore     = flag.String("restore", "", "start the detailed run from a checkpoint file instead of reset (single thread, excludes -fastforward/-checkpoint)")
 )
 
 func main() {
@@ -84,11 +91,50 @@ func main() {
 		names = append(names, b.Name)
 	}
 
+	if *flagCheckpoint != "" && *flagFastForward == 0 {
+		fail(fmt.Errorf("-checkpoint requires -fastforward (nothing to capture at instruction 0)"))
+	}
+	if *flagRestore != "" && (*flagFastForward > 0 || *flagCheckpoint != "") {
+		fail(fmt.Errorf("-restore starts from an existing image; it excludes -fastforward and -checkpoint"))
+	}
+	if *flagChrome != "" && (*flagFastForward > 0 || *flagRestore != "") {
+		fail(fmt.Errorf("-chrometrace cannot record a run that starts mid-program; drop -fastforward/-restore"))
+	}
+	if (*flagCheckpoint != "" || *flagRestore != "") && len(progs) != 1 {
+		fail(fmt.Errorf("-checkpoint/-restore operate on a single-thread run, got %d threads", len(progs)))
+	}
+
 	spec := vca.MachineSpec{
 		Arch:      arch,
 		PhysRegs:  *flagRegs,
 		DL1Ports:  *flagPorts,
 		StopAfter: *flagStop,
+	}
+	switch {
+	case *flagRestore != "":
+		ck, err := vca.LoadCheckpoint(*flagRestore)
+		if err != nil {
+			fail(err)
+		}
+		spec.Restore = []*vca.Checkpoint{ck}
+		fmt.Fprintf(os.Stderr, "vcasim: restored %s at instruction %d from %s\n", ck.Program, ck.Insts, *flagRestore)
+	case *flagCheckpoint != "":
+		// Fast-forward here (not inside Run) so the image can be saved.
+		ck, err := vca.FastForward(progs[0], arch.Windowed(), *flagFastForward)
+		if err != nil {
+			fail(err)
+		}
+		if err := vca.SaveCheckpoint(*flagCheckpoint, ck); err != nil {
+			fail(err)
+		}
+		addr, err := ck.ContentAddress()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "vcasim: wrote checkpoint %s (inst %d, state %.12s)\n", *flagCheckpoint, ck.Insts, addr)
+		spec.Restore = []*vca.Checkpoint{ck}
+	case *flagFastForward > 0:
+		spec.FastForward = *flagFastForward
 	}
 	if *flagTrace {
 		spec.Trace = os.Stderr
@@ -127,6 +173,9 @@ func main() {
 	}
 
 	fmt.Printf("arch=%s regs=%d ports=%d threads=%d\n", arch, *flagRegs, *flagPorts, len(progs))
+	if *flagFastForward > 0 {
+		fmt.Printf("fastforward=%d (functional; cycles and counters below cover the detailed region only)\n", *flagFastForward)
+	}
 	fmt.Printf("cycles=%d  IPC=%.3f\n", res.Cycles, res.IPC())
 	for i, t := range res.Threads {
 		fmt.Printf("thread %d (%s): committed=%d CPI=%.3f done=%v output=%q\n",

@@ -24,6 +24,15 @@ func (m *Machine) commitStage() {
 		}
 		th := m.threads[u.thread]
 
+		// Exact-stop freeze: once a thread has committed its full budget,
+		// no further real instruction of that thread may retire (injected
+		// window-trap operations still drain — they are architectural
+		// bookkeeping of an already-committed call/return). The ROB is
+		// shared and in-order, so freezing the head freezes the stage.
+		if m.cfg.StopExact && m.cfg.StopAfter > 0 && !u.injected && th.committed >= m.cfg.StopAfter {
+			return
+		}
+
 		if u.isStore() {
 			if m.dl1Ports == 0 {
 				if n == 0 {
@@ -74,6 +83,13 @@ func (m *Machine) commitStage() {
 			}
 			th.committed++
 			m.stats.Committed[th.id]++
+			if u.isCtl {
+				th.commitPC = u.actualNPC
+			} else {
+				th.commitPC = u.pc + 4
+			}
+		} else {
+			th.injectedLive--
 		}
 		if m.cfg.TraceWriter != nil {
 			m.traceCommit(m.cfg.TraceWriter, th, u)
@@ -190,6 +206,7 @@ func (m *Machine) newInjectedUop(th *thread, store bool, logical int, addr uint6
 	iu.injAddr = addr
 	iu.destPhys, iu.destPrev = rename.PhysNone, rename.PhysNone
 	iu.srcPhys[0], iu.srcPhys[1] = rename.PhysNone, rename.PhysNone
+	th.injectedLive++
 	return iu
 }
 

@@ -20,8 +20,11 @@ import (
 //	1  PR 1 fast-path core (pooled uops, word-granular memory)
 //	2  PR 2 event-counter registry (no timing change, counters added)
 //	3  PR 3 invariant checker (opt-in, no timing change)
-//	4  PR 4 this version: first memoized release
-const SchemaVersion = 4
+//	4  PR 4 first memoized release
+//	5  PR 6 this version: StopExact commit freeze, checkpoint
+//	   injection/extraction (no timing change for default configs, but
+//	   Config gained a semantic field)
+const SchemaVersion = 5
 
 // fingerprintSkip lists Config fields that do not influence simulated
 // results and therefore must not contribute to a result-cache key:

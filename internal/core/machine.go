@@ -23,6 +23,7 @@ type thread struct {
 	mem  *mem.Memory
 
 	pc       uint64
+	commitPC uint64 // next PC in committed order (checkpoint extraction)
 	done     bool
 	exitCode int64
 	output   bytes.Buffer
@@ -51,6 +52,7 @@ type thread struct {
 	// window's worth of slots at once).
 	pendingInject []*uop
 	injectHead    int
+	injectedLive  int // injected uops created but not yet committed
 
 	windowed bool // this thread's binary uses the windowed ABI
 
@@ -227,6 +229,7 @@ func New(cfg Config, progs []*program.Program, windowed bool) (*Machine, error) 
 			meta:     p.Meta(),
 			mem:      mem.NewMemory(),
 			pc:       p.Entry,
+			commitPC: p.Entry,
 			windowed: windowed,
 			memTag:   uint64(t) << 44,
 		}
@@ -366,6 +369,14 @@ func (m *Machine) Run() (*Result, error) {
 		if m.cfg.StopAfter > 0 {
 			for _, th := range m.threads {
 				if th.committed >= m.cfg.StopAfter {
+					// Under StopExact the boundary must leave committed
+					// window state whole: when the budget lands on a
+					// trapping call/return, keep cycling until the trap's
+					// injected spill/fill operations have all committed
+					// (commit of real instructions stays frozen).
+					if m.cfg.StopExact && th.injectedLive > 0 {
+						continue
+					}
 					return m.result(), nil
 				}
 			}

@@ -121,6 +121,12 @@ func (m *Machine) rollbackUop(th *thread, v *uop) {
 	if !v.issued && !v.injected {
 		th.inFlight--
 	}
+	if v.injected {
+		// Unreachable in practice (injected operations are always the
+		// oldest in-flight work of their thread), but keep the drain
+		// counter conservative if that ever changes.
+		th.injectedLive--
+	}
 	if v.inIQ {
 		v.inIQ = false
 		m.iqCount--

@@ -99,6 +99,7 @@ type Machine struct {
 	mem  *mem.Memory
 	text []isa.Inst
 	meta []isa.Meta // predecoded operand/class view, index-aligned with text
+	fast []fastOp   // FastRun's micro-op array, built lazily (fast.go)
 
 	pc      uint64
 	globals [isa.GlobalSlots]uint64
@@ -109,6 +110,14 @@ type Machine struct {
 	windows []frame
 	depth   int // index of current frame
 	cur     *frame
+	// wmask is index-aligned with windows: bit s of wmask[d] is set once
+	// frame d's slot s has been written since the frame was pushed. It
+	// distinguishes live slots from architecturally-dead ones (fresh
+	// frames read as zero here, but a detailed machine may hold stale
+	// junk in never-written slots); checkpoint extraction uses it to
+	// canonicalize dead slots. curMask caches &wmask[depth].
+	wmask   []uint32
+	curMask *uint32
 
 	Stats    Stats
 	Output   bytes.Buffer
@@ -146,8 +155,10 @@ func New(p *program.Program, cfg Config) *Machine {
 		meta:    p.Meta(),
 		pc:      p.Entry,
 		windows: make([]frame, 1, 64),
+		wmask:   make([]uint32, 1, 64),
 	}
 	m.cur = &m.windows[0]
+	m.curMask = &m.wmask[0]
 	p.LoadInto(m.mem)
 	m.WriteReg(isa.RegSP, cfg.StackTop)
 	return m
@@ -208,6 +219,7 @@ func (m *Machine) WriteReg(r isa.Reg, v uint64) {
 	}
 	if s < isa.WindowSlots {
 		m.cur[s] = v
+		*m.curMask |= 1 << uint(s)
 		return
 	}
 	m.globals[s-isa.WindowSlots] = v
@@ -220,10 +232,13 @@ func (m *Machine) pushWindow() {
 	m.depth++
 	if m.depth == len(m.windows) {
 		m.windows = append(m.windows, frame{})
+		m.wmask = append(m.wmask, 0)
 	} else {
 		m.windows[m.depth] = frame{}
+		m.wmask[m.depth] = 0
 	}
 	m.cur = &m.windows[m.depth]
+	m.curMask = &m.wmask[m.depth]
 	if m.depth > m.Stats.MaxCallDepth {
 		m.Stats.MaxCallDepth = m.depth
 	}
@@ -238,6 +253,7 @@ func (m *Machine) popWindow() error {
 	}
 	m.depth--
 	m.cur = &m.windows[m.depth]
+	m.curMask = &m.wmask[m.depth]
 	return nil
 }
 

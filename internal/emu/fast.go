@@ -1,0 +1,394 @@
+// The fast functional engine: a predecoded, operand-resolved micro-op
+// array driven by a tight switch-dispatch loop. Step/StepInto remain the
+// reference interpreter (and the co-simulation oracle); FastRun is the
+// throughput path used for fast-forward warmup and for manufacturing
+// region checkpoints, and is differentially tested against StepInto
+// instruction-by-instruction (fast_test.go).
+//
+// Predecode resolves, once per static instruction, everything StepInto
+// re-derives per dynamic instruction: register operands become direct
+// frame/global slot indices (regSlot applied at build time), pc-relative
+// control targets are pre-linked to absolute addresses, the hottest ALU
+// shapes and all six branch conditions get their own dispatch kinds so
+// the common path never calls EvalALU or BranchTaken, and window
+// push/pop is specialized into the call/ret cases. The loop keeps its
+// statistics in locals and flushes them on exit, so steady-state
+// execution performs no per-instruction allocation at all (enforced by
+// TestFastRunZeroAlloc).
+package emu
+
+import (
+	"fmt"
+
+	"vca/internal/isa"
+)
+
+// fastKind is the dispatch code of one predecoded micro-op.
+type fastKind uint8
+
+const (
+	// fkInvalid marks an undecodable word: executing it reproduces
+	// StepInto's "invalid instruction" error (no instruction counted).
+	fkInvalid fastKind = iota
+	// fkUnhandled marks a valid opcode whose class the interpreter does
+	// not execute; it counts the instruction and then errors, exactly as
+	// StepInto's default case does.
+	fkUnhandled
+	fkALU    // generic integer reg-reg ALU via EvalALU
+	fkALUImm // generic integer reg-imm ALU via EvalALU
+	fkALUFP  // generic floating-point ALU via EvalALU
+	fkAdd    // specialized: add
+	fkAddImm // specialized: addi
+	fkSub    // specialized: sub
+	fkLoad   // memory load (size/sign in memBytes/memSigned)
+	fkStore  // memory store
+	fkBeq    // specialized branches: condition inline, target pre-linked
+	fkBne
+	fkBlt
+	fkBle
+	fkBgt
+	fkBge
+	fkJump    // direct jump, target pre-linked
+	fkJumpInd // register-indirect jump
+	fkCall    // direct call: writes ra, pushes a window frame if windowed
+	fkCallInd // register-indirect call
+	fkRet     // return: pops a window frame if windowed
+	fkSyscall // syscall, code in imm
+)
+
+// fastOp is one predecoded micro-op. Operand fields hold resolved regSlot
+// indices (-1 = zero register / absent: reads yield 0, writes discard).
+// imm is overloaded by kind: the ALU immediate operand, the sign-extended
+// memory displacement, the pre-linked absolute control target, or the
+// syscall code.
+type fastOp struct {
+	imm        uint64
+	op         isa.Op
+	kind       fastKind
+	srcA, srcB int8
+	dest       int8
+	memBytes   uint8
+	memSigned  bool
+}
+
+// buildFast predecodes the program text into the micro-op array. The
+// array is built lazily on the first FastRun and is immutable afterwards
+// (text never changes).
+func (m *Machine) buildFast() {
+	ops := make([]fastOp, len(m.text))
+	for i := range m.text {
+		inst := m.text[i]
+		mt := &m.meta[i]
+		pc := m.prog.TextBase + uint64(i)*4
+		f := &ops[i]
+		f.op = inst.Op
+		if !inst.Op.Valid() {
+			f.kind = fkInvalid
+			continue
+		}
+		switch mt.Class {
+		case isa.ClassIntALU, isa.ClassIntMul, isa.ClassIntDiv,
+			isa.ClassFPALU, isa.ClassFPMul, isa.ClassFPDiv:
+			f.srcA = regSlot[mt.SrcA]
+			f.srcB = regSlot[mt.SrcB]
+			f.dest = regSlot[mt.Dest]
+			fp := mt.Class > isa.ClassIntDiv
+			switch {
+			case mt.HasImm:
+				f.imm = mt.Imm
+				if inst.Op == isa.OpAddI {
+					f.kind = fkAddImm
+				} else {
+					f.kind = fkALUImm
+				}
+			case fp:
+				f.kind = fkALUFP
+			case inst.Op == isa.OpAdd:
+				f.kind = fkAdd
+			case inst.Op == isa.OpSub:
+				f.kind = fkSub
+			default:
+				f.kind = fkALU
+			}
+		case isa.ClassLoad:
+			f.kind = fkLoad
+			f.srcA = regSlot[mt.SrcA]
+			f.dest = regSlot[mt.Dest]
+			f.imm = uint64(int64(inst.Imm))
+			f.memBytes = mt.MemBytes
+			f.memSigned = mt.MemSigned
+		case isa.ClassStore:
+			f.kind = fkStore
+			f.srcA = regSlot[mt.SrcA]
+			f.srcB = regSlot[mt.SrcB]
+			f.imm = uint64(int64(inst.Imm))
+			f.memBytes = mt.MemBytes
+		case isa.ClassBranch:
+			f.srcA = regSlot[mt.SrcA]
+			f.imm, _ = inst.ControlTarget(pc)
+			switch inst.Op {
+			case isa.OpBeq:
+				f.kind = fkBeq
+			case isa.OpBne:
+				f.kind = fkBne
+			case isa.OpBlt:
+				f.kind = fkBlt
+			case isa.OpBle:
+				f.kind = fkBle
+			case isa.OpBgt:
+				f.kind = fkBgt
+			case isa.OpBge:
+				f.kind = fkBge
+			default:
+				f.kind = fkUnhandled
+			}
+		case isa.ClassJump:
+			if inst.Op == isa.OpJmp {
+				f.kind = fkJump
+				f.imm, _ = inst.ControlTarget(pc)
+			} else {
+				f.kind = fkJumpInd
+				f.srcA = regSlot[mt.SrcA]
+			}
+		case isa.ClassCall:
+			if inst.Op == isa.OpJsr {
+				f.kind = fkCall
+				f.imm, _ = inst.ControlTarget(pc)
+			} else {
+				f.kind = fkCallInd
+				f.srcA = regSlot[mt.SrcA]
+			}
+			f.dest = regSlot[isa.RegRA]
+		case isa.ClassRet:
+			f.kind = fkRet
+			f.srcA = regSlot[mt.SrcA]
+		case isa.ClassSyscall:
+			f.kind = fkSyscall
+			f.imm = uint64(int64(inst.Imm))
+		default:
+			f.kind = fkUnhandled
+		}
+	}
+	m.fast = ops
+}
+
+// rslot reads a resolved register slot (-1 = zero register).
+func (m *Machine) rslot(s int8) uint64 {
+	if s < 0 {
+		return 0
+	}
+	if s < isa.WindowSlots {
+		return m.cur[s]
+	}
+	return m.globals[s-isa.WindowSlots]
+}
+
+// wslot writes a resolved register slot (-1 discards).
+func (m *Machine) wslot(s int8, v uint64) {
+	if s < 0 {
+		return
+	}
+	if s < isa.WindowSlots {
+		m.cur[s] = v
+		*m.curMask |= 1 << uint(s)
+		return
+	}
+	m.globals[s-isa.WindowSlots] = v
+}
+
+// FastRun executes up to n instructions through the predecoded engine and
+// returns how many actually executed. It stops early — with executed < n
+// and a nil error — when the program exits; it stops with an error on
+// exactly the conditions StepInto errors on (invalid instruction, pc
+// outside text, window underflow, bad syscall), leaving the machine in
+// the same state the interpreter would. Architectural state, statistics,
+// and output after FastRun(n) are bit-identical to n StepInto calls
+// (enforced by the lockstep differential test). FastRun ignores
+// Config.MaxInsts: the caller's n is the budget.
+func (m *Machine) FastRun(n uint64) (executed uint64, err error) {
+	if m.exited {
+		return 0, fmt.Errorf("emu: program has exited")
+	}
+	if m.fast == nil {
+		m.buildFast()
+	}
+	var (
+		ops  = m.fast
+		base = m.prog.TextBase
+		pc   = m.pc
+		mmem = m.mem
+
+		insts, intOps, fpOps  uint64
+		loads, stores         uint64
+		condBr, takenBr       uint64
+		calls, rets, syscalls uint64
+	)
+	// Locals are flushed on every exit path, including errors, so partial
+	// progress is always visible — same as stepping individually.
+	defer func() {
+		m.pc = pc
+		m.Stats.Insts += insts
+		m.Stats.IntOps += intOps
+		m.Stats.FPOps += fpOps
+		m.Stats.Loads += loads
+		m.Stats.Stores += stores
+		m.Stats.CondBranches += condBr
+		m.Stats.TakenCond += takenBr
+		m.Stats.Calls += calls
+		m.Stats.Returns += rets
+		m.Stats.Syscalls += syscalls
+	}()
+
+	for executed < n {
+		idx := (pc - base) >> 2
+		if idx >= uint64(len(ops)) || pc&3 != 0 {
+			return executed, fmt.Errorf("emu: pc %#x outside text (%s)", pc, m.prog.SymbolFor(pc))
+		}
+		f := &ops[idx]
+		switch f.kind {
+		case fkAddImm:
+			m.wslot(f.dest, m.rslot(f.srcA)+f.imm)
+			intOps++
+			pc += 4
+		case fkAdd:
+			m.wslot(f.dest, m.rslot(f.srcA)+m.rslot(f.srcB))
+			intOps++
+			pc += 4
+		case fkSub:
+			m.wslot(f.dest, m.rslot(f.srcA)-m.rslot(f.srcB))
+			intOps++
+			pc += 4
+		case fkALU:
+			m.wslot(f.dest, isa.EvalALU(f.op, m.rslot(f.srcA), m.rslot(f.srcB)))
+			intOps++
+			pc += 4
+		case fkALUImm:
+			m.wslot(f.dest, isa.EvalALU(f.op, m.rslot(f.srcA), f.imm))
+			intOps++
+			pc += 4
+		case fkALUFP:
+			m.wslot(f.dest, isa.EvalALU(f.op, m.rslot(f.srcA), m.rslot(f.srcB)))
+			fpOps++
+			pc += 4
+
+		case fkLoad:
+			raw := mmem.Read(m.rslot(f.srcA)+f.imm, int(f.memBytes))
+			if f.memSigned {
+				raw = uint64(int64(int32(raw)))
+			}
+			m.wslot(f.dest, raw)
+			loads++
+			pc += 4
+		case fkStore:
+			mmem.Write(m.rslot(f.srcA)+f.imm, int(f.memBytes), m.rslot(f.srcB))
+			stores++
+			pc += 4
+
+		case fkBeq:
+			condBr++
+			if int64(m.rslot(f.srcA)) == 0 {
+				takenBr++
+				pc = f.imm
+			} else {
+				pc += 4
+			}
+		case fkBne:
+			condBr++
+			if int64(m.rslot(f.srcA)) != 0 {
+				takenBr++
+				pc = f.imm
+			} else {
+				pc += 4
+			}
+		case fkBlt:
+			condBr++
+			if int64(m.rslot(f.srcA)) < 0 {
+				takenBr++
+				pc = f.imm
+			} else {
+				pc += 4
+			}
+		case fkBle:
+			condBr++
+			if int64(m.rslot(f.srcA)) <= 0 {
+				takenBr++
+				pc = f.imm
+			} else {
+				pc += 4
+			}
+		case fkBgt:
+			condBr++
+			if int64(m.rslot(f.srcA)) > 0 {
+				takenBr++
+				pc = f.imm
+			} else {
+				pc += 4
+			}
+		case fkBge:
+			condBr++
+			if int64(m.rslot(f.srcA)) >= 0 {
+				takenBr++
+				pc = f.imm
+			} else {
+				pc += 4
+			}
+
+		case fkJump:
+			pc = f.imm
+		case fkJumpInd:
+			pc = m.rslot(f.srcA)
+
+		case fkCall:
+			m.wslot(f.dest, pc+4)
+			m.pushWindow()
+			calls++
+			pc = f.imm
+		case fkCallInd:
+			t := m.rslot(f.srcA)
+			m.wslot(f.dest, pc+4)
+			m.pushWindow()
+			calls++
+			pc = t
+		case fkRet:
+			t := m.rslot(f.srcA)
+			if m.cfg.Windowed {
+				if m.depth == 0 {
+					// Match popWindow's error (StepInto counts the
+					// instruction before popping).
+					insts++
+					return executed, fmt.Errorf("emu: register window underflow at pc %#x", pc)
+				}
+				m.depth--
+				m.cur = &m.windows[m.depth]
+				m.curMask = &m.wmask[m.depth]
+			}
+			rets++
+			pc = t
+
+		case fkSyscall:
+			// syscall reads registers and reports errors against m.pc.
+			m.pc = pc
+			if err := m.syscall(int32(f.imm)); err != nil {
+				insts++ // StepInto counts the instruction before the error
+				return executed, err
+			}
+			syscalls++
+			insts++
+			executed++
+			pc += 4
+			if m.exited {
+				return executed, nil
+			}
+			continue
+
+		case fkInvalid:
+			return executed, fmt.Errorf("emu: invalid instruction at %#x (%s)", pc, m.prog.SymbolFor(pc))
+		default: // fkUnhandled
+			insts++
+			return executed, fmt.Errorf("emu: unhandled class for %v at %#x", f.op, pc)
+		}
+		insts++
+		executed++
+	}
+	return executed, nil
+}

@@ -1,0 +1,181 @@
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vca/internal/asm"
+	"vca/internal/progen"
+	"vca/internal/program"
+)
+
+// compareMachines fails the test at the first architectural difference
+// between the reference interpreter and the fast engine: pc, statistics,
+// window depth, every live register, output, and exit state. Memory is
+// compared only when deep is set (snapshotting is too expensive per
+// step).
+func compareMachines(t *testing.T, tag string, ref, fast *Machine, deep bool) {
+	t.Helper()
+	if ref.pc != fast.pc {
+		t.Fatalf("%s: pc: interpreter %#x, fast %#x", tag, ref.pc, fast.pc)
+	}
+	if ref.Stats != fast.Stats {
+		t.Fatalf("%s: stats: interpreter %+v, fast %+v", tag, ref.Stats, fast.Stats)
+	}
+	if ref.depth != fast.depth {
+		t.Fatalf("%s: depth: interpreter %d, fast %d", tag, ref.depth, fast.depth)
+	}
+	if ref.globals != fast.globals {
+		t.Fatalf("%s: globals diverged", tag)
+	}
+	for d := 0; d <= ref.depth; d++ {
+		if ref.windows[d] != fast.windows[d] {
+			t.Fatalf("%s: window frame %d diverged", tag, d)
+		}
+		if ref.wmask[d] != fast.wmask[d] {
+			t.Fatalf("%s: window write mask %d: interpreter %#x, fast %#x", tag, d, ref.wmask[d], fast.wmask[d])
+		}
+	}
+	if ref.Output.String() != fast.Output.String() {
+		t.Fatalf("%s: output: interpreter %q, fast %q", tag, ref.Output.String(), fast.Output.String())
+	}
+	re, rc := ref.Exited()
+	fe, fc := fast.Exited()
+	if re != fe || rc != fc {
+		t.Fatalf("%s: exit state: interpreter (%v,%d), fast (%v,%d)", tag, re, rc, fe, fc)
+	}
+	if deep && !ref.mem.EqualContents(fast.mem) {
+		t.Fatalf("%s: memory diverged", tag)
+	}
+}
+
+// lockstep drives the same program through StepInto and FastRun(1) and
+// compares full architectural state after every instruction, then does a
+// final deep (memory) comparison.
+func lockstep(t *testing.T, prog *program.Program, windowed bool, budget int) {
+	t.Helper()
+	ref := New(prog, Config{Windowed: windowed})
+	fast := New(prog, Config{Windowed: windowed})
+	var info StepInfo
+	for i := 0; i < budget; i++ {
+		errR := ref.StepInto(&info)
+		_, errF := fast.FastRun(1)
+		if (errR == nil) != (errF == nil) {
+			t.Fatalf("step %d: interpreter err %v, fast err %v", i, errR, errF)
+		}
+		if errR != nil {
+			if errR.Error() != errF.Error() {
+				t.Fatalf("step %d: error text: interpreter %q, fast %q", i, errR, errF)
+			}
+			break
+		}
+		compareMachines(t, fmt.Sprintf("step %d (pc %#x)", i, info.PC), ref, fast, false)
+		if ex, _ := ref.Exited(); ex {
+			break
+		}
+	}
+	compareMachines(t, "final", ref, fast, true)
+}
+
+// TestFastRunLockstepProgen differentially tests FastRun against the
+// reference interpreter instruction-by-instruction over randomly
+// generated programs, in both ABI variants (progen output is dual-ABI
+// safe: the same source runs flat and windowed).
+func TestFastRunLockstepProgen(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		r := rand.New(rand.NewSource(seed))
+		gcfg := progen.Config{Helpers: 3, WindowLadder: 5, Recursion: true,
+			MaxRecDepth: 6, Blocks: 24, Loops: true, Aliasing: true}
+		src := progen.Generate(r, gcfg)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+		}
+		for _, windowed := range []bool{false, true} {
+			t.Run(fmt.Sprintf("seed%d/windowed=%v", seed, windowed), func(t *testing.T) {
+				lockstep(t, prog, windowed, 50_000)
+			})
+		}
+	}
+}
+
+// TestFastRunBatchEquivalence runs the fast engine in large batches (the
+// way fast-forward uses it) and checks the end state matches a pure
+// StepInto run — catching anything that only breaks across batch
+// boundaries (stat flushing, pc handoff, window state caching).
+func TestFastRunBatchEquivalence(t *testing.T) {
+	for _, seed := range []int64{7, 11} {
+		src := progen.FromSeed(seed)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		for _, windowed := range []bool{false, true} {
+			ref := New(prog, Config{Windowed: windowed})
+			fast := New(prog, Config{Windowed: windowed})
+			var info StepInfo
+			total := uint64(0)
+			for _, batch := range []uint64{1, 7, 97, 1000, 100_000} {
+				ran, err := fast.FastRun(batch)
+				if err != nil {
+					t.Fatalf("FastRun: %v", err)
+				}
+				for i := uint64(0); i < ran; i++ {
+					if err := ref.StepInto(&info); err != nil {
+						t.Fatalf("StepInto: %v", err)
+					}
+				}
+				total += ran
+				compareMachines(t, fmt.Sprintf("after batch of %d (windowed=%v)", batch, windowed), ref, fast, true)
+				if ran < batch {
+					break // program exited
+				}
+			}
+			if total == 0 {
+				t.Fatal("no instructions executed")
+			}
+		}
+	}
+}
+
+// TestFastRunZeroAlloc pins the fast engine's steady-state allocation
+// behavior: once the micro-op array is built and the working set is
+// touched, FastRun allocates nothing per instruction. This is the
+// functional-engine mirror of the detailed core's 0.05 allocs/inst CI
+// floor — but the floor here is exactly zero.
+func TestFastRunZeroAlloc(t *testing.T) {
+	// A pure compute loop that never exits (FastRun's budget bounds it):
+	// no syscalls, since output formatting allocates.
+	src := `
+	.text
+main:
+	addi t0, zero, 0
+loop:
+	addi t0, t0, 1
+	add  t1, t0, t0
+	sub  t2, t1, t0
+	bne  t0, loop
+	jmp  loop
+`
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(prog, Config{})
+	if _, err := m.FastRun(10_000); err != nil { // warm up: build micro-ops, touch pages
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := m.FastRun(100_000); err != nil {
+			t.Fatalf("FastRun: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FastRun allocates %.2f times per 100k-instruction batch, want 0", allocs)
+	}
+}

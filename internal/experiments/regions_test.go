@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"vca/internal/core"
+	"vca/internal/minic"
+	"vca/internal/program"
+	"vca/internal/simcache"
+	"vca/internal/workload"
+)
+
+// regionMatrixArchs is the architecture axis of the stitched-identity
+// matrix — the same three models the scheduler golden matrix pins.
+var regionMatrixArchs = []Arch{ArchBaseline, ArchVCAFlat, ArchVCAWindow}
+
+func regionCfg(t *testing.T, arch Arch) (core.Config, bool) {
+	t.Helper()
+	physRegs := 256
+	if arch != ArchBaseline {
+		physRegs = 128
+	}
+	cfg, ok := arch.Config(1, physRegs, 2)
+	if !ok {
+		t.Fatalf("%v invalid at %d registers", arch, physRegs)
+	}
+	return cfg, arch.ABI() == minic.ABIWindowed
+}
+
+func buildFor(t *testing.T, b workload.Benchmark, arch Arch) *program.Program {
+	t.Helper()
+	p, err := b.Build(arch.ABI())
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return p
+}
+
+// assertStitchedEqual demands bit-identical stitched results: counter
+// maps, cycles, committed counts, output, exit status.
+func assertStitchedEqual(t *testing.T, tag string, par, seq *RegionResult) {
+	t.Helper()
+	if len(par.Regions) != len(seq.Regions) {
+		t.Fatalf("%s: parallel %d regions, sequential %d", tag, len(par.Regions), len(seq.Regions))
+	}
+	if par.Cycles != seq.Cycles || par.Committed != seq.Committed {
+		t.Errorf("%s: cycles/committed %d/%d parallel vs %d/%d sequential",
+			tag, par.Cycles, par.Committed, seq.Cycles, seq.Committed)
+	}
+	if par.Output != seq.Output {
+		t.Errorf("%s: stitched outputs differ", tag)
+	}
+	if par.Exited != seq.Exited || par.ExitCode != seq.ExitCode {
+		t.Errorf("%s: exit state differs", tag)
+	}
+	if !reflect.DeepEqual(par.Counters, seq.Counters) {
+		for k, v := range par.Counters {
+			if seq.Counters[k] != v {
+				t.Errorf("%s: counter %s: parallel %d, sequential %d", tag, k, v, seq.Counters[k])
+			}
+		}
+		for k, v := range seq.Counters {
+			if _, ok := par.Counters[k]; !ok {
+				t.Errorf("%s: counter %s=%d missing from parallel run", tag, k, v)
+			}
+		}
+		t.Fatalf("%s: stitched counter maps differ", tag)
+	}
+}
+
+// TestRegionStitchedGoldenMatrix proves, across the 45-cell golden
+// matrix (baseline, VCA-flat, VCA-windowed × all 15 workloads), that
+// parallel-region simulation is bit-deterministic: the stitched counter
+// map, cycle count, output, and exit status of a K-way parallel run are
+// identical to the same regions simulated strictly sequentially. The
+// cache is bypassed on both sides, so two real simulations are compared.
+func TestRegionStitchedGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep in -short mode")
+	}
+	opts := RegionOptions{Regions: 3, RegionLen: 2000, NoCache: true}
+	for _, arch := range regionMatrixArchs {
+		cfg, windowed := regionCfg(t, arch)
+		for _, b := range workload.All() {
+			prog := buildFor(t, b, arch)
+			par := opts
+			par.Jobs = 0 // GOMAXPROCS workers
+			pres, err := RunRegions(cfg, prog, windowed, par)
+			if err != nil {
+				t.Fatalf("%v/%s parallel: %v", arch, b.Name, err)
+			}
+			seq := opts
+			seq.Jobs = 1
+			sres, err := RunRegions(cfg, prog, windowed, seq)
+			if err != nil {
+				t.Fatalf("%v/%s sequential: %v", arch, b.Name, err)
+			}
+			assertStitchedEqual(t, arch.String()+"/"+b.Name, pres, sres)
+		}
+	}
+}
+
+// TestRegionAudit runs parallel regions in Audit mode on one workload
+// per architecture: every region simulates with co-simulation and the
+// invariant checker, and each region's extracted end-of-region state
+// must be content-address-identical to the functional walk's checkpoint
+// for the same boundary. This is the region-level state-transplant
+// audit: it proves the regions partition the committed instruction
+// stream exactly.
+func TestRegionAudit(t *testing.T) {
+	b, err := workload.ByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range []Arch{ArchBaseline, ArchConvWindow, ArchVCAWindow, ArchVCAFlat} {
+		cfg, windowed := regionCfg(t, arch)
+		prog := buildFor(t, b, arch)
+		res, err := RunRegions(cfg, prog, windowed, RegionOptions{Regions: 3, RegionLen: 1500, Audit: true})
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if len(res.Regions) != 3 || res.Committed != 4500 {
+			t.Fatalf("%v: %d regions, %d committed; want 3 regions, 4500 committed", arch, len(res.Regions), res.Committed)
+		}
+	}
+}
+
+// TestRegionStitchedIdentityGate is the CI gate run by cmd/benchsmoke:
+// one cell, two identity proofs. (1) Parallel and sequential stitching
+// are bit-identical. (2) The stitched run is architecturally identical
+// to one continuous detailed run of the same total budget — same
+// committed count, same program output — with only microarchitectural
+// warmup (cycles) allowed to differ.
+func TestRegionStitchedIdentityGate(t *testing.T) {
+	b, err := workload.ByName("crafty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const regions, regionLen = 4, 1500
+	arch := ArchVCAWindow
+	cfg, windowed := regionCfg(t, arch)
+	prog := buildFor(t, b, arch)
+
+	opts := RegionOptions{Regions: regions, RegionLen: regionLen, NoCache: true}
+	par := opts
+	pres, err := RunRegions(cfg, prog, windowed, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := opts
+	seq.Jobs = 1
+	sres, err := RunRegions(cfg, prog, windowed, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStitchedEqual(t, "gate", pres, sres)
+
+	// Continuous reference at the same exact budget.
+	contCfg := cfg
+	contCfg.StopAfter = regions * regionLen
+	contCfg.StopExact = true
+	contCfg.MaxCycles = 1 << 34
+	m, err := core.New(contCfg, []*program.Program{prog}, windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pres.Committed, cont.Threads[0].Committed; got != want {
+		t.Errorf("stitched committed %d, continuous %d", got, want)
+	}
+	if pres.Output != cont.Threads[0].Output {
+		t.Errorf("stitched output %q, continuous %q", pres.Output, cont.Threads[0].Output)
+	}
+	delta := float64(int64(pres.Cycles)-int64(cont.Cycles)) / float64(cont.Cycles)
+	t.Logf("warmup boundary effect: stitched %d cycles vs continuous %d (%+.2f%%)",
+		pres.Cycles, cont.Cycles, 100*delta)
+}
+
+// TestRegionWalkCaches: with a cache installed, the boundary walk stores
+// its checkpoints and region results; a second identical run answers
+// both from the cache.
+func TestRegionWalkCaches(t *testing.T) {
+	dir := t.TempDir()
+	c, err := simcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCache(c)
+	defer SetCache(nil)
+
+	b, err := workload.ByName("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := ArchVCAFlat
+	cfg, windowed := regionCfg(t, arch)
+	prog := buildFor(t, b, arch)
+	opts := RegionOptions{Regions: 3, RegionLen: 1000}
+
+	cold, err := RunRegions(cfg, prog, windowed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, reg := range cold.Regions {
+		if reg.CacheHit {
+			t.Errorf("cold region %d hit the cache", i)
+		}
+	}
+	s := c.Stats()
+	if s.CkStores != 2 || s.Stores != 3 {
+		t.Fatalf("cold traffic %+v, want 2 checkpoint stores and 3 result stores", s)
+	}
+
+	warm, err := RunRegions(cfg, prog, windowed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, reg := range warm.Regions {
+		if !reg.CacheHit {
+			t.Errorf("warm region %d missed the cache", i)
+		}
+	}
+	assertStitchedEqual(t, "cache", cold, warm)
+	if s := c.Stats(); s.CkHits != 2 {
+		t.Fatalf("warm traffic %+v, want 2 checkpoint hits", s)
+	}
+}

@@ -30,7 +30,12 @@
 // blocking caches preserve.
 package mem
 
-import "encoding/binary"
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
 
 // pageBits gives 4 KiB pages for the sparse memory map.
 const pageBits = 12
@@ -184,6 +189,76 @@ func (m *Memory) WriteBytes(addr uint64, data []byte) {
 // Footprint returns the number of distinct pages touched, a cheap working-
 // set statistic used by the workload clustering step.
 func (m *Memory) Footprint() int { return len(m.pages) }
+
+// PageImage is one resident page of a memory snapshot: the page's base
+// address and a copy of its PageSize bytes.
+type PageImage struct {
+	Addr uint64 `json:"addr"`
+	Data []byte `json:"data"`
+}
+
+// PageSize is the snapshot/restore granularity (the sparse map's page
+// size).
+const PageSize = pageSize
+
+// Snapshot returns a deep copy of every resident non-zero page, sorted by
+// address — the deterministic serializable form checkpoints embed
+// (internal/emu). All-zero pages are dropped: an unwritten page and an
+// absent page are indistinguishable to Read, so dropping them keeps the
+// image content-addressable regardless of touch order.
+func (m *Memory) Snapshot() []PageImage {
+	keys := make([]uint64, 0, len(m.pages))
+	for k, p := range m.pages {
+		if *p != [pageSize]byte{} {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]PageImage, len(keys))
+	for i, k := range keys {
+		data := make([]byte, pageSize)
+		copy(data, m.pages[k][:])
+		out[i] = PageImage{Addr: k << pageBits, Data: data}
+	}
+	return out
+}
+
+// Restore replaces the memory's entire contents with the snapshot: every
+// existing page is dropped and the snapshot's pages are installed. Pages
+// shorter than PageSize are zero-filled at the tail; an unaligned or
+// oversized page is an error.
+func (m *Memory) Restore(pages []PageImage) error {
+	m.pages = make(map[uint64]*[pageSize]byte, len(pages))
+	m.lastKey, m.lastPage = 0, nil
+	for _, pg := range pages {
+		if pg.Addr&(pageSize-1) != 0 {
+			return fmt.Errorf("mem: snapshot page at unaligned address %#x", pg.Addr)
+		}
+		if len(pg.Data) > pageSize {
+			return fmt.Errorf("mem: snapshot page at %#x has %d bytes (max %d)", pg.Addr, len(pg.Data), pageSize)
+		}
+		p := new([pageSize]byte)
+		copy(p[:], pg.Data)
+		m.pages[pg.Addr>>pageBits] = p
+	}
+	return nil
+}
+
+// EqualContents reports whether two memories hold identical bytes
+// (ignoring page residency: an absent page equals an all-zero one). Used
+// by the state-transplant audit and checkpoint tests.
+func (m *Memory) EqualContents(o *Memory) bool {
+	a, b := m.Snapshot(), o.Snapshot()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Addr != b[i].Addr || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
 
 // Clone returns a deep copy (used by tests that fork architectural state).
 // The clone starts with a cold page cache.

@@ -140,6 +140,12 @@ func (c *Conventional) CommitDest(t, logical, newPhys int) {
 	c.free = append(c.free, old)
 }
 
+// CommittedLookup returns the committed (architectural) mapping of a
+// logical register — the physical register holding its last committed
+// value, regardless of in-flight speculative renames. Used by
+// architectural-state extraction (core.ExtractCheckpoint).
+func (c *Conventional) CommittedLookup(t, logical int) int { return c.arch[t][logical] }
+
 // RollbackDest undoes a squashed destination rename. Records must be
 // rolled back youngest-first.
 func (c *Conventional) RollbackDest(t, logical, newPhys, prevSpec int) {

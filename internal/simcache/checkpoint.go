@@ -1,0 +1,168 @@
+package simcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+
+	"vca/internal/core"
+	"vca/internal/emu"
+	"vca/internal/program"
+)
+
+// Checkpoint store: the region runner (internal/experiments) manufactures
+// one architectural checkpoint per region boundary during its functional
+// fast-forward walk and content-addresses each into the cache, so a
+// later sweep over the same program never re-executes the walk. Two
+// addresses matter:
+//
+//   - The provenance key (CheckpointKey) identifies a boundary by what
+//     produced it — program image hash, ABI mode, instruction count —
+//     before the checkpoint exists. Lookups use it.
+//   - The content address (emu.Checkpoint.ContentAddress) identifies the
+//     state itself and rides inside the file as its checksum; a store
+//     under a provenance key whose decoded image fails its checksum is
+//     discarded like any corrupt entry.
+//
+// Checkpoint files live beside result entries as ck-<key>.json and are
+// removed by Clear along with everything else.
+
+// CheckpointKey returns the provenance address of a region boundary:
+// the functional state of one program after exactly insts instructions
+// under one ABI mode. The emulator is deterministic, so the key fully
+// determines the image (given equal emu.CheckpointVersion).
+func CheckpointKey(programHash string, windowed bool, insts uint64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ckprov\nversion=%d\nprogram=%s\nwindowed=%v\ninsts=%d\n",
+		emu.CheckpointVersion, programHash, windowed, insts)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) checkpointPath(key string) string {
+	return c.entryPath("ck-" + key)
+}
+
+// GetCheckpoint loads the checkpoint stored under a provenance key.
+// ok=false on miss; a corrupt or version-stale file is removed and
+// reported as a miss.
+func (c *Cache) GetCheckpoint(key string) (*emu.Checkpoint, bool) {
+	if c == nil {
+		return nil, false
+	}
+	f, err := os.Open(c.checkpointPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.errs.Add(1)
+		}
+		c.ckMisses.Add(1)
+		return nil, false
+	}
+	defer f.Close()
+	ck, err := emu.DecodeCheckpoint(f)
+	if err != nil {
+		c.corrupt.Add(1)
+		os.Remove(c.checkpointPath(key))
+		c.ckMisses.Add(1)
+		return nil, false
+	}
+	c.ckHits.Add(1)
+	return ck, true
+}
+
+// PutCheckpoint stores a checkpoint under a provenance key (atomic
+// write: temp file + rename). Store failures degrade to "not cached".
+func (c *Cache) PutCheckpoint(key string, ck *emu.Checkpoint) error {
+	if c == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "ck-*")
+	if err != nil {
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := ck.Encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.checkpointPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simcache: %w", err)
+	}
+	c.ckStores.Add(1)
+	return nil
+}
+
+// KeyFrom extends Key with the identity of the checkpoints a run starts
+// from: a memoized region result is only reusable when the configuration,
+// the programs, AND the exact injected starting state all match. A nil
+// slice (or all-nil entries) degrades to the plain Key.
+func KeyFrom(cfg core.Config, progs []*program.Program, windowed bool, cks []*emu.Checkpoint) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "base=%s\nrestores=%d\n", Key(cfg, progs, windowed), len(cks))
+	for i, ck := range cks {
+		if ck == nil {
+			fmt.Fprintf(h, "%d=-\n", i)
+			continue
+		}
+		addr, err := ck.ContentAddress()
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%d=%s\n", i, addr)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// RunMachineFrom is RunMachine for runs that start from injected
+// checkpoints: cks[i] (when non-nil) is transplanted into thread i
+// before the machine runs. Results are memoized under KeyFrom, so a
+// cached region cell can only ever be returned for the identical
+// configuration, programs, and starting state.
+func (c *Cache) RunMachineFrom(cfg core.Config, progs []*program.Program, windowed bool, cks []*emu.Checkpoint) (res *core.Result, counters map[string]uint64, hit bool, err error) {
+	if c == nil {
+		res, err := simulateFrom(cfg, progs, windowed, cks)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return res, res.Metrics.CounterMap(), false, nil
+	}
+	key, err := KeyFrom(cfg, progs, windowed, cks)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("simcache: %w", err)
+	}
+	if e, ok := c.Get(key); ok {
+		c.hits.Add(1)
+		return e.Result, e.Counters, true, nil
+	}
+	c.misses.Add(1)
+	r, err := simulateFrom(cfg, progs, windowed, cks)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	cm := r.Metrics.CounterMap()
+	if err := c.Put(key, cfg, progs, r, cm); err != nil {
+		c.errs.Add(1)
+	}
+	return r, cm, false, nil
+}
+
+func simulateFrom(cfg core.Config, progs []*program.Program, windowed bool, cks []*emu.Checkpoint) (*core.Result, error) {
+	m, err := core.New(cfg, progs, windowed)
+	if err != nil {
+		return nil, err
+	}
+	for i, ck := range cks {
+		if ck == nil {
+			continue
+		}
+		if err := m.InjectCheckpoint(i, ck); err != nil {
+			return nil, err
+		}
+	}
+	return m.Run()
+}

@@ -1,0 +1,135 @@
+package simcache
+
+import (
+	"os"
+	"testing"
+
+	"vca/internal/emu"
+	"vca/internal/minic"
+	"vca/internal/workload"
+)
+
+// fastCheckpoint fast-forwards one workload functionally and returns the
+// checkpoint at cut instructions.
+func fastCheckpoint(t *testing.T, b workload.Benchmark, m model, cut uint64) *emu.Checkpoint {
+	t.Helper()
+	prog, err := b.Build(m.abi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := emu.New(prog, emu.Config{Windowed: m.abi == minic.ABIWindowed})
+	if _, err := fm.FastRun(cut); err != nil {
+		t.Fatalf("FastRun(%d): %v", cut, err)
+	}
+	return fm.Checkpoint()
+}
+
+// TestCheckpointStoreRoundTrip: a stored boundary image comes back
+// bit-identical under its provenance key; corruption is detected,
+// discarded, and reported as a miss.
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("crafty")
+	ck := fastCheckpoint(t, b, testModels[0], 5000)
+	key := CheckpointKey(ck.ProgramHash, ck.Windowed, ck.Insts)
+
+	if _, ok := cache.GetCheckpoint(key); ok {
+		t.Fatal("empty store returned a checkpoint")
+	}
+	if err := cache.PutCheckpoint(key, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.GetCheckpoint(key)
+	if !ok {
+		t.Fatal("stored checkpoint not found")
+	}
+	wantAddr, err := ck.ContentAddress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAddr, err := got.ContentAddress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAddr != wantAddr {
+		t.Fatalf("round trip changed content address: %.12s -> %.12s", wantAddr, gotAddr)
+	}
+	if s := cache.Stats(); s.CkHits != 1 || s.CkMisses != 1 || s.CkStores != 1 {
+		t.Fatalf("checkpoint traffic %+v, want 1 hit / 1 miss / 1 store", s)
+	}
+
+	// Flip one byte on disk: the checksum must reject the file.
+	path := cache.checkpointPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.GetCheckpoint(key); ok {
+		t.Fatal("corrupted checkpoint was returned")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupted checkpoint file was not removed")
+	}
+}
+
+// TestRunMachineFromMemoizes: a region job (detailed run started from an
+// injected checkpoint) is cached under a key that includes the starting
+// state, hits bit-identically, and never collides with the from-reset
+// key of the same configuration.
+func TestRunMachineFromMemoizes(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("crafty")
+	m := testModels[0]
+	cfg, progs, windowed := jobFor(t, b, m)
+	ck := fastCheckpoint(t, b, m, 5000)
+	cks := []*emu.Checkpoint{ck}
+
+	fromKey, err := KeyFrom(cfg, progs, windowed, cks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromKey == Key(cfg, progs, windowed) {
+		t.Fatal("KeyFrom with a checkpoint equals the from-reset key")
+	}
+	if nilKey, err := KeyFrom(cfg, progs, windowed, nil); err != nil || nilKey == fromKey {
+		t.Fatalf("KeyFrom(nil) must differ from a checkpointed key (err %v)", err)
+	}
+
+	cold, coldCounters, hit, err := cache.RunMachineFrom(cfg, progs, windowed, cks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first region run cannot hit")
+	}
+	warm, warmCounters, hit, err := cache.RunMachineFrom(cfg, progs, windowed, cks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second region run must hit")
+	}
+	if got, want := resultJSON(t, warm, warmCounters), resultJSON(t, cold, coldCounters); got != want {
+		t.Fatalf("region hit is not bit-identical to the cold run\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// A different starting state must miss.
+	other := fastCheckpoint(t, b, m, 6000)
+	_, _, hit, err = cache.RunMachineFrom(cfg, progs, windowed, []*emu.Checkpoint{other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("different checkpoint hit the cache")
+	}
+}

@@ -118,6 +118,11 @@ type Stats struct {
 	Stores  uint64 `json:"stores"`
 	Corrupt uint64 `json:"corrupt"` // entries that failed checksum/decode and were discarded
 	Errors  uint64 `json:"errors"`  // I/O errors (treated as misses)
+
+	// Checkpoint-store traffic (region-boundary images; see checkpoint.go).
+	CkHits   uint64 `json:"ck_hits,omitempty"`
+	CkMisses uint64 `json:"ck_misses,omitempty"`
+	CkStores uint64 `json:"ck_stores,omitempty"`
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when idle.
@@ -136,6 +141,7 @@ type Cache struct {
 	dir string
 
 	hits, misses, stores, corrupt, errs atomic.Uint64
+	ckHits, ckMisses, ckStores          atomic.Uint64
 
 	mu    sync.Mutex // guards index mutation + index.json rewrite
 	index map[string]IndexEntry
@@ -376,11 +382,14 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Stores:  c.stores.Load(),
-		Corrupt: c.corrupt.Load(),
-		Errors:  c.errs.Load(),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Stores:   c.stores.Load(),
+		Corrupt:  c.corrupt.Load(),
+		Errors:   c.errs.Load(),
+		CkHits:   c.ckHits.Load(),
+		CkMisses: c.ckMisses.Load(),
+		CkStores: c.ckStores.Load(),
 	}
 }
 
@@ -399,6 +408,9 @@ func (c *Cache) MetricsRegistry() *metrics.Registry {
 	add("stores", s.Stores, "results written to the cache")
 	add("corrupt", s.Corrupt, "cache entries discarded on checksum/decode failure")
 	add("errors", s.Errors, "cache I/O errors (degraded to misses)")
+	add("ck_hits", s.CkHits, "region-boundary checkpoints answered from the store")
+	add("ck_misses", s.CkMisses, "region-boundary checkpoint lookups that missed")
+	add("ck_stores", s.CkStores, "region-boundary checkpoints written to the store")
 	return r
 }
 

@@ -403,6 +403,7 @@ func TestMetricsRegistryExport(t *testing.T) {
 	want := map[string]uint64{
 		"simcache.hits": 2, "simcache.misses": 1, "simcache.stores": 1,
 		"simcache.corrupt": 0, "simcache.errors": 0,
+		"simcache.ck_hits": 0, "simcache.ck_misses": 0, "simcache.ck_stores": 0,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("exported counters %v, want %v", got, want)

@@ -1,14 +1,21 @@
 // Command benchsmoke is the CI throughput gate: it runs
 // BenchmarkSimThroughput (the root package's detailed-core benchmark:
 // crafty, conventional rename, 256 physical registers, co-simulation
-// on, 100k committed instructions) a few times at a fixed -benchtime
-// and fails the build when either
+// on, 100k committed instructions) and BenchmarkEmuFastRun (the fast
+// functional engine on the same workload and budget — the fast-forward
+// path) a few times at a fixed -benchtime and fails the build when any
+// of
 //
 //   - allocs per simulated instruction exceed the steady-state floor
 //     established in PR 1 (the simulator is expected to allocate
-//     essentially nothing per instruction once warm), or
-//   - ns per simulated instruction regresses more than the configured
-//     fraction against the committed baseline file.
+//     essentially nothing per instruction once warm),
+//   - ns per simulated instruction (either engine) regresses more than
+//     the configured fraction against the committed baseline file, or
+//   - the functional engine's speedup over the detailed core falls
+//     below the committed floor (min_fast_speedup). The floor is set
+//     noise-tolerantly below the measured ratio — the honest A/B
+//     numbers live in BENCH_5.json and docs/EXPERIMENTS.md — so only a
+//     real collapse of the fast path can trip it.
 //
 // The baseline (bench_smoke_baseline.json) records the blessed ns/inst
 // for the machine class CI runs on; re-baseline it deliberately, in a
@@ -30,20 +37,71 @@ import (
 
 type baseline struct {
 	// NsPerInst is the blessed wall-nanoseconds per simulated
-	// instruction (min across passes on an otherwise idle host).
+	// instruction of the detailed core (min across passes on an
+	// otherwise idle host).
 	NsPerInst float64 `json:"ns_per_inst"`
 	// Instructions is the benchmark's committed-instruction budget; it
 	// converts go test's ns/op into ns/inst.
 	Instructions float64 `json:"instructions"`
 	// MaxAllocsPerInst is the PR-1 steady-state allocation floor.
 	MaxAllocsPerInst float64 `json:"max_allocs_per_inst"`
-	// MaxRegression is the tolerated fractional ns/inst increase.
+	// MaxRegression is the tolerated fractional ns/inst increase
+	// (applied to both engines).
 	MaxRegression float64 `json:"max_regression"`
+
+	// FastNsPerInst is the blessed ns/inst of the fast functional
+	// engine (BenchmarkEmuFastRun); FastInstructions is that
+	// benchmark's per-op instruction budget.
+	FastNsPerInst    float64 `json:"fast_ns_per_inst"`
+	FastInstructions float64 `json:"fast_instructions"`
+	// MinFastSpeedup is the floor on detailed-ns-per-inst divided by
+	// functional-ns-per-inst, measured in the same invocation on the
+	// same host.
+	MinFastSpeedup float64 `json:"min_fast_speedup"`
 }
 
 // benchLine matches e.g.
 // BenchmarkSimThroughput  5  16166833 ns/op  5.68 simMIPS  1234 B/op  7 allocs/op
-var benchLine = regexp.MustCompile(`^BenchmarkSimThroughput\S*\s+\d+\s+([0-9.]+) ns/op.*?\s([0-9.]+) allocs/op`)
+func benchLine(name string) *regexp.Regexp {
+	return regexp.MustCompile(`^Benchmark` + name + `\S*\s+\d+\s+([0-9.]+) ns/op.*?\s([0-9.]+) allocs/op`)
+}
+
+// run executes one benchmark -count times and returns the minimum
+// ns/op and allocs/op across passes.
+func run(name, benchtime string, count int) (minNsOp, minAllocsOp float64) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^Benchmark"+name+"$",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count),
+		"-benchmem", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fatal("go test -bench %s failed: %v\n%s", name, err, out)
+	}
+	line := benchLine(name)
+	passes := 0
+	for _, l := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
+		m := line.FindStringSubmatch(l)
+		if m == nil {
+			continue
+		}
+		nsOp, err1 := strconv.ParseFloat(m[1], 64)
+		allocsOp, err2 := strconv.ParseFloat(m[2], 64)
+		if err1 != nil || err2 != nil {
+			fatal("unparseable benchmark line: %q", l)
+		}
+		if passes == 0 || nsOp < minNsOp {
+			minNsOp = nsOp
+		}
+		if passes == 0 || allocsOp < minAllocsOp {
+			minAllocsOp = allocsOp
+		}
+		passes++
+	}
+	if passes == 0 {
+		fatal("no Benchmark%s result in output:\n%s", name, out)
+	}
+	return minNsOp, minAllocsOp
+}
 
 func main() {
 	baselinePath := flag.String("baseline", "bench_smoke_baseline.json", "committed baseline file")
@@ -62,46 +120,25 @@ func main() {
 	if base.NsPerInst <= 0 || base.Instructions <= 0 || base.MaxRegression <= 0 {
 		fatal("baseline %s: ns_per_inst, instructions, and max_regression must be positive", *baselinePath)
 	}
-
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^BenchmarkSimThroughput$",
-		"-benchtime", *benchtime, "-count", strconv.Itoa(*count),
-		"-benchmem", ".")
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		fatal("go test -bench failed: %v\n%s", err, out)
+	if base.FastNsPerInst <= 0 || base.FastInstructions <= 0 || base.MinFastSpeedup <= 0 {
+		fatal("baseline %s: fast_ns_per_inst, fast_instructions, and min_fast_speedup must be positive", *baselinePath)
 	}
 
-	minNsOp, minAllocsOp := 0.0, 0.0
-	passes := 0
-	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		nsOp, err1 := strconv.ParseFloat(m[1], 64)
-		allocsOp, err2 := strconv.ParseFloat(m[2], 64)
-		if err1 != nil || err2 != nil {
-			fatal("unparseable benchmark line: %q", line)
-		}
-		if passes == 0 || nsOp < minNsOp {
-			minNsOp = nsOp
-		}
-		if passes == 0 || allocsOp < minAllocsOp {
-			minAllocsOp = allocsOp
-		}
-		passes++
-	}
-	if passes == 0 {
-		fatal("no BenchmarkSimThroughput result in output:\n%s", out)
-	}
+	detNsOp, detAllocsOp := run("SimThroughput", *benchtime, *count)
+	fastNsOp, fastAllocsOp := run("EmuFastRun", *benchtime, *count)
 
-	nsPerInst := minNsOp / base.Instructions
-	allocsPerInst := minAllocsOp / base.Instructions
+	nsPerInst := detNsOp / base.Instructions
+	allocsPerInst := detAllocsOp / base.Instructions
 	limit := base.NsPerInst * (1 + base.MaxRegression)
 
-	fmt.Printf("bench-smoke: %d passes, best %.1f ns/inst (baseline %.1f, limit %.1f), %.4f allocs/inst (max %.4f)\n",
-		passes, nsPerInst, base.NsPerInst, limit, allocsPerInst, base.MaxAllocsPerInst)
+	fastNsPerInst := fastNsOp / base.FastInstructions
+	fastLimit := base.FastNsPerInst * (1 + base.MaxRegression)
+	speedup := nsPerInst / fastNsPerInst
+
+	fmt.Printf("bench-smoke: detailed best %.1f ns/inst (baseline %.1f, limit %.1f), %.4f allocs/inst (max %.4f)\n",
+		nsPerInst, base.NsPerInst, limit, allocsPerInst, base.MaxAllocsPerInst)
+	fmt.Printf("bench-smoke: functional best %.2f ns/inst (baseline %.2f, limit %.2f), speedup %.1fx (floor %.1fx)\n",
+		fastNsPerInst, base.FastNsPerInst, fastLimit, speedup, base.MinFastSpeedup)
 
 	if allocsPerInst > base.MaxAllocsPerInst {
 		fatal("allocs/inst %.4f exceeds steady-state floor %.4f", allocsPerInst, base.MaxAllocsPerInst)
@@ -109,6 +146,16 @@ func main() {
 	if nsPerInst > limit {
 		fatal("ns/inst %.1f regresses more than %.0f%% over baseline %.1f",
 			nsPerInst, base.MaxRegression*100, base.NsPerInst)
+	}
+	if fastAllocsOp != 0 {
+		fatal("fast engine allocates %.1f times per batch; FastRun must be allocation-free when warm", fastAllocsOp)
+	}
+	if fastNsPerInst > fastLimit {
+		fatal("functional ns/inst %.2f regresses more than %.0f%% over baseline %.2f",
+			fastNsPerInst, base.MaxRegression*100, base.FastNsPerInst)
+	}
+	if speedup < base.MinFastSpeedup {
+		fatal("functional engine is only %.1fx faster than the detailed core, floor is %.1fx", speedup, base.MinFastSpeedup)
 	}
 }
 

@@ -21,6 +21,7 @@ package vca
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"vca/internal/asm"
 	"vca/internal/core"
@@ -133,6 +134,61 @@ type MachineSpec struct {
 	// replayed result has no live metrics registry or event stream
 	// (Result.Metrics is nil on a cache hit).
 	Cache *ResultCache
+	// FastForward skips the first N instructions of every thread at
+	// functional speed (tens of MIPS, emu.FastRun) and transplants the
+	// resulting architectural state into the detailed machine, which then
+	// simulates from there. StopAfter still counts detailed commits only.
+	// Mutually exclusive with Restore and ChromeTrace.
+	FastForward uint64
+	// Restore starts thread i from Restore[i] (a checkpoint previously
+	// produced by FastForward, Checkpoint files, or a region walk) instead
+	// of architectural reset; nil entries start from reset. Mutually
+	// exclusive with FastForward and ChromeTrace.
+	Restore []*Checkpoint
+}
+
+// Checkpoint re-exports the serializable, content-addressed
+// architectural-state image (see internal/emu): the handoff format
+// between the fast functional engine and the detailed core.
+type Checkpoint = emu.Checkpoint
+
+// FastForward executes exactly n instructions of p on the fast
+// functional engine and returns the resulting checkpoint. It fails if
+// the program exits or faults before the budget is reached.
+func FastForward(p *Program, windowed bool, n uint64) (*Checkpoint, error) {
+	m := emu.New(p, emu.Config{Windowed: windowed})
+	executed, err := m.FastRun(n)
+	if err != nil {
+		return nil, err
+	}
+	if executed < n {
+		return nil, fmt.Errorf("vca: program exited after %d of %d fast-forward instructions", executed, n)
+	}
+	return m.Checkpoint(), nil
+}
+
+// LoadCheckpoint reads a checkpoint file written by SaveCheckpoint,
+// verifying its schema version and content checksum.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return emu.DecodeCheckpoint(f)
+}
+
+// SaveCheckpoint writes a checkpoint as a checksummed JSON file.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ck.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ResultCache re-exports the content-addressed simulation result cache;
@@ -211,8 +267,38 @@ func Run(spec MachineSpec, progs ...*Program) (Result, error) {
 	cfg.Check = spec.Check
 	cfg.TraceWriter = spec.Trace
 	cfg.ChromeTrace = spec.ChromeTrace
+	restores := spec.Restore
+	if spec.FastForward > 0 {
+		if len(spec.Restore) > 0 {
+			return Result{}, fmt.Errorf("vca: FastForward and Restore are mutually exclusive")
+		}
+		restores = make([]*Checkpoint, len(progs))
+		for i, p := range progs {
+			ck, err := FastForward(p, spec.Arch.Windowed(), spec.FastForward)
+			if err != nil {
+				return Result{}, fmt.Errorf("vca: fast-forwarding thread %d: %w", i, err)
+			}
+			restores[i] = ck
+		}
+	}
+	if len(restores) > 0 {
+		if spec.ChromeTrace != nil {
+			return Result{}, fmt.Errorf("vca: ChromeTrace cannot record a run that starts mid-program (drop FastForward/Restore or the recorder)")
+		}
+		if len(restores) > len(progs) {
+			return Result{}, fmt.Errorf("vca: %d restore checkpoints for %d threads", len(restores), len(progs))
+		}
+	}
 	if cache := spec.Cache; cache != nil && spec.Trace == nil && spec.ChromeTrace == nil && !spec.Check {
-		res, _, _, err := cache.RunMachine(cfg, progs, spec.Arch.Windowed())
+		var (
+			res *core.Result
+			err error
+		)
+		if len(restores) > 0 {
+			res, _, _, err = cache.RunMachineFrom(cfg, progs, spec.Arch.Windowed(), restores)
+		} else {
+			res, _, _, err = cache.RunMachine(cfg, progs, spec.Arch.Windowed())
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -221,6 +307,14 @@ func Run(spec MachineSpec, progs ...*Program) (Result, error) {
 	m, err := core.New(cfg, progs, spec.Arch.Windowed())
 	if err != nil {
 		return Result{}, err
+	}
+	for i, ck := range restores {
+		if ck == nil {
+			continue
+		}
+		if err := m.InjectCheckpoint(i, ck); err != nil {
+			return Result{}, err
+		}
 	}
 	res, err := m.Run()
 	if err != nil {

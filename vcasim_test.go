@@ -128,6 +128,107 @@ func TestManyThreads(t *testing.T) {
 	}
 }
 
+// TestFacadeFastForward splices a run at its midpoint: the first half
+// executes on the fast functional engine, the second half on the
+// detailed machine (with co-simulation on, so the transplant is audited
+// per instruction). Functional output prefix + detailed output suffix
+// must reassemble the complete program output.
+func TestFacadeFastForward(t *testing.T) {
+	for _, arch := range []Arch{Baseline, VCAWindowed} {
+		abi := ABIFlat
+		if arch.Windowed() {
+			abi = ABIWindowed
+		}
+		prog, err := CompileC(facadeSrc, abi)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		_, total, err := Emulate(prog, arch.Windowed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := total / 2
+		ck, err := FastForward(prog, arch.Windowed(), cut)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if ck.Insts != cut {
+			t.Fatalf("%v: checkpoint at inst %d, want %d", arch, ck.Insts, cut)
+		}
+		res, err := Run(MachineSpec{Arch: arch, FastForward: cut}, prog)
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if got := string(ck.Output) + res.Output(0); got != "385" {
+			t.Errorf("%v: spliced output %q, want 385", arch, got)
+		}
+		if got := res.Threads[0].Committed; got != total-cut {
+			t.Errorf("%v: detailed committed %d, want %d", arch, got, total-cut)
+		}
+	}
+}
+
+// TestFacadeCheckpointFile round-trips a checkpoint through Save/Load
+// and resumes a detailed run from the loaded image.
+func TestFacadeCheckpointFile(t *testing.T) {
+	prog, err := CompileC(facadeSrc, ABIWindowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := Emulate(prog, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := total / 3
+	ck, err := FastForward(prog, true, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ck.json"
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAddr, _ := ck.ContentAddress()
+	gotAddr, _ := loaded.ContentAddress()
+	if wantAddr != gotAddr {
+		t.Fatalf("file round trip changed the image: %.12s -> %.12s", wantAddr, gotAddr)
+	}
+	res, err := Run(MachineSpec{Arch: VCAWindowed, Restore: []*Checkpoint{loaded}}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(loaded.Output) + res.Output(0); got != "385" {
+		t.Errorf("resumed output %q, want 385", got)
+	}
+}
+
+func TestFacadeFastForwardErrors(t *testing.T) {
+	prog, err := CompileC(facadeSrc, ABIFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := FastForward(prog, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(MachineSpec{Arch: Baseline, FastForward: 10, Restore: []*Checkpoint{ck}}, prog); err == nil {
+		t.Error("FastForward+Restore accepted")
+	}
+	if _, err := Run(MachineSpec{Arch: Baseline, FastForward: 10, ChromeTrace: NewTraceRecorder()}, prog); err == nil {
+		t.Error("FastForward+ChromeTrace accepted")
+	}
+	if _, err := Run(MachineSpec{Arch: Baseline, Restore: []*Checkpoint{ck, ck}}, prog); err == nil {
+		t.Error("more checkpoints than threads accepted")
+	}
+	if _, err := FastForward(prog, false, 1<<40); err == nil {
+		t.Error("fast-forward past program exit accepted")
+	}
+}
+
 func TestArchStrings(t *testing.T) {
 	for _, a := range []Arch{Baseline, ConvWindowed, IdealWindowed, VCAFlat, VCAWindowed} {
 		if strings.Contains(a.String(), "?") {
