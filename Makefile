@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate clean gitignore-check
+.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke serve clean gitignore-check
 
 all: build test
 
@@ -59,15 +59,28 @@ cache-ci:
 region-gate:
 	$(GO) test ./internal/experiments -run '^TestRegionStitchedIdentityGate$$' -count=1 -v
 
+# Sweep-service smoke gate: build and start a real vcaserved, submit a
+# tiny sweep over HTTP, assert /healthz + /readyz + /metrics and that
+# the streamed NDJSON results are byte-identical to a direct in-process
+# simcache.Runner run, then SIGTERM and require a clean drain (exit 0).
+# See docs/SERVICE.md.
+serve-smoke:
+	$(GO) run ./internal/tools/servesmoke
+
+# Run the sweep service locally with defaults (docs/SERVICE.md).
+serve:
+	$(GO) run ./cmd/vcaserved
+
 # Extended gate: static checks, the race suite, the fuzz smoke, the
-# cache round-trip smoke, and the parallel-region identity gate. Slower
-# than `make test`; run before sending a change.
-check: docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate
+# cache round-trip smoke, the parallel-region identity gate, and the
+# sweep-service smoke. Slower than `make test`; run before sending a
+# change.
+check: docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate serve-smoke
 
 # Continuous-integration gate: everything check runs, plus the
 # fixed-seed verification sweep, the run-twice cache round trip, and the
 # throughput smoke gate (detailed + functional engines).
-ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate sweep cache-ci bench-smoke
+ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate serve-smoke sweep cache-ci bench-smoke
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.
@@ -103,14 +116,14 @@ experiments:
 # as part of `make check` and `make ci`).
 clean:
 	rm -f *.test *.prof *.pprof experiments_output.txt stats.json trace.json
-	rm -f experiments vcaasm vcacc vcasim
+	rm -f experiments vcaasm vcacc vcasim vcaserved
 	rm -rf .simcache-ci
 
 # Every artifact `make clean` removes must be git-ignored, so a build or
 # experiment run can never dirty the tree.
 gitignore-check:
 	@for f in vca.test core.test cpu.prof heap.pprof experiments_output.txt \
-	    stats.json trace.json experiments vcaasm vcacc vcasim .simcache-ci/; do \
+	    stats.json trace.json experiments vcaasm vcacc vcasim vcaserved .simcache-ci/; do \
 		git check-ignore -q "$$f" || { echo "gitignore-check: $$f is not covered by .gitignore"; exit 1; }; \
 	done
 	@echo "gitignore-check: all clean artifacts are ignored"

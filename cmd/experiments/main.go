@@ -41,20 +41,30 @@ var (
 	flagStop   = flag.Uint64("stop", 150_000, "per-run commit budget (0 = full runs)")
 
 	flagSweep     = flag.Int("sweep", 0, "run N randomized machine configurations in lockstep with the emulator (invariant checker + co-simulation); shrunk repros print as JSON on divergence")
-	flagSweepSeed = flag.Int64("sweepseed", 1, "RNG seed for -sweep (a fixed seed reproduces the exact configuration sequence)")
+	flagSweepSeed = flag.Int64("sweepseed", 1, "RNG seed for -sweep (a fixed seed reproduces the exact configuration sequence; meaningless without -sweep)")
 
 	flagJobs       = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
-	flagCache      = flag.Bool("cache", true, "memoize simulation results on disk (see docs/EXPERIMENTS.md)")
-	flagCacheDir   = flag.String("cachedir", ".simcache", "result cache directory")
-	flagCacheClear = flag.Bool("cacheclear", false, "clear the result cache before running")
-	flagCacheStats = flag.String("cachestats", "", "write end-of-run cache hit/miss counters as JSON to this file")
+	flagCache      = flag.Bool("cache", true, "memoize simulation results on disk (EXPERIMENTS.md \"Result cache\"; -cache=false also disables -cachedir/-cacheclear/-cachestats)")
+	flagCacheDir   = flag.String("cachedir", ".simcache", "result cache directory (requires -cache)")
+	flagCacheClear = flag.Bool("cacheclear", false, "clear the result cache before running (requires -cache)")
+	flagCacheStats = flag.String("cachestats", "", "write end-of-run cache hit/miss counters as JSON to this file (requires -cache)")
 
-	flagBenchJSON  = flag.String("benchjson", "", "measure simulator throughput on a fixed workload matrix and write JSON to this file")
+	flagBenchJSON  = flag.String("benchjson", "", "measure simulator throughput on a fixed workload matrix and write JSON to this file (rows always simulate — the cache is never consulted, only its traffic counters are recorded in the report)")
 	flagCPUProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMemProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"experiments — regenerate the paper's tables and figures (results commentary: EXPERIMENTS.md)\n\n"+
+				"At least one selector is required: -all, -table1/2, -fig4..8, -benchjson, -sweep, or -cacheclear.\n"+
+				"Flag interactions:\n"+
+				"  -sweepseed only affects -sweep\n"+
+				"  -cachedir/-cacheclear/-cachestats require -cache (the default)\n"+
+				"  -benchjson rows always simulate; the cache is never consulted for them\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *flagAll {
 		*flagTable1, *flagTable2 = true, true

@@ -38,7 +38,7 @@ var (
 	flagTrace = flag.Bool("trace", false, "print a per-committed-instruction trace to stderr")
 
 	flagStats  = flag.String("stats", "", "write the full event-counter dump to this file (.csv for CSV, otherwise JSON)")
-	flagChrome = flag.String("chrometrace", "", "record a Chrome trace-event timeline and write it to this file (bound the run with -stop)")
+	flagChrome = flag.String("chrometrace", "", "record a Chrome trace-event timeline and write it to this file (bound the run with -stop; excludes -fastforward/-restore, which would start the timeline mid-program)")
 
 	flagCache    = flag.Bool("cache", false, "memoize the run in the on-disk result cache (ignored with -trace/-stats/-chrometrace, which need a live run)")
 	flagCacheDir = flag.String("cachedir", ".simcache", "result cache directory for -cache")
@@ -49,6 +49,15 @@ var (
 )
 
 func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"vcasim — run benchmarks on a chosen machine model (counters: docs/OBSERVABILITY.md)\n\n"+
+				"Flag interactions:\n"+
+				"  -checkpoint requires -fastforward; -restore excludes both; each needs a single-thread run\n"+
+				"  -chrometrace excludes -fastforward/-restore and should be bounded with -stop\n"+
+				"  -cache is ignored with -trace/-stats/-chrometrace (those need a live, uncached run)\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if *flagList {
 		for _, b := range workload.All() {

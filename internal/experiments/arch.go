@@ -1,8 +1,28 @@
 // Package experiments drives the paper's evaluation (§4): it builds the
-// machine configurations of Figures 4-8, runs the workload suite on them,
-// and reduces the results to the numbers the paper plots. The package is
-// shared by cmd/experiments (human-readable tables) and the repository's
-// benchmark harness (bench_test.go).
+// machine configurations of Figures 4-8, runs the workload suite on
+// them, and reduces the results to the numbers the paper plots.
+//
+// The pieces, one file each:
+//
+//   - arch.go — the Arch enumeration (baseline, conventional/ideal
+//     register windows, VCA flat/windowed) and its Config builder, the
+//     single place the paper's Table 1 machines are parameterized. An
+//     Arch that cannot operate at a requested register-file size
+//     reports ok=false ("No Baseline" in the figures).
+//   - regwin.go — the single-thread register-window sweeps
+//     (Figures 4-6) and their weighted cache-access reduction (§4.3).
+//   - smt.go — multiprogrammed SMT sweeps (Figures 7-8) over the
+//     clustered workload pairings.
+//   - regions.go — checkpointed parallel-region runs: K detailed
+//     regions planned by one functional walk, stitched to bit-identical
+//     counter maps (DESIGN.md §12).
+//
+// Every simulation funnels through the package-wide simcache.Runner
+// and optional result cache (SetJobs/SetCache), so sweeps parallelize
+// and memoize uniformly. Consumers: cmd/experiments (human-readable
+// tables), the repository benchmark harness (bench_test.go), and the
+// sweep service (internal/server), which reuses the Arch builder for
+// its HTTP job API.
 package experiments
 
 import (

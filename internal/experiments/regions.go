@@ -28,7 +28,7 @@ import (
 // traffic) carry a per-region cold-start: every region after the first
 // begins with cold caches and predictors the continuous run had warm, so
 // the stitched cycle count is an upper bound that tightens as RegionLen
-// grows. docs/EXPERIMENTS.md quantifies the effect.
+// grows. EXPERIMENTS.md quantifies the effect.
 //
 // Determinism contract: region jobs are independent and deterministic,
 // so the stitched result is bit-identical whatever the worker count.

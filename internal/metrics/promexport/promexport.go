@@ -1,0 +1,148 @@
+// Package promexport renders internal/metrics samples in the
+// Prometheus text exposition format (version 0.0.4), the wire form a
+// Prometheus server scrapes from an HTTP /metrics endpoint.
+//
+// The simulator's metrics surface (see internal/metrics and
+// docs/OBSERVABILITY.md) is deliberately minimal: dot-separated names,
+// three kinds (counter, histogram, occupancy), power-of-two buckets.
+// This package maps that surface onto Prometheus conventions without
+// pulling in the client library:
+//
+//   - Names are prefixed with a namespace and sanitized: every rune
+//     outside [a-zA-Z0-9_] becomes '_', so "simcache.sf_hits" exported
+//     under namespace "vca" is vca_simcache_sf_hits.
+//   - Counters gain the conventional _total suffix and TYPE counter.
+//   - Histograms and occupancies become native Prometheus histograms:
+//     cumulative _bucket{le="..."} series, _sum, and _count. Because
+//     the source buckets hold integer values in [lo, hi), the inclusive
+//     Prometheus upper bound is hi-1; the overflow bucket maps to
+//     le="+Inf". An occupancy's high-water mark is emitted as an extra
+//     _max gauge.
+//   - A Sample whose Kind is "gauge" (produced by service-level
+//     snapshots, not by the core registry) is exported as TYPE gauge
+//     with no suffix.
+//
+// The exporter is deterministic: identical snapshots render to
+// byte-identical text, which is what lets tests assert on exact series.
+// docs/SERVICE.md and docs/OBSERVABILITY.md carry the full name mapping
+// for every registered metric.
+package promexport
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vca/internal/metrics"
+)
+
+// sanitize maps a dotted metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*; we use '_' for every rejected rune and no
+// colons (those are reserved for recording rules by convention).
+func sanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the exposition format (backslash
+// and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Write renders samples under the given namespace. Samples are emitted
+// in name order regardless of input order, so output is deterministic.
+// A sample with an unknown Kind is skipped rather than guessed at.
+func Write(w io.Writer, namespace string, samples []metrics.Sample) error {
+	sorted := make([]metrics.Sample, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+
+	for i := range sorted {
+		s := &sorted[i]
+		base := sanitize(namespace + "_" + s.Name)
+		switch s.Kind {
+		case "counter":
+			if err := writeHeader(w, base+"_total", "counter", s); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_total %d\n", base, s.Value); err != nil {
+				return err
+			}
+		case "gauge":
+			if err := writeHeader(w, base, "gauge", s); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", base, s.Value); err != nil {
+				return err
+			}
+		case "histogram", "occupancy":
+			if err := writeHistogram(w, base, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, kind string, s *metrics.Sample) error {
+	if s.Desc != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(s.Desc)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+func writeHistogram(w io.Writer, base string, s *metrics.Sample) error {
+	if err := writeHeader(w, base, "histogram", s); err != nil {
+		return err
+	}
+	// Source buckets are non-cumulative [lo, hi) counts over integers;
+	// Prometheus buckets are cumulative with inclusive upper bounds.
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.Hi != 0 {
+			le = fmt.Sprintf("%d", b.Hi-1)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", base, le, cum); err != nil {
+			return err
+		}
+	}
+	// Prometheus requires a closing +Inf bucket equal to _count; emit it
+	// when the last source bucket was bounded (or there were no buckets).
+	if n := len(s.Buckets); n == 0 || s.Buckets[n-1].Hi != 0 {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", base, s.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", base, s.Sum, base, s.Count); err != nil {
+		return err
+	}
+	if s.Kind == "occupancy" {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", base, base, s.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRegistry is the common whole-registry form: it snapshots r and
+// writes every metric under the namespace.
+func WriteRegistry(w io.Writer, namespace string, r *metrics.Registry) error {
+	return Write(w, namespace, r.Snapshot())
+}

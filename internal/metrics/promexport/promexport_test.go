@@ -1,0 +1,124 @@
+package promexport
+
+import (
+	"strings"
+	"testing"
+
+	"vca/internal/metrics"
+)
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"simcache.sf_hits":       "simcache_sf_hits",
+		"core.fetch.stall.empty": "core_fetch_stall_empty",
+		"9lives":                 "_lives",
+		"a-b c":                  "a_b_c",
+	} {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteCounterAndGauge(t *testing.T) {
+	var b strings.Builder
+	err := Write(&b, "vca", []metrics.Sample{
+		{Name: "server.queue_depth", Kind: "gauge", Value: 7, Desc: "cells waiting in the queue"},
+		{Name: "simcache.sf_hits", Kind: "counter", Value: 3, Desc: "coalesced jobs"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP vca_simcache_sf_hits_total coalesced jobs\n",
+		"# TYPE vca_simcache_sf_hits_total counter\n",
+		"vca_simcache_sf_hits_total 3\n",
+		"# TYPE vca_server_queue_depth gauge\n",
+		"vca_server_queue_depth 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: sorted by source name, simcache before server? No:
+	// "server.queue_depth" < "simcache.sf_hits" lexicographically.
+	if strings.Index(out, "vca_server_queue_depth") > strings.Index(out, "vca_simcache_sf_hits_total") {
+		t.Errorf("samples not emitted in sorted name order:\n%s", out)
+	}
+}
+
+func TestWriteHistogramCumulative(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.Histogram("server.latency_us", "us", "request latency")
+	for _, v := range []uint64{0, 1, 1, 3, 900} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := WriteRegistry(&b, "vca", r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Buckets: v=0 → [0,1) le="0"; v=1,1 → [1,2) le="1"; v=3 → [2,4)
+	// le="3"; v=900 → [512,1024) le="1023". Cumulative: 1, 3, 4, 5,
+	// then a closing +Inf at count 5.
+	for _, want := range []string{
+		"# TYPE vca_server_latency_us histogram\n",
+		`vca_server_latency_us_bucket{le="0"} 1` + "\n",
+		`vca_server_latency_us_bucket{le="1"} 3` + "\n",
+		`vca_server_latency_us_bucket{le="3"} 4` + "\n",
+		`vca_server_latency_us_bucket{le="1023"} 5` + "\n",
+		`vca_server_latency_us_bucket{le="+Inf"} 5` + "\n",
+		"vca_server_latency_us_sum 905\n",
+		"vca_server_latency_us_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteOccupancyMax(t *testing.T) {
+	r := metrics.NewRegistry()
+	o := r.Occupancy("core.rob.occupancy", "entries", "ROB residency")
+	o.Observe(4)
+	o.Observe(9)
+	var b strings.Builder
+	if err := WriteRegistry(&b, "vca", r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vca_core_rob_occupancy histogram\n",
+		"# TYPE vca_core_rob_occupancy_max gauge\n",
+		"vca_core_rob_occupancy_max 9\n",
+		"vca_core_rob_occupancy_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWriteDeterministic pins that two identical snapshots render to
+// byte-identical text — what lets the service tests and the smoke gate
+// assert on exact series.
+func TestWriteDeterministic(t *testing.T) {
+	samples := []metrics.Sample{
+		{Name: "b", Kind: "counter", Value: 1},
+		{Name: "a", Kind: "gauge", Value: 2},
+	}
+	var x, y strings.Builder
+	if err := Write(&x, "vca", samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&y, "vca", samples); err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != y.String() {
+		t.Fatal("identical snapshots rendered differently")
+	}
+	if strings.Index(x.String(), "vca_a") > strings.Index(x.String(), "vca_b_total") {
+		t.Fatalf("not sorted:\n%s", x.String())
+	}
+}

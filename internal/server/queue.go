@@ -1,0 +1,208 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// Priority is a job's scheduling class. Lower values dispatch first;
+// within a class, tenants share capacity round-robin and each tenant's
+// own cells run FIFO. The classes are strict: a queued interactive cell
+// always dispatches before any normal cell, and normal before batch —
+// starvation of batch work by a saturating interactive tenant is the
+// documented, intended behavior (docs/SERVICE.md discusses when to use
+// each class).
+type Priority int
+
+// Priority classes, highest first.
+const (
+	PriorityInteractive Priority = iota
+	PriorityNormal
+	PriorityBatch
+	numPriorities
+)
+
+// ParsePriority maps the wire names onto the classes; "" selects
+// PriorityNormal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "interactive":
+		return PriorityInteractive, nil
+	case "normal", "":
+		return PriorityNormal, nil
+	case "batch":
+		return PriorityBatch, nil
+	}
+	return 0, errors.New(`priority must be "interactive", "normal", or "batch"`)
+}
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityNormal:
+		return "normal"
+	case PriorityBatch:
+		return "batch"
+	}
+	return "?"
+}
+
+// Queue errors.
+var (
+	// ErrQueueFull is returned by Push when admitting the cells would
+	// exceed the queue bound; the HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("queue full")
+	// ErrQueueClosed is returned by Push once draining has begun; the
+	// HTTP layer maps it to 503.
+	ErrQueueClosed = errors.New("queue draining")
+)
+
+// workItem is one schedulable unit: a single sweep cell of a job.
+type workItem struct {
+	job  *Job
+	cell int // index into job.Cells
+}
+
+// tenantQ is one tenant's FIFO within a priority class.
+type tenantQ struct {
+	name  string
+	items []workItem
+	head  int // pop index; compacted when the queue empties
+}
+
+func (t *tenantQ) empty() bool { return t.head >= len(t.items) }
+
+func (t *tenantQ) pop() workItem {
+	it := t.items[t.head]
+	t.items[t.head] = workItem{} // drop the *Job reference for GC
+	t.head++
+	if t.empty() {
+		t.items, t.head = t.items[:0], 0
+	}
+	return it
+}
+
+// class is one priority level: per-tenant FIFOs plus a round-robin ring
+// over the tenants that currently have work.
+type class struct {
+	tenants map[string]*tenantQ
+	ring    []*tenantQ // tenants with pending items, in rotation order
+	next    int        // ring cursor
+}
+
+// Queue is the service's bounded work queue: cells enter tagged with
+// (tenant, priority) and leave in strict-priority, tenant-fair,
+// per-tenant-FIFO order. All methods are safe for concurrent use; Pop
+// blocks until work is available or the queue is closed and empty.
+//
+// Fairness model: within a priority class the dispatcher cycles over
+// the tenants that have pending cells, taking one cell per tenant per
+// turn. A tenant that enqueues a 10,000-cell sweep therefore cannot
+// lock out a tenant that enqueues one cell afterwards; the newcomer's
+// first cell dispatches within one rotation.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	limit   int // maximum queued cells across all classes
+	size    int
+	classes [numPriorities]class
+	closed  bool
+}
+
+// NewQueue returns a queue admitting at most limit cells (limit <= 0
+// means an effectively unbounded 1<<30).
+func NewQueue(limit int) *Queue {
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	q := &Queue{limit: limit}
+	q.cond = sync.NewCond(&q.mu)
+	for i := range q.classes {
+		q.classes[i].tenants = make(map[string]*tenantQ)
+	}
+	return q
+}
+
+// Push admits n cells of job atomically: either every cell is queued or
+// none is (so a sweep is never half-admitted). Returns ErrQueueFull or
+// ErrQueueClosed without queueing anything on failure.
+func (q *Queue) Push(job *Job, cells []int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.size+len(cells) > q.limit {
+		return ErrQueueFull
+	}
+	c := &q.classes[job.Priority]
+	tq := c.tenants[job.Tenant]
+	if tq == nil {
+		tq = &tenantQ{name: job.Tenant}
+		c.tenants[job.Tenant] = tq
+	}
+	wasEmpty := tq.empty()
+	for _, i := range cells {
+		tq.items = append(tq.items, workItem{job: job, cell: i})
+	}
+	if wasEmpty && len(cells) > 0 {
+		c.ring = append(c.ring, tq)
+	}
+	q.size += len(cells)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Pop removes the next cell in scheduling order, blocking while the
+// queue is empty. ok is false once the queue is closed and fully
+// drained — the worker-exit signal.
+func (q *Queue) Pop() (it workItem, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.size == 0 {
+		return workItem{}, false
+	}
+	for p := range q.classes {
+		c := &q.classes[p]
+		if len(c.ring) == 0 {
+			continue
+		}
+		if c.next >= len(c.ring) {
+			c.next = 0
+		}
+		tq := c.ring[c.next]
+		it = tq.pop()
+		if tq.empty() {
+			// Remove from rotation; the cursor now points at the
+			// following tenant, so no extra advance.
+			c.ring = append(c.ring[:c.next], c.ring[c.next+1:]...)
+		} else {
+			c.next++
+		}
+		q.size--
+		return it, true
+	}
+	// Unreachable: size > 0 implies some ring is non-empty.
+	panic("server: queue size and rings disagree")
+}
+
+// Close stops admission: subsequent Push calls fail with
+// ErrQueueClosed, and Pop returns ok=false once the already-admitted
+// cells have drained. Closing an already-closed queue is a no-op.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Depth returns the number of queued (not yet dispatched) cells.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

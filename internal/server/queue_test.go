@@ -1,0 +1,163 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func testJob(tenant string, prio Priority, cells int) *Job {
+	j := &Job{ID: "t-" + tenant, Tenant: tenant, Priority: prio, Cells: make([]Cell, cells)}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+func indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestQueueTenantFairness pins the round-robin guarantee: a tenant that
+// floods the queue cannot lock out a tenant that arrives later — the
+// dispatcher takes one cell per tenant per rotation.
+func TestQueueTenantFairness(t *testing.T) {
+	q := NewQueue(0)
+	a := testJob("alice", PriorityNormal, 4)
+	b := testJob("bob", PriorityNormal, 2)
+	if err := q.Push(a, indices(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(b, indices(2)); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	for i := 0; i < 6; i++ {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		order = append(order, it.job.Tenant)
+	}
+	want := []string{"alice", "bob", "alice", "bob", "alice", "alice"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", order, want)
+		}
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d after draining", q.Depth())
+	}
+}
+
+// TestQueuePriorityClasses pins strict priorities: interactive cells
+// dispatch before normal, normal before batch, regardless of arrival
+// order.
+func TestQueuePriorityClasses(t *testing.T) {
+	q := NewQueue(0)
+	batch := testJob("x", PriorityBatch, 2)
+	normal := testJob("y", PriorityNormal, 1)
+	inter := testJob("z", PriorityInteractive, 1)
+	for _, j := range []*Job{batch, normal, inter} {
+		if err := q.Push(j, indices(len(j.Cells))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Priority
+	for i := 0; i < 4; i++ {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		got = append(got, it.job.Priority)
+	}
+	want := []Priority{PriorityInteractive, PriorityNormal, PriorityBatch, PriorityBatch}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueBoundAndClose pins the admission-control contract: a push
+// that would exceed the bound is refused atomically (nothing queued),
+// and pushes after Close fail with ErrQueueClosed while queued cells
+// still drain.
+func TestQueueBoundAndClose(t *testing.T) {
+	q := NewQueue(3)
+	j := testJob("a", PriorityNormal, 2)
+	if err := q.Push(j, indices(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(testJob("b", PriorityNormal, 2), indices(2)); err != ErrQueueFull {
+		t.Fatalf("overfull push: err = %v, want ErrQueueFull", err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("rejected push leaked items: depth = %d", q.Depth())
+	}
+	q.Close()
+	if err := q.Push(testJob("c", PriorityNormal, 1), indices(1)); err != ErrQueueClosed {
+		t.Fatalf("push after close: err = %v, want ErrQueueClosed", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("queued cell %d lost on close", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned an item from a closed empty queue")
+	}
+}
+
+// TestQueueConcurrent hammers the queue from concurrent producers and
+// consumers — the `-race` target over the scheduler. Every pushed cell
+// must be popped exactly once.
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue(0)
+	const producers, perProducer, consumers = 8, 50, 4
+
+	var popped sync.Map
+	var wg sync.WaitGroup
+	var consumerWG sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		consumerWG.Add(1)
+		go func() {
+			defer consumerWG.Done()
+			for {
+				it, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := popped.LoadOrStore([2]any{it.job, it.cell}, true); dup {
+					t.Errorf("cell popped twice: %s/%d", it.job.Tenant, it.cell)
+					return
+				}
+			}
+		}()
+	}
+	tenants := []string{"a", "b", "c"}
+	prios := []Priority{PriorityInteractive, PriorityNormal, PriorityBatch}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			j := testJob(tenants[p%len(tenants)], prios[p%len(prios)], perProducer)
+			for i := 0; i < perProducer; i++ {
+				if err := q.Push(j, []int{i}); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+	consumerWG.Wait()
+
+	n := 0
+	popped.Range(func(_, _ any) bool { n++; return true })
+	if n != producers*perProducer {
+		t.Fatalf("popped %d cells, pushed %d", n, producers*perProducer)
+	}
+}

@@ -1,0 +1,388 @@
+// Package server implements the simulation sweep service behind
+// cmd/vcaserved: an HTTP JSON job API over the memoized simulation
+// infrastructure (internal/simcache, internal/experiments), turning the
+// experiment harness into a long-running daemon that many clients share.
+//
+// # API surface
+//
+//	POST /v1/sweeps               submit a config-space sweep (202 + job id)
+//	GET  /v1/sweeps/{id}          poll job status
+//	GET  /v1/sweeps/{id}/results  stream per-cell results as NDJSON as they land
+//	GET  /healthz                 liveness (process up)
+//	GET  /readyz                  readiness (503 while draining)
+//	GET  /metrics                 Prometheus text format (internal/metrics/promexport)
+//
+// A sweep expands into independent cells (one simulation each) that
+// enter a bounded work queue with strict priority classes and
+// round-robin fairness across tenants (queue.go). Workers execute cells
+// against a shared content-addressed result store with singleflight
+// dedup (simcache.RunMachineShared): N concurrent clients asking for
+// the same (config, program) pay for exactly one simulation. Results
+// stream back the moment each cell lands, carrying the run's full
+// event-counter map — the CounterPoint-style surface downstream
+// validation consumes (PAPERS.md).
+//
+// The server drains gracefully: Drain stops admission (readyz turns
+// 503, submissions get 503, the queue closes), lets queued and running
+// cells finish within the drain budget, then cancels stragglers. Every
+// operational knob, metric series, and alerting rule is documented in
+// docs/SERVICE.md; the architecture and its design decisions are
+// DESIGN.md §13.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vca/internal/metrics"
+	"vca/internal/metrics/promexport"
+	"vca/internal/simcache"
+)
+
+// Options configures a Server. Zero values take the documented
+// defaults, so Options{} is a runnable development configuration.
+type Options struct {
+	// Cache is the shared result store. nil disables memoization and
+	// singleflight (every cell simulates) — not recommended for serving.
+	Cache *simcache.Cache
+	// Workers is the number of cell-executing goroutines
+	// (0 = GOMAXPROCS).
+	Workers int
+	// QueueLimit bounds the number of queued cells across all tenants
+	// (0 = 4096). Submissions that would exceed it get 429.
+	QueueLimit int
+	// MaxCellsPerSweep bounds a single sweep's expansion (0 = 1024).
+	// Larger submissions get 400.
+	MaxCellsPerSweep int
+	// JobTimeout is the default per-job wall-time budget, overridable
+	// per request via timeout_sec (0 = 10m).
+	JobTimeout time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.QueueLimit <= 0 {
+		out.QueueLimit = 4096
+	}
+	if out.MaxCellsPerSweep <= 0 {
+		out.MaxCellsPerSweep = 1024
+	}
+	if out.JobTimeout <= 0 {
+		out.JobTimeout = 10 * time.Minute
+	}
+	return out
+}
+
+// Server is the sweep service: queue, workers, job table, metrics.
+// Create with New, mount Handler on an http.Server, and call Drain on
+// shutdown. All methods are safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *simcache.Cache
+	queue *Queue
+	met   serviceMetrics
+
+	baseCtx    context.Context // parent of every job context
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+
+	wg  sync.WaitGroup // worker goroutines
+	seq atomic.Uint64  // job id sequence
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{
+		opts:  o,
+		cache: o.Cache,
+		queue: NewQueue(o.QueueLimit),
+		jobs:  make(map[string]*Job),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	for i := 0; i < o.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker pulls cells in scheduling order and executes them until the
+// queue closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		it, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runItem(it)
+	}
+}
+
+// runItem executes one cell with the job's deadline and records the
+// result. A cell whose job deadline already expired (or whose server is
+// force-draining) fails without simulating; a cell that exceeds the
+// deadline mid-run is reported failed while its simulation goroutine
+// drains on its own, bounded by Config.MaxCycles — the same abandonment
+// discipline as simcache.Runner timeouts.
+func (s *Server) runItem(it workItem) {
+	j := it.job
+	j.markStarted()
+	cell := j.Cells[it.cell]
+
+	var res CellResult
+	if err := j.ctx.Err(); err != nil {
+		res = CellResult{Cell: cell, Error: fmt.Sprintf("cell not started: %v", err)}
+	} else {
+		s.met.cellsRunning.Add(1)
+		start := time.Now()
+		done := make(chan CellResult, 1)
+		go func() { done <- RunCell(s.cache, cell) }()
+		select {
+		case res = <-done:
+		case <-j.ctx.Done():
+			res = CellResult{Cell: cell, Error: fmt.Sprintf("cell abandoned after %v: %v", time.Since(start).Round(time.Millisecond), j.ctx.Err())}
+		}
+		s.met.latCell.Observe(uint64(time.Since(start).Microseconds()))
+		s.met.cellsRunning.Add(-1)
+	}
+
+	s.met.cellsDone.Add(1)
+	if res.Error != "" {
+		s.met.cellsFailed.Add(1)
+	} else if !res.Valid {
+		s.met.cellsInvalid.Add(1)
+	}
+	if last := j.appendResult(res); last {
+		s.met.jobsRunning.Add(-1)
+		s.met.jobsDone.Add(1)
+		if j.status().CellsFailed > 0 {
+			s.met.jobsFailed.Add(1)
+		}
+	}
+}
+
+// Submit validates and admits a sweep, returning the queued job. The
+// error is ErrQueueFull/ErrQueueClosed for capacity refusals, or a
+// validation error otherwise.
+func (s *Server) Submit(req SweepRequest) (*Job, error) {
+	if s.draining.Load() {
+		s.met.jobsRejected.Add(1)
+		return nil, ErrQueueClosed
+	}
+	prio, err := ParsePriority(req.Priority)
+	if err != nil {
+		s.met.jobsRejected.Add(1)
+		return nil, err
+	}
+	cells, err := ExpandCells(&req, s.opts.MaxCellsPerSweep)
+	if err != nil {
+		s.met.jobsRejected.Add(1)
+		return nil, err
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	timeout := s.opts.JobTimeout
+	if req.TimeoutSec > 0 {
+		timeout = time.Duration(req.TimeoutSec) * time.Second
+	}
+	id := fmt.Sprintf("sw-%06d", s.seq.Add(1))
+	j := newJob(id, req, prio, cells, s.baseCtx, timeout)
+
+	indices := make([]int, len(cells))
+	for i := range indices {
+		indices[i] = i
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	if err := s.queue.Push(j, indices); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		j.cancel()
+		s.met.jobsRejected.Add(1)
+		return nil, err
+	}
+	s.met.jobsSubmitted.Add(1)
+	s.met.jobsRunning.Add(1)
+	s.met.cellsSubmitted.Add(uint64(len(cells)))
+	return j, nil
+}
+
+// Job looks up an admitted job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Drain performs the graceful-shutdown sequence: stop admission, close
+// the queue, and wait for queued + running cells to finish. If ctx
+// expires first, every outstanding job context is cancelled so workers
+// abandon their cells and exit; Drain then waits for the workers
+// themselves. Returns nil on a clean drain, ctx.Err() when work was
+// abandoned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelBase()
+		return nil
+	case <-ctx.Done():
+		s.cancelBase() // abandon in-flight cells; workers record errors and exit
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun (readyz state).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// httpError is the uniform JSON error body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.latSubmit.Observe(uint64(time.Since(start).Microseconds())) }()
+
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.jobsRejected.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep request: %w", err))
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrQueueClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":          j.ID,
+		"cells_total": len(j.Cells),
+		"status_url":  "/v1/sweeps/" + j.ID,
+		"results_url": "/v1/sweeps/" + j.ID + "/results",
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.latStatus.Observe(uint64(time.Since(start).Microseconds())) }()
+
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.status())
+}
+
+// handleResults streams the job's cell results as NDJSON in completion
+// order: results already landed are sent immediately, then the
+// connection stays open until the job finishes or the client goes away.
+// Each line is one CellResult, flushed as it lands.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.latResults.Observe(uint64(time.Since(start).Microseconds())) }()
+
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		res, ok := j.resultAt(r.Context(), i)
+		if !ok {
+			return
+		}
+		if err := enc.Encode(&res); err != nil {
+			return // client gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleMetrics renders the Prometheus exposition: service-level
+// series, then the shared result store's counters. The full name
+// mapping lives in docs/SERVICE.md and docs/OBSERVABILITY.md.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	samples := s.met.snapshot(s.queue.Depth())
+	if s.cache != nil {
+		samples = append(samples, s.cache.MetricsRegistry().Snapshot()...)
+	}
+	promexport.Write(w, "vca", samples)
+}
+
+// Metrics returns a point-in-time sample set of the service metrics —
+// the same data /metrics renders, for in-process consumers and tests.
+func (s *Server) Metrics() []metrics.Sample {
+	return s.met.snapshot(s.queue.Depth())
+}

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vca/internal/simcache"
+)
+
+// newTestServer builds a server over a fresh cache directory and an
+// httptest front end.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Cache == nil {
+		cache, err := simcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Cache = cache
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func submitSweep(t *testing.T, ts *httptest.Server, req SweepRequest) (id string, cells int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, e)
+	}
+	var out struct {
+		ID         string `json:"id"`
+		CellsTotal int    `json:"cells_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID, out.CellsTotal
+}
+
+func streamResults(t *testing.T, ts *httptest.Server, id string) []CellResult {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("results content type %q", ct)
+	}
+	var out []CellResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var r CellResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEndToEndByteIdentity is the acceptance gate: a sweep submitted
+// over HTTP and streamed back as NDJSON must be byte-identical, cell
+// for cell, to the same cells dispatched directly through
+// simcache.Runner in-process (RunCells) — same results, same counters,
+// same JSON bytes. The service adds transport and scheduling, never
+// semantics.
+func TestEndToEndByteIdentity(t *testing.T) {
+	req := SweepRequest{
+		Tenant:     "e2e",
+		Benchmarks: []string{"crafty"},
+		Archs:      []string{"baseline", "vca-windowed"},
+		PhysRegs:   []int{64, 256}, // baseline@64 is a "No Baseline" region
+		StopAfter:  3000,
+	}
+
+	// Direct path: same cells, standard Runner, its own cache dir.
+	cells, err := ExpandCells(&req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directCache, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunCells(directCache, 2, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Service path: fresh cache, HTTP round trip.
+	_, ts := newTestServer(t, Options{Workers: 2})
+	id, n := submitSweep(t, ts, req)
+	if n != len(cells) {
+		t.Fatalf("service expanded %d cells, direct %d", n, len(cells))
+	}
+	streamed := streamResults(t, ts, id)
+	if len(streamed) != len(direct) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(direct))
+	}
+	sort.Slice(streamed, func(a, b int) bool { return streamed[a].Index < streamed[b].Index })
+
+	sawInvalid := false
+	for i := range direct {
+		want, _ := json.Marshal(&direct[i])
+		got, _ := json.Marshal(&streamed[i])
+		if !bytes.Equal(want, got) {
+			t.Errorf("cell %d differs:\n service: %s\n direct:  %s", i, got, want)
+		}
+		if direct[i].Error != "" {
+			t.Errorf("cell %d failed: %s", i, direct[i].Error)
+		}
+		if !direct[i].Valid {
+			sawInvalid = true
+		} else {
+			if len(direct[i].Counters) == 0 {
+				t.Errorf("cell %d carries no counter map", i)
+			}
+			if direct[i].CacheKey == "" {
+				t.Errorf("cell %d carries no cache key", i)
+			}
+		}
+	}
+	if !sawInvalid {
+		t.Error("sweep should contain a No-Baseline (invalid) cell: baseline@64")
+	}
+
+	// Status endpoint agrees.
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.State != StateDone || st.CellsDone != len(cells) || st.CellsFailed != 0 {
+		t.Fatalf("status = %+v, want done/%d/0", st, len(cells))
+	}
+}
+
+// promValue extracts a single series value from Prometheus text output.
+func promValue(t *testing.T, text, series string) (uint64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		var v uint64
+		if n, _ := fmt.Sscanf(line, series+" %d", &v); n == 1 &&
+			strings.HasPrefix(line, series+" ") {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestSingleflightConcurrentSubmissions is the second acceptance gate:
+// K concurrent submissions of the identical single-cell sweep must
+// trigger exactly one simulation, proven by the cache/singleflight
+// counters exposed on /metrics — vca_simcache_misses_total == 1 and
+// sf_hits + hits == K-1 — while every client still receives a full
+// result.
+func TestSingleflightConcurrentSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4})
+	req := SweepRequest{
+		Tenant:     "dedup",
+		Benchmarks: []string{"mesa"},
+		Archs:      []string{"vca-flat"},
+		PhysRegs:   []int{192},
+		StopAfter:  4000,
+	}
+
+	const K = 6
+	ids := make([]string, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], _ = submitSweep(t, ts, req)
+		}(i)
+	}
+	wg.Wait()
+
+	var first []byte
+	for i, id := range ids {
+		res := streamResults(t, ts, id)
+		if len(res) != 1 || res[0].Error != "" || !res[0].Valid {
+			t.Fatalf("submission %d: unexpected results %+v", i, res)
+		}
+		b, _ := json.Marshal(&res[0])
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatalf("submission %d result differs from submission 0", i)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := body.String()
+
+	misses, ok := promValue(t, text, "vca_simcache_misses_total")
+	if !ok {
+		t.Fatalf("/metrics lacks vca_simcache_misses_total:\n%s", text)
+	}
+	hits, _ := promValue(t, text, "vca_simcache_hits_total")
+	sfHits, ok := promValue(t, text, "vca_simcache_sf_hits_total")
+	if !ok {
+		t.Fatalf("/metrics lacks vca_simcache_sf_hits_total:\n%s", text)
+	}
+	if misses != 1 {
+		t.Errorf("vca_simcache_misses_total = %d, want exactly 1 simulation for %d identical submissions", misses, K)
+	}
+	if hits+sfHits != K-1 {
+		t.Errorf("hits(%d) + sf_hits(%d) = %d, want %d coalesced/memoized answers", hits, sfHits, hits+sfHits, K-1)
+	}
+	if done, _ := promValue(t, text, "vca_server_jobs_done_total"); done != K {
+		t.Errorf("vca_server_jobs_done_total = %d, want %d", done, K)
+	}
+	if cells, _ := promValue(t, text, "vca_server_cells_done_total"); cells != K {
+		t.Errorf("vca_server_cells_done_total = %d, want %d", cells, K)
+	}
+}
+
+// TestGracefulDrain pins the shutdown sequence: Drain lets admitted
+// work finish, flips /readyz to 503, and refuses new submissions with
+// 503, while already-streamed results stay complete.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	req := SweepRequest{
+		Benchmarks: []string{"gap"},
+		Archs:      []string{"baseline"},
+		PhysRegs:   []int{256},
+		StopAfter:  3000,
+	}
+	id, _ := submitSweep(t, ts, req)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The admitted job finished with a real answer.
+	res := streamResults(t, ts, id)
+	if len(res) != 1 || res[0].Error != "" || !res[0].Valid {
+		t.Fatalf("drained job results: %+v", res)
+	}
+
+	// Readiness reflects the drain; liveness does not.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d, want 200", resp.StatusCode)
+	}
+
+	// New submissions are refused with 503.
+	body, _ := json.Marshal(req)
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestForcedDrainAnswersEveryCell pins drain convergence under an
+// expired budget: even when the drain context is already cancelled,
+// every admitted cell receives an answer (abandoned cells report
+// errors, queued cells fail fast) and workers exit.
+func TestForcedDrainAnswersEveryCell(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	req := SweepRequest{
+		Benchmarks: []string{"crafty", "twolf", "parser"},
+		Archs:      []string{"baseline"},
+		PhysRegs:   []int{256},
+		StopAfter:  2000,
+	}
+	id, n := submitSweep(t, ts, req)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()     // expired before the drain starts
+	s.Drain(ctx) // error value depends on timing; convergence is the contract
+
+	res := streamResults(t, ts, id)
+	if len(res) != n {
+		t.Fatalf("forced drain answered %d of %d cells", len(res), n)
+	}
+}
+
+// TestSubmitValidation pins the 400-family behavior.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxCellsPerSweep: 4})
+	for name, req := range map[string]SweepRequest{
+		"unknown arch":  {Benchmarks: []string{"crafty"}, Archs: []string{"pdp11"}, PhysRegs: []int{256}},
+		"unknown bench": {Benchmarks: []string{"doom"}, Archs: []string{"baseline"}, PhysRegs: []int{256}},
+		"empty axes":    {Benchmarks: []string{"crafty"}, Archs: []string{"baseline"}},
+		"bad priority":  {Benchmarks: []string{"crafty"}, Archs: []string{"baseline"}, PhysRegs: []int{256}, Priority: "urgent"},
+		"too large":     {Benchmarks: []string{"crafty"}, Archs: []string{"baseline"}, PhysRegs: []int{64, 128, 192, 256, 320}},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/sweeps/sw-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestQueueFullRejection pins 429 on a saturated queue: admission is
+// atomic per sweep, so a sweep larger than the remaining queue capacity
+// is refused whole, deterministically, regardless of worker progress.
+func TestQueueFullRejection(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueLimit: 1})
+	req := SweepRequest{
+		Benchmarks: []string{"crafty"},
+		Archs:      []string{"baseline"},
+		PhysRegs:   []int{192, 256}, // 2 cells > QueueLimit 1
+		StopAfter:  2000,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized sweep: status %d, want 429", resp.StatusCode)
+	}
+}

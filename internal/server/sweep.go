@@ -1,0 +1,228 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"vca/internal/core"
+	"vca/internal/experiments"
+	"vca/internal/minic"
+	"vca/internal/program"
+	"vca/internal/simcache"
+	"vca/internal/workload"
+)
+
+// SweepRequest is the POST /v1/sweeps body: a config-space sweep
+// expressed as a cross product. Every combination of (arch, phys_regs,
+// dl1_ports, benchmarks entry) becomes one cell; cells are independent
+// simulation jobs and stream back individually as they finish.
+//
+// A benchmarks entry is a comma-separated list of workload names, one
+// per SMT hardware thread ("crafty" is a single-thread cell,
+// "crafty,mesa" a 2-thread multiprogrammed cell). Arch names are the
+// public ones cmd/vcasim uses: baseline, conv-windowed, ideal-windowed,
+// vca-flat, vca-windowed.
+type SweepRequest struct {
+	// Tenant is the fair-scheduling key; "" maps to "default". Cells of
+	// different tenants in the same priority class dispatch round-robin.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the scheduling class: "interactive", "normal"
+	// (default), or "batch". Classes are strict; see docs/SERVICE.md.
+	Priority string `json:"priority,omitempty"`
+	// Benchmarks, Archs, PhysRegs, DL1Ports span the sweep's cross
+	// product. DL1Ports defaults to [2] (the paper's dual-port baseline).
+	Benchmarks []string `json:"benchmarks"`
+	Archs      []string `json:"archs"`
+	PhysRegs   []int    `json:"phys_regs"`
+	DL1Ports   []int    `json:"dl1_ports,omitempty"`
+	// StopAfter caps detailed simulation per cell: the run ends once any
+	// thread commits this many instructions (0 = run to completion).
+	StopAfter uint64 `json:"stop_after,omitempty"`
+	// TimeoutSec bounds the whole job's wall time from admission; cells
+	// not finished when it expires fail with a timeout error. 0 takes
+	// the server default (-jobtimeout).
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// Cell is one point of a sweep's cross product, fully describing one
+// simulation job.
+type Cell struct {
+	Index      int    `json:"index"`
+	Arch       string `json:"arch"`
+	Benchmarks string `json:"benchmarks"` // comma-separated, one per thread
+	PhysRegs   int    `json:"phys_regs"`
+	DL1Ports   int    `json:"dl1_ports"`
+	StopAfter  uint64 `json:"stop_after,omitempty"`
+}
+
+// CellResult is one line of the NDJSON results stream. Valid=false
+// cells are the sweep's "No Baseline" regions: the architecture cannot
+// operate at that register-file size (experiments.Arch.Config), which
+// is a well-formed answer, not an error.
+//
+// Counters is the run's full flat event-counter map — the CounterPoint
+// surface (PAPERS.md): exposing every counter through the job API lets
+// downstream validation evaluate counter-algebra predicates without
+// re-running anything. CacheKey is the job's content address in the
+// shared result store, usable for provenance auditing against the
+// store's index.json.
+type CellResult struct {
+	Cell
+	Valid     bool              `json:"valid"`
+	Cycles    uint64            `json:"cycles,omitempty"`
+	Committed uint64            `json:"committed,omitempty"`
+	IPC       float64           `json:"ipc,omitempty"`
+	Outputs   []string          `json:"outputs,omitempty"` // per-thread program output
+	CacheKey  string            `json:"cache_key,omitempty"`
+	Counters  map[string]uint64 `json:"counters,omitempty"`
+	Error     string            `json:"error,omitempty"`
+}
+
+// archByName maps the public architecture names (cmd/vcasim -arch) onto
+// the experiment harness's configuration builder.
+var archByName = map[string]experiments.Arch{
+	"baseline":       experiments.ArchBaseline,
+	"conv-windowed":  experiments.ArchConvWindow,
+	"ideal-windowed": experiments.ArchIdealWindow,
+	"vca-flat":       experiments.ArchVCAFlat,
+	"vca-windowed":   experiments.ArchVCAWindow,
+}
+
+// ArchNames returns the accepted arch names, for error messages.
+func ArchNames() []string {
+	return []string{"baseline", "conv-windowed", "ideal-windowed", "vca-flat", "vca-windowed"}
+}
+
+// ExpandCells validates a request and expands its cross product into
+// cells in deterministic order (arch-major, then phys_regs, then
+// dl1_ports, then benchmarks). It rejects unknown arch or benchmark
+// names, empty axes, and sweeps larger than maxCells.
+func ExpandCells(req *SweepRequest, maxCells int) ([]Cell, error) {
+	if len(req.Benchmarks) == 0 || len(req.Archs) == 0 || len(req.PhysRegs) == 0 {
+		return nil, fmt.Errorf("benchmarks, archs, and phys_regs must each be non-empty")
+	}
+	ports := req.DL1Ports
+	if len(ports) == 0 {
+		ports = []int{2}
+	}
+	for _, a := range req.Archs {
+		if _, ok := archByName[a]; !ok {
+			return nil, fmt.Errorf("unknown arch %q (want one of %s)", a, strings.Join(ArchNames(), ", "))
+		}
+	}
+	for _, b := range req.Benchmarks {
+		for _, name := range strings.Split(b, ",") {
+			if _, err := workload.ByName(strings.TrimSpace(name)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range req.PhysRegs {
+		if r <= 0 {
+			return nil, fmt.Errorf("phys_regs must be positive, got %d", r)
+		}
+	}
+	for _, p := range ports {
+		if p <= 0 {
+			return nil, fmt.Errorf("dl1_ports must be positive, got %d", p)
+		}
+	}
+	n := len(req.Archs) * len(req.PhysRegs) * len(ports) * len(req.Benchmarks)
+	if maxCells > 0 && n > maxCells {
+		return nil, fmt.Errorf("sweep expands to %d cells, above the per-sweep limit %d", n, maxCells)
+	}
+	cells := make([]Cell, 0, n)
+	for _, a := range req.Archs {
+		for _, r := range req.PhysRegs {
+			for _, p := range ports {
+				for _, b := range req.Benchmarks {
+					cells = append(cells, Cell{
+						Index:      len(cells),
+						Arch:       a,
+						Benchmarks: b,
+						PhysRegs:   r,
+						DL1Ports:   p,
+						StopAfter:  req.StopAfter,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// buildCell resolves a cell to a runnable (config, programs, windowed)
+// triple. ok=false means the architecture cannot operate at this size —
+// the caller reports an invalid (but successful) cell.
+func buildCell(c Cell) (cfg core.Config, progs []*program.Program, windowed bool, ok bool, err error) {
+	arch, known := archByName[c.Arch]
+	if !known {
+		return core.Config{}, nil, false, false, fmt.Errorf("unknown arch %q", c.Arch)
+	}
+	names := strings.Split(c.Benchmarks, ",")
+	cfg, ok = arch.Config(len(names), c.PhysRegs, c.DL1Ports)
+	if !ok {
+		return core.Config{}, nil, false, false, nil
+	}
+	abi := arch.ABI()
+	for _, name := range names {
+		b, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return core.Config{}, nil, false, false, err
+		}
+		p, err := b.Build(abi)
+		if err != nil {
+			return core.Config{}, nil, false, false, err
+		}
+		progs = append(progs, p)
+	}
+	cfg.StopAfter = c.StopAfter
+	cfg.MaxCycles = 1 << 34
+	return cfg, progs, abi == minic.ABIWindowed, true, nil
+}
+
+// RunCell executes one cell against the shared store with singleflight
+// dedup and reduces the outcome to its wire form. Simulation failures
+// land in CellResult.Error (the cell is answered, the job continues) —
+// the same discipline simcache.Runner applies to failing jobs.
+func RunCell(cache *simcache.Cache, c Cell) CellResult {
+	out := CellResult{Cell: c}
+	cfg, progs, windowed, ok, err := buildCell(c)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	if !ok {
+		return out // Valid stays false: a "No Baseline" region
+	}
+	res, counters, _, err := cache.RunMachineShared(cfg, progs, windowed)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.Valid = true
+	out.Cycles = res.Cycles
+	out.IPC = res.IPC()
+	out.CacheKey = simcache.Key(cfg, progs, windowed)
+	out.Counters = counters
+	for _, t := range res.Threads {
+		out.Committed += t.Committed
+		out.Outputs = append(out.Outputs, t.Output)
+	}
+	return out
+}
+
+// RunCells is the direct, in-process path: the same cells the service
+// would queue, dispatched through the standard simcache.Runner. The
+// service's streamed results are byte-identical (per cell, as JSON) to
+// this function's output over the same cache — the end-to-end identity
+// the httptest suite and `make serve-smoke` assert.
+func RunCells(cache *simcache.Cache, jobs int, cells []Cell) ([]CellResult, error) {
+	out := make([]CellResult, len(cells))
+	r := simcache.Runner{Jobs: jobs, KeepGoing: true}
+	err := r.Run(len(cells), func(i int) error {
+		out[i] = RunCell(cache, cells[i])
+		return nil
+	})
+	return out, err
+}

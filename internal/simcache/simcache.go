@@ -21,8 +21,18 @@
 // resume for free: completed cells are already on disk, so a re-run
 // only simulates what is missing.
 //
-// docs/EXPERIMENTS.md documents key derivation, invalidation rules,
-// and the cmd/experiments -cache* flags.
+// A Cache is safe for concurrent use and doubles as the shared store
+// of the sweep service (internal/server, cmd/vcaserved): batch callers
+// use RunMachine, and concurrent clients use RunMachineShared, which
+// adds singleflight deduplication — overlapping requests for the same
+// content address pay for exactly one simulation (singleflight.go).
+// The cache also memoizes runs that start from a checkpointed state
+// image via RunMachineFrom (checkpoint.go), the basis of the
+// parallel-region harness in internal/experiments.
+//
+// EXPERIMENTS.md ("Result cache") documents key derivation,
+// invalidation rules, and the cmd/experiments -cache* flags;
+// docs/SERVICE.md documents the cache-sharing model of the service.
 package simcache
 
 import (
@@ -119,6 +129,12 @@ type Stats struct {
 	Corrupt uint64 `json:"corrupt"` // entries that failed checksum/decode and were discarded
 	Errors  uint64 `json:"errors"`  // I/O errors (treated as misses)
 
+	// SFHits counts RunMachineShared callers that coalesced onto another
+	// caller's in-flight simulation (singleflight followers). A follower
+	// is neither a disk hit nor a miss: total simulations == Misses, and
+	// total answered jobs == Hits + Misses + SFHits.
+	SFHits uint64 `json:"sf_hits,omitempty"`
+
 	// Checkpoint-store traffic (region-boundary images; see checkpoint.go).
 	CkHits   uint64 `json:"ck_hits,omitempty"`
 	CkMisses uint64 `json:"ck_misses,omitempty"`
@@ -142,6 +158,9 @@ type Cache struct {
 
 	hits, misses, stores, corrupt, errs atomic.Uint64
 	ckHits, ckMisses, ckStores          atomic.Uint64
+	sfHits                              atomic.Uint64
+
+	sf flightGroup // in-flight dedup for RunMachineShared
 
 	mu    sync.Mutex // guards index mutation + index.json rewrite
 	index map[string]IndexEntry
@@ -387,6 +406,7 @@ func (c *Cache) Stats() Stats {
 		Stores:   c.stores.Load(),
 		Corrupt:  c.corrupt.Load(),
 		Errors:   c.errs.Load(),
+		SFHits:   c.sfHits.Load(),
 		CkHits:   c.ckHits.Load(),
 		CkMisses: c.ckMisses.Load(),
 		CkStores: c.ckStores.Load(),
@@ -408,6 +428,7 @@ func (c *Cache) MetricsRegistry() *metrics.Registry {
 	add("stores", s.Stores, "results written to the cache")
 	add("corrupt", s.Corrupt, "cache entries discarded on checksum/decode failure")
 	add("errors", s.Errors, "cache I/O errors (degraded to misses)")
+	add("sf_hits", s.SFHits, "concurrent identical jobs coalesced onto one in-flight simulation")
 	add("ck_hits", s.CkHits, "region-boundary checkpoints answered from the store")
 	add("ck_misses", s.CkMisses, "region-boundary checkpoint lookups that missed")
 	add("ck_stores", s.CkStores, "region-boundary checkpoints written to the store")

@@ -402,7 +402,7 @@ func TestMetricsRegistryExport(t *testing.T) {
 	got := cache.MetricsRegistry().CounterMap()
 	want := map[string]uint64{
 		"simcache.hits": 2, "simcache.misses": 1, "simcache.stores": 1,
-		"simcache.corrupt": 0, "simcache.errors": 0,
+		"simcache.corrupt": 0, "simcache.errors": 0, "simcache.sf_hits": 0,
 		"simcache.ck_hits": 0, "simcache.ck_misses": 0, "simcache.ck_stores": 0,
 	}
 	if !reflect.DeepEqual(got, want) {

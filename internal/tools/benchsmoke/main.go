@@ -14,7 +14,7 @@
 //   - the functional engine's speedup over the detailed core falls
 //     below the committed floor (min_fast_speedup). The floor is set
 //     noise-tolerantly below the measured ratio — the honest A/B
-//     numbers live in BENCH_5.json and docs/EXPERIMENTS.md — so only a
+//     numbers live in BENCH_5.json and EXPERIMENTS.md — so only a
 //     real collapse of the fast path can trip it.
 //
 // The baseline (bench_smoke_baseline.json) records the blessed ns/inst

@@ -1,8 +1,10 @@
-// Command linkcheck verifies the repository's Markdown cross-links: every
-// relative link target in every *.md file must exist on disk. External
-// (http/https/mailto) links and in-page anchors are not fetched or
-// resolved — the check is offline and deterministic so it can gate
-// `make docs-check`.
+// Command linkcheck verifies the repository's Markdown cross-links:
+// every relative link target in every *.md file must exist on disk, and
+// every heading anchor — both in-page (`#section`) and cross-file
+// (`doc.md#section`) — must resolve to a real heading in the target
+// file under GitHub's slugification. External (http/https/mailto) links
+// are not fetched — the check is offline and deterministic so it can
+// gate `make docs-check`.
 //
 // Usage (from the repository root):
 //
@@ -16,11 +18,16 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // linkRe matches inline Markdown links and images: [text](target). Nested
 // brackets in the text (e.g. [[wiki]]-style) are not used in this repo.
 var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings; setext headings are not used in this
+// repo.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*$`)
 
 func main() {
 	root := "."
@@ -28,6 +35,7 @@ func main() {
 		root = os.Args[1]
 	}
 	broken := 0
+	anchors := map[string]map[string]bool{} // md path -> anchor set
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -42,7 +50,7 @@ func main() {
 		if !strings.HasSuffix(path, ".md") {
 			return nil
 		}
-		broken += checkFile(path)
+		broken += checkFile(path, anchors)
 		return nil
 	})
 	if err != nil {
@@ -56,8 +64,9 @@ func main() {
 }
 
 // checkFile reports the file's broken relative links on stderr and
-// returns how many it found.
-func checkFile(path string) int {
+// returns how many it found. anchors memoizes per-file heading-anchor
+// sets across calls.
+func checkFile(path string, anchors map[string]map[string]bool) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
@@ -70,19 +79,30 @@ func checkFile(path string) int {
 			if !relativeTarget(target) {
 				continue
 			}
-			// Drop an in-file anchor suffix; checking heading anchors would
-			// couple the checker to a specific slugification, so only the
-			// file part is verified.
-			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
+			target, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n",
+						path, lineNo+1, m[1], resolved)
+					broken++
+					continue
+				}
 			}
-			if target == "" {
+			// Verify the heading anchor, for in-page links and for links
+			// into another Markdown file alike.
+			if frag == "" || !strings.HasSuffix(resolved, ".md") {
 				continue
 			}
-			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
-			if _, err := os.Stat(resolved); err != nil {
-				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n",
-					path, lineNo+1, m[1], resolved)
+			set, ok := anchors[resolved]
+			if !ok {
+				set = headingAnchors(resolved)
+				anchors[resolved] = set
+			}
+			if !set[frag] {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken anchor %q (no heading in %s slugifies to %q)\n",
+					path, lineNo+1, m[1], resolved, frag)
 				broken++
 			}
 		}
@@ -90,14 +110,61 @@ func checkFile(path string) int {
 	return broken
 }
 
-// relativeTarget reports whether the link names something on disk (as
-// opposed to an external URL or a pure in-page anchor).
+// relativeTarget reports whether the link names something in this
+// repository (a file on disk or an in-page anchor) as opposed to an
+// external URL.
 func relativeTarget(target string) bool {
-	if strings.HasPrefix(target, "#") {
-		return false
+	return !strings.Contains(target, "://") && !strings.HasPrefix(target, "mailto:")
+}
+
+// headingAnchors scans a Markdown file for ATX headings outside fenced
+// code blocks and returns the set of anchors they generate. Duplicate
+// headings get -1, -2, … suffixes, matching GitHub's renderer.
+func headingAnchors(path string) map[string]bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
 	}
-	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
-		return false
+	set := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		base := slugify(m[1])
+		n := seen[base]
+		seen[base] = n + 1
+		if n > 0 {
+			base = fmt.Sprintf("%s-%d", base, n)
+		}
+		set[base] = true
 	}
-	return true
+	return set
+}
+
+// slugify converts a heading's text to its GitHub anchor: lowercase,
+// spaces become hyphens, and everything that is not a letter, digit,
+// hyphen, or underscore is dropped (backticks and other inline markup
+// fall out of the anchor this way).
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,259 @@
+// Command servesmoke is the CI smoke gate for the sweep service
+// (`make serve-smoke`): it builds and starts a real vcaserved process,
+// drives it over HTTP the way a client would, and asserts the
+// acceptance properties end to end:
+//
+//  1. /healthz and /readyz answer 200 on a fresh daemon.
+//  2. A submitted sweep streams NDJSON results that are byte-identical,
+//     cell for cell, to the same cells run directly in-process through
+//     simcache.Runner (server.RunCells) against a separate cache.
+//  3. /metrics serves Prometheus text with the service and simcache
+//     series the runbook alerts on.
+//  4. SIGTERM drains cleanly: the process exits 0 within the drain
+//     budget.
+//
+// The tool exits non-zero with a diagnostic on the first violated
+// property. It builds the daemon with the local toolchain, so it must
+// run from the repository root (as the Makefile does).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"vca/internal/server"
+	"vca/internal/simcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "servesmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Build the daemon exactly as a release would.
+	bin := filepath.Join(tmp, "vcaserved")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/vcaserved")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building vcaserved: %w", err)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cachedir", filepath.Join(tmp, "cache"),
+		"-workers", "2",
+		"-draintimeout", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting vcaserved: %w", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "vcaserved: listening on http://ADDR" once bound.
+	base, err := readBaseURL(stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("servesmoke: daemon up at %s\n", base)
+
+	if err := expectStatus(base+"/healthz", http.StatusOK); err != nil {
+		return err
+	}
+	if err := expectStatus(base+"/readyz", http.StatusOK); err != nil {
+		return err
+	}
+
+	// A tiny but non-trivial sweep: one valid cell per arch.
+	req := server.SweepRequest{
+		Tenant:     "smoke",
+		Benchmarks: []string{"crafty"},
+		Archs:      []string{"baseline", "vca-windowed"},
+		PhysRegs:   []int{256},
+		StopAfter:  3000,
+	}
+	streamed, err := submitAndStream(base, req)
+	if err != nil {
+		return err
+	}
+
+	// Direct identity reference: same cells through simcache.Runner
+	// in-process, against a different cache directory.
+	cells, err := server.ExpandCells(&req, 0)
+	if err != nil {
+		return err
+	}
+	directCache, err := simcache.Open(filepath.Join(tmp, "cache-direct"))
+	if err != nil {
+		return err
+	}
+	direct, err := server.RunCells(directCache, 2, cells)
+	if err != nil {
+		return err
+	}
+	if len(direct) != len(streamed) {
+		return fmt.Errorf("streamed %d cells, direct run produced %d", len(streamed), len(direct))
+	}
+	sort.Slice(streamed, func(a, b int) bool { return streamed[a].Index < streamed[b].Index })
+	for i := range direct {
+		want, _ := json.Marshal(&direct[i])
+		got, _ := json.Marshal(&streamed[i])
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("cell %d not byte-identical to the direct run:\n service: %s\n direct:  %s", i, got, want)
+		}
+		if direct[i].Error != "" {
+			return fmt.Errorf("cell %d failed: %s", i, direct[i].Error)
+		}
+	}
+	fmt.Printf("servesmoke: %d streamed cells byte-identical to the direct simcache.Runner run\n", len(direct))
+
+	// The metrics surface the runbook alerts on must be present.
+	text, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, series := range []string{
+		"vca_server_jobs_done_total 1",
+		"vca_server_cells_done_total 2",
+		"vca_server_queue_depth 0",
+		"vca_simcache_misses_total",
+		"vca_simcache_sf_hits_total",
+		"vca_server_latency_cell_us_count",
+	} {
+		if !strings.Contains(text, series) {
+			return fmt.Errorf("/metrics lacks %q:\n%s", series, text)
+		}
+	}
+	fmt.Println("servesmoke: /metrics serves the expected series")
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(90 * time.Second):
+		return fmt.Errorf("daemon did not exit within 90s of SIGTERM")
+	}
+	fmt.Println("servesmoke: SIGTERM drained cleanly (exit 0)")
+	return nil
+}
+
+// readBaseURL scans daemon stdout for the listening line.
+func readBaseURL(r interface{ Read([]byte) (int, error) }) (string, error) {
+	sc := bufio.NewScanner(r)
+	deadline := time.Now().Add(60 * time.Second)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, after, ok := strings.Cut(line, "listening on "); ok {
+			// Keep draining stdout in the background so the child never
+			// blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return strings.TrimSpace(after), nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	return "", fmt.Errorf("daemon never printed its listening address")
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := bufio.NewReader(resp.Body).WriteTo(&b); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, b.String())
+	}
+	return b.String(), nil
+}
+
+func expectStatus(url string, want int) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s: status %d, want %d", url, resp.StatusCode, want)
+	}
+	return nil
+}
+
+// submitAndStream submits the sweep and collects the NDJSON stream.
+func submitAndStream(base string, req server.SweepRequest) ([]server.CellResult, error) {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	var acc struct {
+		ID         string `json:"id"`
+		ResultsURL string `json:"results_url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		return nil, err
+	}
+	fmt.Printf("servesmoke: submitted sweep %s\n", acc.ID)
+
+	rr, err := http.Get(base + acc.ResultsURL)
+	if err != nil {
+		return nil, err
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("results: status %d", rr.StatusCode)
+	}
+	var out []server.CellResult
+	sc := bufio.NewScanner(rr.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var r server.CellResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %q: %w", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}

@@ -13,6 +13,23 @@
 //	}, prog)
 //	fmt.Println(res.Output(0), res.IPC())
 //
+// Beyond compile-and-run, the facade covers the repository's
+// measurement workflow end to end:
+//
+//   - MachineSpec.StopAfter bounds detailed simulation;
+//     MachineSpec.FastForward skips a warmup prefix on the fast
+//     functional engine before detailed simulation begins, and
+//     MachineSpec.Restore starts from a saved Checkpoint instead
+//     (DESIGN.md §12).
+//   - Result carries per-thread output, cycle/commit counts, and—when
+//     a run is created with observability enabled—the full event-
+//     counter registry (docs/OBSERVABILITY.md) for stats dumps and
+//     timeline recording.
+//   - MachineSpec.Cache (opened with OpenResultCache) memoizes runs in
+//     the on-disk result store (internal/simcache), the same
+//     content-addressed cache the experiment harness and the sweep
+//     service share.
+//
 // The deeper layers remain available under internal/ for the experiment
 // harness; this package exposes the stable surface a downstream user
 // needs: compile, assemble, configure, run, measure.
@@ -127,8 +144,9 @@ type MachineSpec struct {
 	// recording buffers events in memory — bound the run with StopAfter.
 	ChromeTrace *TraceRecorder
 	// Cache, when non-nil, memoizes the run in a content-addressed
-	// on-disk result cache (see internal/simcache and
-	// docs/EXPERIMENTS.md): an identical (config, programs) pair is
+	// on-disk result cache (see internal/simcache and the "Result
+	// cache" section of EXPERIMENTS.md): an identical (config,
+	// programs) pair is
 	// answered from disk without simulating. Ignored — the run always
 	// simulates — when Trace, ChromeTrace, or Check is set, because a
 	// replayed result has no live metrics registry or event stream
