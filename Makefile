@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke serve clean gitignore-check
+.PHONY: all build test test-race fuzz-smoke sweep counterpoint-gate check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke serve clean gitignore-check
 
 all: build test
 
@@ -30,6 +30,14 @@ fuzz-smoke:
 # Fixed-seed config-space lockstep sweep (see docs/VERIFICATION.md).
 sweep:
 	$(GO) run ./cmd/experiments -sweep 25 -sweepseed 1
+
+# Counter-oracle gate: evaluate every counterpoint predicate against
+# the golden matrix (scheduler grid + windowed-SMT + restored cells)
+# under the race detector. Fails on any refutation (an accounting bug)
+# or any predicate that was vacuous across the whole matrix (an oracle
+# with no teeth). See docs/VERIFICATION.md "Counter oracle".
+counterpoint-gate:
+	$(GO) run -race ./internal/tools/counterpointgate
 
 # Result-cache round-trip smoke: hits must reproduce cold-run results
 # bit for bit across the whole workload matrix.
@@ -72,15 +80,15 @@ serve:
 	$(GO) run ./cmd/vcaserved
 
 # Extended gate: static checks, the race suite, the fuzz smoke, the
-# cache round-trip smoke, the parallel-region identity gate, and the
-# sweep-service smoke. Slower than `make test`; run before sending a
-# change.
-check: docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate serve-smoke
+# cache round-trip smoke, the parallel-region identity gate, the
+# counter-oracle gate, and the sweep-service smoke. Slower than
+# `make test`; run before sending a change.
+check: docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke
 
 # Continuous-integration gate: everything check runs, plus the
 # fixed-seed verification sweep, the run-twice cache round trip, and the
 # throughput smoke gate (detailed + functional engines).
-ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate serve-smoke sweep cache-ci bench-smoke
+ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke sweep cache-ci bench-smoke
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.

@@ -1,0 +1,83 @@
+package main
+
+// counterpoint.go — the -counterpoint selector: refute-and-refine over
+// the randomized config cross-product. Unlike the golden-matrix gate
+// (internal/tools/counterpointgate), this sweep runs generated programs
+// on generated machines, so every refutation can hand its (machine,
+// program) pair to the verify shrinker for a minimal JSON repro.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"vca/internal/counterpoint"
+)
+
+// counterpointSweep runs the counter-oracle sweep and exits non-zero
+// if any predicate was refuted (printing each refutation with its
+// shrunk repro as JSON) or if the harness itself failed. A predicate
+// that is vacuous across this sweep is reported but not fatal — the
+// golden-matrix gate owns the vacuity guarantee.
+func counterpointSweep(seed int64, predicates, reportPath string) {
+	var names []string
+	if predicates != "" {
+		for _, n := range strings.Split(predicates, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	fmt.Printf("== Counter-oracle sweep: seed %d ==\n", seed)
+	rep, err := counterpoint.Sweep(counterpoint.SweepOptions{
+		Seed:       seed,
+		Jobs:       *flagJobs,
+		Predicates: names,
+		Progress: func(done, total int, cell string, refuted int) {
+			status := "ok"
+			if refuted > 0 {
+				status = fmt.Sprintf("%d REFUTED", refuted)
+			}
+			fmt.Printf("cell %3d/%d %-44s %s\n", done, total, cell, status)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: counterpoint harness failures:", err)
+	}
+	if rep == nil {
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-28s %6s %8s %8s %14s  %s\n", "predicate", "holds", "refuted", "vacuous", "min-slack", "tightest cell")
+	for _, s := range rep.Predicates {
+		slack, cell := "-", ""
+		if s.MinSlack != nil {
+			slack = fmt.Sprintf("%d", *s.MinSlack)
+			cell = s.MinSlackCell
+		}
+		fmt.Printf("%-28s %6d %8d %8d %14s  %s\n", s.Name, s.Holds, s.Refuted, s.Vacuous, slack, cell)
+	}
+	for _, name := range rep.VacuousEverywhere() {
+		fmt.Printf("note: %s was vacuous across this sweep (the golden-matrix gate covers it)\n", name)
+	}
+
+	if reportPath != "" {
+		b, merr := rep.MarshalIndent()
+		check(merr)
+		check(os.WriteFile(reportPath, append(b, '\n'), 0o644))
+		fmt.Printf("report: %s\n", reportPath)
+	}
+
+	if len(rep.Refutations) == 0 && err == nil {
+		fmt.Printf("all %d predicates survived %d cells; no refutations\n", len(rep.Predicates), rep.Cells)
+		return
+	}
+	for _, ref := range rep.Refutations {
+		b, merr := json.MarshalIndent(ref, "", "  ")
+		check(merr)
+		fmt.Printf("refutation:\n%s\n", b)
+	}
+	os.Exit(1)
+}

@@ -41,7 +41,11 @@ var (
 	flagStop   = flag.Uint64("stop", 150_000, "per-run commit budget (0 = full runs)")
 
 	flagSweep     = flag.Int("sweep", 0, "run N randomized machine configurations in lockstep with the emulator (invariant checker + co-simulation); shrunk repros print as JSON on divergence")
-	flagSweepSeed = flag.Int64("sweepseed", 1, "RNG seed for -sweep (a fixed seed reproduces the exact configuration sequence; meaningless without -sweep)")
+	flagSweepSeed = flag.Int64("sweepseed", 1, "RNG seed for -sweep and -counterpoint (a fixed seed reproduces the exact configuration sequence; meaningless without one of them)")
+
+	flagCounterpoint = flag.Bool("counterpoint", false, "refute-and-refine: sweep the config cross-product and evaluate every counter-algebra predicate against each cell's counter map; refutations shrink to minimal repros (docs/VERIFICATION.md \"Counter oracle\")")
+	flagPredicates   = flag.String("predicates", "", "comma-separated predicate names to evaluate (requires -counterpoint; default: the full catalogue)")
+	flagCPReport     = flag.String("cpreport", "", "write the counterpoint refinement report JSON to this file (requires -counterpoint)")
 
 	flagJobs       = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flagCache      = flag.Bool("cache", true, "memoize simulation results on disk (EXPERIMENTS.md \"Result cache\"; -cache=false also disables -cachedir/-cacheclear/-cachestats)")
@@ -58,11 +62,14 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"experiments — regenerate the paper's tables and figures (results commentary: EXPERIMENTS.md)\n\n"+
-				"At least one selector is required: -all, -table1/2, -fig4..8, -benchjson, -sweep, or -cacheclear.\n"+
+				"At least one selector is required: -all, -table1/2, -fig4..8, -benchjson, -sweep, -counterpoint, or -cacheclear.\n"+
 				"Flag interactions:\n"+
-				"  -sweepseed only affects -sweep\n"+
+				"  -sweep and -counterpoint are mutually exclusive (each owns the run's exit status)\n"+
+				"  -sweepseed only affects -sweep and -counterpoint\n"+
+				"  -predicates and -cpreport require -counterpoint\n"+
 				"  -cachedir/-cacheclear/-cachestats require -cache (the default)\n"+
-				"  -benchjson rows always simulate; the cache is never consulted for them\n\nFlags:\n")
+				"  -benchjson rows always simulate; the cache is never consulted for them\n"+
+				"  -counterpoint cells always simulate fresh (predicates measure the live machine)\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -71,8 +78,16 @@ func main() {
 		*flagFig4, *flagFig5, *flagFig6 = true, true, true
 		*flagFig7, *flagFig8 = true, true
 	}
-	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "" || *flagSweep > 0 || *flagCacheClear) {
+	if !(*flagTable1 || *flagTable2 || *flagFig4 || *flagFig5 || *flagFig6 || *flagFig7 || *flagFig8 || *flagBenchJSON != "" || *flagSweep > 0 || *flagCounterpoint || *flagCacheClear) {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *flagSweep > 0 && *flagCounterpoint {
+		fmt.Fprintln(os.Stderr, "experiments: -sweep and -counterpoint are mutually exclusive (each owns the run's exit status)")
+		os.Exit(2)
+	}
+	if (*flagPredicates != "" || *flagCPReport != "") && !*flagCounterpoint {
+		fmt.Fprintln(os.Stderr, "experiments: -predicates and -cpreport require -counterpoint")
 		os.Exit(2)
 	}
 
@@ -120,6 +135,9 @@ func main() {
 	}
 	if *flagSweep > 0 {
 		sweep(*flagSweepSeed, *flagSweep)
+	}
+	if *flagCounterpoint {
+		counterpointSweep(*flagSweepSeed, *flagPredicates, *flagCPReport)
 	}
 	if *flagTable1 {
 		table1()

@@ -1,0 +1,166 @@
+package counterpoint
+
+import "fmt"
+
+// Catalog returns the full predicate catalogue in its stable,
+// documented order (docs/VERIFICATION.md "Counter oracle" carries the
+// same table). Each predicate is a microarchitectural assumption the
+// simulator's design claims; the counter-oracle gate and the
+// -counterpoint sweep exist to hunt for cells that refute one.
+//
+// The flow-conservation predicates deliberately use >= rather than ==:
+// StopAfter runs freeze the machine mid-flight, so uops legitimately
+// rest in the fetch queue, ROB, and IQ when the run ends. The ==
+// predicates are reserved for relations with no in-flight residue
+// (cache demand flow, ASTQ-issued traffic, singleflight accounting).
+func Catalog() []Predicate {
+	return []Predicate{
+		// ---- pipeline flow conservation ----
+		GE("rob-flow",
+			"every uop that leaves the ROB was renamed into it: renamed covers committed + ROB-squashed (the remainder is still ROB-resident)",
+			C("core.rename.uops"),
+			Sum(C("core.commit.uops"), C("core.squash.rob_uops"))),
+		GE("iq-flow",
+			"every uop that leaves the IQ was dispatched into it: renamed covers issued + IQ-squashed (the remainder is still IQ-resident)",
+			C("core.rename.uops"),
+			Sum(C("core.issue.uops"), C("core.squash.iq_uops"))),
+		GE("issue-ge-commit",
+			"a uop must issue before it can retire, so issued uops bound committed uops",
+			C("core.issue.uops"),
+			C("core.commit.uops")),
+		GE("fetch-flow",
+			"rename consumes only what fetch or the window-trap injector produced; squashes can drain the fetch queue but never mint uops",
+			Sum(C("core.fetch.insts"), C("core.rename.injected_uops"), C("core.squash.rob_uops")),
+			Sum(C("core.rename.uops"), C("core.commit.squashed"))),
+		GE("squash-rob-le-total",
+			"uops squashed out of the ROB are a subset of all squashed uops (the rest died pre-rename in the fetch queue)",
+			C("core.commit.squashed"),
+			C("core.squash.rob_uops")),
+		GE("squash-iq-le-rob",
+			"every IQ purge victim also left the ROB: un-issued squashed uops are a subset of ROB-squashed uops",
+			C("core.squash.rob_uops"),
+			C("core.squash.iq_uops")),
+		GE("commit-width-bound",
+			"commit retires at most `width` uops per cycle, so width * cycles bounds total commit",
+			Prod(P("width"), C("core.cycles")),
+			C("core.commit.uops")),
+
+		// ---- per-stage stall accounting ----
+		GE("fetch-stall-bound",
+			"fetch attributes at most one stall cause per cycle, so the cause decomposition is bounded by total cycles",
+			C("core.cycles"),
+			Glob("core.fetch.stall.*")),
+		GE("rename-stall-bound",
+			"rename attributes at most one stall cause per cycle (the stage stops at its first blocked uop)",
+			C("core.cycles"),
+			Glob("core.rename.stall.*")),
+		GE("commit-stall-bound",
+			"commit attributes at most one retired-nothing cause per cycle",
+			C("core.cycles"),
+			Glob("core.commit.stall.*")),
+		GE("rename-structural-stalls",
+			"the structural rename stall causes jointly cover every counted stall cycle (injected-uop stalls bump a cause without counting a stall cycle, so the causes over-cover)",
+			Sum(C("core.rename.stall.rob_full"), C("core.rename.stall.iq_full"),
+				C("core.rename.stall.lsq_full"), C("core.rename.stall.no_phys"),
+				C("core.rename.stall.vca_ports"), C("core.rename.stall.vca_astq"),
+				C("core.rename.stall.vca_table")),
+			C("core.rename.stall_cycles")),
+
+		// ---- branch predictor sanity ----
+		GE("cond-mispredicts-bound",
+			"a conditional branch can only mispredict if it was predicted",
+			C("branch.cond_lookups"),
+			C("branch.cond_mispredicts")),
+		GE("mispredict-lookup-bound",
+			"every resolved misprediction came from a predictor decision: a conditional lookup, a BTB probe, or a RAS prediction (direct jumps cannot mispredict)",
+			Sum(C("branch.cond_lookups"), C("branch.btb_lookups"), C("branch.ras_predicts")),
+			C("core.exec.mispredicts")),
+		GE("predictor-probe-bound",
+			"each fetched instruction makes at most one predictor probe — a conditional lookup, a BTB probe, or a RAS prediction — so fetched instructions bound total probes",
+			C("core.fetch.insts"),
+			Sum(C("branch.cond_lookups"), C("branch.btb_lookups"), C("branch.ras_predicts"))),
+
+		// ---- memory hierarchy ----
+		GE("il1-miss-le-access",
+			"IL1 misses are a subset of IL1 accesses, summed over causes",
+			Glob("mem.il1.accesses.*"),
+			Glob("mem.il1.misses.*")),
+		GE("dl1-miss-le-access",
+			"DL1 misses are a subset of DL1 accesses, summed over causes",
+			Glob("mem.dl1.accesses.*"),
+			Glob("mem.dl1.misses.*")),
+		GE("l2-miss-le-access",
+			"L2 misses are a subset of L2 accesses, summed over causes",
+			Glob("mem.l2.accesses.*"),
+			Glob("mem.l2.misses.*")),
+		EQ("l2-demand-flow",
+			"the L2 sees exactly the L1 misses: every IL1/DL1 miss fills through the L2 and nothing else accesses it (writebacks are counted separately)",
+			Glob("mem.l2.accesses.*"),
+			Sum(Glob("mem.il1.misses.*"), Glob("mem.dl1.misses.*"))),
+		EQ("il1-program-only",
+			"instruction fetch is the only IL1 client: spill/fill and window-trap traffic is data-side by construction",
+			Glob("mem.il1.accesses.*"),
+			C("mem.il1.accesses.program")),
+
+		// ---- VCA spill/fill and window-trap accounting ----
+		EQ("spill-fill-dl1-traffic",
+			"every ASTQ spill/fill issue performs exactly one DL1 access tagged spill_fill, and nothing else carries that tag",
+			C("mem.dl1.accesses.spill_fill"),
+			Sum(C("core.astq.spills_issued"), C("core.astq.fills_issued"))),
+		GE("spills-ge-issued",
+			"the renamer generates every spill the ASTQ issues (the difference is still ASTQ-pending at run end)",
+			C("rename.vca.spills"),
+			C("core.astq.spills_issued")),
+		GE("fills-ge-issued",
+			"the renamer generates every fill the ASTQ issues (the difference is still ASTQ-pending at run end)",
+			C("rename.vca.fills"),
+			C("core.astq.fills_issued")),
+		GE("vca-free-flow",
+			"a VCA physical register can only be freed by overwrite or rollback after being allocated or filled",
+			Sum(C("rename.vca.dest_allocs"), C("rename.vca.fills")),
+			Sum(C("rename.vca.overwrite_frees"), C("rename.vca.rollback_frees"))),
+		GE("window-trap-inject-bound",
+			"a conventional window trap injects at most window_slots spill/fill uops, so window_slots * traps bounds injected uops",
+			Prod(P("window_slots"), C("core.window.traps")),
+			C("core.rename.injected_uops")),
+		GE("window-trap-dl1-bound",
+			"window-trap DL1 traffic comes only from injected trap uops, each performing at most one access",
+			C("core.rename.injected_uops"),
+			C("mem.dl1.accesses.window_trap")),
+
+		// ---- result-cache service accounting ----
+		EQ("cache-misses-eq-simulations",
+			"the result cache simulates exactly once per miss: singleflight dedups concurrent identical jobs onto one leader simulation",
+			C("simcache.misses"),
+			C("simcache.simulations")),
+		GE("cache-stores-le-misses",
+			"only a miss's simulation result is stored back, so stores are bounded by misses",
+			C("simcache.misses"),
+			C("simcache.stores")),
+	}
+}
+
+// ByName resolves a list of predicate names against the catalogue,
+// preserving catalogue order and rejecting unknown names.
+func ByName(names []string) ([]Predicate, error) {
+	if len(names) == 0 {
+		return Catalog(), nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []Predicate
+	for _, p := range Catalog() {
+		if want[p.Name] {
+			out = append(out, p)
+			delete(want, p.Name)
+		}
+	}
+	if len(want) > 0 {
+		for n := range want {
+			return nil, fmt.Errorf("counterpoint: unknown predicate %q", n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,377 @@
+// Package counterpoint turns the simulator's counter surface from
+// passive logging into an active correctness oracle, after the
+// CounterPoint methodology (PAPERS.md: "Using Hardware Event Counters
+// to Refute and Refine Microarchitectural Assumptions"): a
+// microarchitectural assumption is written down as a named
+// counter-algebra predicate — a relation over one run's counter map —
+// and then the config space is swept hunting for a cell that *refutes*
+// it. A refutation is handed to the internal/verify greedy shrinker
+// for a minimal reproduction, and the whole hunt is summarized in a
+// machine-readable refinement report (report.go).
+//
+// The pieces, one file each:
+//
+//   - predicate.go — the term algebra (counters, config parameters,
+//     literals, sums, products, glob-sums), the GE/EQ relations, the
+//     three-valued verdict (holds / refuted / vacuous) with slack and
+//     witness, and the Perturb fault-injection hook that proves each
+//     predicate can fire.
+//   - catalog.go — the named predicates themselves, grounded in the
+//     flow identities the cycle-level invariant checker asserts
+//     (docs/VERIFICATION.md "Counter oracle" documents the algebra).
+//   - report.go — the refinement-report schema, pinned by a golden
+//     fixture.
+//   - sweep.go — the refute-and-refine driver over the internal/verify
+//     config cross-product (cmd/experiments -counterpoint).
+//
+// Evaluation is pure: predicates read a finished run's counter map and
+// never touch a live metrics.Registry, so the same catalogue evaluates
+// matrix cells, sweep cells, and service snapshots alike.
+package counterpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Input is one evaluated cell: a finished run's counter map plus the
+// configuration-derived parameters its predicates may reference (e.g.
+// pipeline width, window slots). Cell names the run for reports.
+type Input struct {
+	Cell     string
+	Counters map[string]uint64
+	Params   map[string]uint64
+}
+
+// Term is one side (or sub-expression) of a predicate: it evaluates to
+// a uint64 over an Input. Terms are built with C, P, L, Sum, Prod, and
+// Glob; they render themselves as counter algebra via String.
+type Term interface {
+	// eval returns the term's value. ok=false means the term does not
+	// apply to this input — a referenced counter or parameter is absent,
+	// or a glob matched nothing — which makes the predicate vacuous.
+	// Every counter and parameter read is recorded in wit (nil skips).
+	eval(in Input, wit map[string]uint64) (v uint64, ok bool)
+	// counters reports the concrete counter names the term reads from
+	// this input (globs expand against the input's counter map).
+	counters(in Input, add func(string))
+	String() string
+}
+
+type ctrTerm struct{ name string }
+
+func (t ctrTerm) eval(in Input, wit map[string]uint64) (uint64, bool) {
+	v, ok := in.Counters[t.name]
+	if ok && wit != nil {
+		wit[t.name] = v
+	}
+	return v, ok
+}
+func (t ctrTerm) counters(in Input, add func(string)) { add(t.name) }
+func (t ctrTerm) String() string                      { return t.name }
+
+type paramTerm struct{ name string }
+
+func (t paramTerm) eval(in Input, wit map[string]uint64) (uint64, bool) {
+	v, ok := in.Params[t.name]
+	if ok && wit != nil {
+		wit["param."+t.name] = v
+	}
+	return v, ok
+}
+func (t paramTerm) counters(Input, func(string)) {}
+func (t paramTerm) String() string               { return t.name }
+
+type litTerm struct{ v uint64 }
+
+func (t litTerm) eval(Input, map[string]uint64) (uint64, bool) { return t.v, true }
+func (t litTerm) counters(Input, func(string))                 {}
+func (t litTerm) String() string                               { return strconv.FormatUint(t.v, 10) }
+
+type sumTerm struct{ terms []Term }
+
+func (t sumTerm) eval(in Input, wit map[string]uint64) (uint64, bool) {
+	var total uint64
+	for _, s := range t.terms {
+		v, ok := s.eval(in, wit)
+		if !ok {
+			return 0, false
+		}
+		total += v
+	}
+	return total, true
+}
+func (t sumTerm) counters(in Input, add func(string)) {
+	for _, s := range t.terms {
+		s.counters(in, add)
+	}
+}
+func (t sumTerm) String() string {
+	parts := make([]string, len(t.terms))
+	for i, s := range t.terms {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+type prodTerm struct{ a, b Term }
+
+func (t prodTerm) eval(in Input, wit map[string]uint64) (uint64, bool) {
+	av, aok := t.a.eval(in, wit)
+	bv, bok := t.b.eval(in, wit)
+	if !aok || !bok {
+		return 0, false
+	}
+	return av * bv, true
+}
+func (t prodTerm) counters(in Input, add func(string)) {
+	t.a.counters(in, add)
+	t.b.counters(in, add)
+}
+func (t prodTerm) String() string {
+	return parens(t.a) + " * " + parens(t.b)
+}
+
+func parens(t Term) string {
+	if _, isSum := t.(sumTerm); isSum {
+		return "(" + t.String() + ")"
+	}
+	return t.String()
+}
+
+// globTerm sums every counter whose name matches a trailing-* pattern.
+// A glob that matches nothing makes the predicate vacuous: the counter
+// family is absent from this machine, so the relation says nothing.
+type globTerm struct{ prefix string } // pattern was prefix + "*"
+
+func (t globTerm) eval(in Input, wit map[string]uint64) (uint64, bool) {
+	var total uint64
+	matched := false
+	for name, v := range in.Counters {
+		if strings.HasPrefix(name, t.prefix) {
+			matched = true
+			total += v
+			if wit != nil {
+				wit[name] = v
+			}
+		}
+	}
+	return total, matched
+}
+func (t globTerm) counters(in Input, add func(string)) {
+	for name := range in.Counters {
+		if strings.HasPrefix(name, t.prefix) {
+			add(name)
+		}
+	}
+}
+func (t globTerm) String() string { return "sum(" + t.prefix + "*)" }
+
+// C references a named counter; the predicate is vacuous on inputs that
+// do not register it (e.g. rename.vca.* on a conventional machine).
+func C(name string) Term { return ctrTerm{name} }
+
+// P references a configuration parameter (Input.Params).
+func P(name string) Term { return paramTerm{name} }
+
+// L is a literal constant.
+func L(v uint64) Term { return litTerm{v} }
+
+// Sum adds terms.
+func Sum(terms ...Term) Term { return sumTerm{terms} }
+
+// Prod multiplies two terms (e.g. width * cycles).
+func Prod(a, b Term) Term { return prodTerm{a, b} }
+
+// Glob sums every counter matching a trailing-star pattern, e.g.
+// "core.fetch.stall.*". Only a single trailing * is supported.
+func Glob(pattern string) Term {
+	if !strings.HasSuffix(pattern, "*") || strings.Count(pattern, "*") != 1 {
+		panic(fmt.Sprintf("counterpoint: glob %q must end in a single *", pattern))
+	}
+	return globTerm{prefix: strings.TrimSuffix(pattern, "*")}
+}
+
+// relOp is the predicate's relation.
+type relOp uint8
+
+const (
+	opGE relOp = iota // lhs >= rhs
+	opEQ              // lhs == rhs
+)
+
+func (o relOp) String() string {
+	if o == opEQ {
+		return "=="
+	}
+	return ">="
+}
+
+// Predicate is one named counter-algebra assumption.
+type Predicate struct {
+	Name string // stable kebab-case identifier
+	Desc string // the microarchitectural claim, in prose
+	op   relOp
+	lhs  Term
+	rhs  Term
+}
+
+// GE declares the assumption lhs >= rhs.
+func GE(name, desc string, lhs, rhs Term) Predicate {
+	return Predicate{Name: name, Desc: desc, op: opGE, lhs: lhs, rhs: rhs}
+}
+
+// EQ declares the assumption lhs == rhs.
+func EQ(name, desc string, lhs, rhs Term) Predicate {
+	return Predicate{Name: name, Desc: desc, op: opEQ, lhs: lhs, rhs: rhs}
+}
+
+// Algebra renders the relation as counter algebra, e.g.
+// "core.issue.uops >= core.commit.uops".
+func (p Predicate) Algebra() string {
+	return p.lhs.String() + " " + p.op.String() + " " + p.rhs.String()
+}
+
+// Counters returns the sorted concrete counter names the predicate
+// reads from this input (glob patterns expanded against the counter
+// map; plain references included whether or not the input has them).
+func (p Predicate) Counters(in Input) []string {
+	seen := make(map[string]struct{})
+	add := func(n string) { seen[n] = struct{}{} }
+	p.lhs.counters(in, add)
+	p.rhs.counters(in, add)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Status is a verdict's three-valued outcome.
+type Status string
+
+// Verdict statuses. A predicate is vacuous when it does not apply to
+// the input (a referenced counter, parameter, or glob family is
+// absent) or when it holds with every counter witness at zero — a
+// relation among events that never happened proves nothing. A refuted
+// verdict is never downgraded to vacuous: zero witnesses that violate
+// the relation are still a violation.
+const (
+	StatusHolds   Status = "holds"
+	StatusRefuted Status = "refuted"
+	StatusVacuous Status = "vacuous"
+)
+
+// Verdict is one predicate evaluated against one input. Slack is the
+// margin to violation: for lhs >= rhs it is lhs-rhs (negative =
+// refuted); for lhs == rhs it is -|lhs-rhs| (zero = holds). Witness
+// records every counter and parameter value the evaluation read
+// (parameters under a "param." prefix).
+type Verdict struct {
+	Predicate string            `json:"predicate"`
+	Status    Status            `json:"status"`
+	Slack     int64             `json:"slack"`
+	Witness   map[string]uint64 `json:"witness,omitempty"`
+}
+
+// slackOf computes lv-rv saturated into int64.
+func slackOf(lv, rv uint64) int64 {
+	if lv >= rv {
+		if d := lv - rv; d <= math.MaxInt64 {
+			return int64(d)
+		}
+		return math.MaxInt64
+	}
+	if d := rv - lv; d <= math.MaxInt64 {
+		return -int64(d)
+	}
+	return math.MinInt64
+}
+
+// Eval evaluates the predicate against one input.
+func (p Predicate) Eval(in Input) Verdict {
+	wit := make(map[string]uint64)
+	v := Verdict{Predicate: p.Name, Witness: wit}
+	lv, lok := p.lhs.eval(in, wit)
+	rv, rok := p.rhs.eval(in, wit)
+	if !lok || !rok {
+		v.Status = StatusVacuous
+		return v
+	}
+	switch p.op {
+	case opEQ:
+		v.Slack = -abs64(slackOf(lv, rv))
+	default:
+		v.Slack = slackOf(lv, rv)
+	}
+	switch {
+	case v.Slack < 0:
+		v.Status = StatusRefuted
+	case p.engaged(in):
+		v.Status = StatusHolds
+	default:
+		v.Status = StatusVacuous
+	}
+	return v
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		if v == math.MinInt64 {
+			return math.MaxInt64
+		}
+		return -v
+	}
+	return v
+}
+
+// engaged reports whether at least one counter the predicate reads is
+// nonzero in the input — the evidence that the relation was actually
+// exercised rather than trivially 0 >= 0.
+func (p Predicate) engaged(in Input) bool {
+	hot := false
+	check := func(n string) {
+		if in.Counters[n] > 0 {
+			hot = true
+		}
+	}
+	p.lhs.counters(in, check)
+	p.rhs.counters(in, check)
+	return hot
+}
+
+// Perturb is the fault-injection hook (the counter-surface analogue of
+// the invariant checker's InjectLeak): it shifts one named counter by
+// Delta before evaluation, so tests can prove a predicate fires when
+// its relation is violated. A negative delta clamps at zero; a counter
+// absent from the map stays absent.
+type Perturb struct {
+	Counter string `json:"counter"`
+	Delta   int64  `json:"delta"`
+}
+
+// Apply returns a copy of counters with the perturbation applied. The
+// input map is never modified.
+func (f Perturb) Apply(counters map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(counters))
+	for k, v := range counters {
+		out[k] = v
+	}
+	v, ok := out[f.Counter]
+	if !ok {
+		return out
+	}
+	switch {
+	case f.Delta >= 0:
+		out[f.Counter] = v + uint64(f.Delta)
+	case uint64(-f.Delta) >= v:
+		out[f.Counter] = 0
+	default:
+		out[f.Counter] = v - uint64(-f.Delta)
+	}
+	return out
+}

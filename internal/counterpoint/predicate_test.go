@@ -1,0 +1,179 @@
+package counterpoint
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func in(counters, params map[string]uint64) Input {
+	return Input{Cell: "test", Counters: counters, Params: params}
+}
+
+func TestAlgebraRendering(t *testing.T) {
+	cases := []struct {
+		pred Predicate
+		want string
+	}{
+		{GE("a", "", C("x.y"), C("z")), "x.y >= z"},
+		{EQ("b", "", C("x"), Sum(C("a"), C("b"), L(3))), "x == a + b + 3"},
+		{GE("c", "", Prod(P("width"), C("cycles")), C("uops")), "width * cycles >= uops"},
+		{GE("d", "", Prod(Sum(C("a"), C("b")), L(2)), C("c")), "(a + b) * 2 >= c"},
+		{GE("e", "", Glob("mem.dl1.accesses.*"), Glob("mem.dl1.misses.*")), "sum(mem.dl1.accesses.*) >= sum(mem.dl1.misses.*)"},
+	}
+	for _, c := range cases {
+		if got := c.pred.Algebra(); got != c.want {
+			t.Errorf("%s: Algebra() = %q, want %q", c.pred.Name, got, c.want)
+		}
+	}
+}
+
+func TestGlobRejectsBadPatterns(t *testing.T) {
+	for _, pattern := range []string{"no.star", "mid*fix", "two.*.stars*"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Glob(%q) did not panic", pattern)
+				}
+			}()
+			Glob(pattern)
+		}()
+	}
+}
+
+func TestEvalVerdicts(t *testing.T) {
+	counters := map[string]uint64{
+		"issued":         10,
+		"committed":      7,
+		"zero":           0,
+		"stall.rob_full": 3,
+		"stall.iq_full":  2,
+	}
+	params := map[string]uint64{"width": 4}
+
+	cases := []struct {
+		name  string
+		pred  Predicate
+		want  Status
+		slack int64
+	}{
+		{"ge-holds", GE("p", "", C("issued"), C("committed")), StatusHolds, 3},
+		{"ge-refuted", GE("p", "", C("committed"), C("issued")), StatusRefuted, -3},
+		{"eq-holds", EQ("p", "", C("issued"), Sum(C("committed"), L(3))), StatusHolds, 0},
+		{"eq-refuted-low", EQ("p", "", C("committed"), C("issued")), StatusRefuted, -3},
+		{"eq-refuted-high", EQ("p", "", C("issued"), C("committed")), StatusRefuted, -3},
+		{"param-product", GE("p", "", Prod(P("width"), C("committed")), C("issued")), StatusHolds, 18},
+		{"glob-sum", GE("p", "", C("issued"), Glob("stall.*")), StatusHolds, 5},
+		{"vacuous-missing-counter", GE("p", "", C("absent"), C("issued")), StatusVacuous, 0},
+		{"vacuous-missing-param", GE("p", "", Prod(P("absent"), C("issued")), C("committed")), StatusVacuous, 0},
+		{"vacuous-empty-glob", GE("p", "", C("issued"), Glob("nothing.*")), StatusVacuous, 0},
+		// 0 >= 0 holds arithmetically but proves nothing: all-zero
+		// witnesses downgrade to vacuous.
+		{"vacuous-all-zero", GE("p", "", C("zero"), C("zero")), StatusVacuous, 0},
+		// ...but a violation with zero-valued counters is still a
+		// violation, never downgraded.
+		{"refuted-beats-vacuous", GE("p", "", C("zero"), L(5)), StatusRefuted, -5},
+	}
+	for _, c := range cases {
+		v := c.pred.Eval(in(counters, params))
+		if v.Status != c.want {
+			t.Errorf("%s: status %s, want %s", c.name, v.Status, c.want)
+		}
+		if v.Status != StatusVacuous && v.Slack != c.slack {
+			t.Errorf("%s: slack %d, want %d", c.name, v.Slack, c.slack)
+		}
+	}
+}
+
+func TestEvalWitness(t *testing.T) {
+	p := GE("p", "", Prod(P("width"), C("cycles")), Glob("stall.*"))
+	v := p.Eval(in(map[string]uint64{"cycles": 100, "stall.a": 5, "stall.b": 7, "other": 1},
+		map[string]uint64{"width": 4}))
+	want := map[string]uint64{"param.width": 4, "cycles": 100, "stall.a": 5, "stall.b": 7}
+	if !reflect.DeepEqual(v.Witness, want) {
+		t.Errorf("witness %v, want %v", v.Witness, want)
+	}
+}
+
+func TestCountersExpandsGlobs(t *testing.T) {
+	p := GE("p", "", Sum(C("cycles"), C("missing")), Glob("stall.*"))
+	got := p.Counters(in(map[string]uint64{"cycles": 1, "stall.b": 2, "stall.a": 3, "other": 4}, nil))
+	want := []string{"cycles", "missing", "stall.a", "stall.b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Counters() = %v, want %v", got, want)
+	}
+}
+
+func TestSlackSaturates(t *testing.T) {
+	if got := slackOf(math.MaxUint64, 0); got != math.MaxInt64 {
+		t.Errorf("slackOf(max, 0) = %d", got)
+	}
+	if got := slackOf(0, math.MaxUint64); got != math.MinInt64 {
+		t.Errorf("slackOf(0, max) = %d", got)
+	}
+	if got := abs64(math.MinInt64); got != math.MaxInt64 {
+		t.Errorf("abs64(min) = %d", got)
+	}
+}
+
+func TestPerturbApply(t *testing.T) {
+	orig := map[string]uint64{"a": 10, "b": 3}
+
+	got := Perturb{Counter: "a", Delta: 5}.Apply(orig)
+	if got["a"] != 15 || got["b"] != 3 {
+		t.Errorf("positive delta: %v", got)
+	}
+	// A negative delta larger than the value clamps at zero.
+	if got := (Perturb{Counter: "b", Delta: -100}).Apply(orig); got["b"] != 0 {
+		t.Errorf("clamped delta: %v", got)
+	}
+	if got := (Perturb{Counter: "a", Delta: -4}).Apply(orig); got["a"] != 6 {
+		t.Errorf("partial negative delta: %v", got)
+	}
+	// An absent counter stays absent — faults perturb real events, they
+	// do not invent counters the machine never registered.
+	if got := (Perturb{Counter: "ghost", Delta: 9}).Apply(orig); len(got) != 2 {
+		t.Errorf("absent counter was invented: %v", got)
+	}
+	if orig["a"] != 10 || orig["b"] != 3 {
+		t.Errorf("Apply modified its input: %v", orig)
+	}
+}
+
+func TestCatalogWellFormed(t *testing.T) {
+	preds := Catalog()
+	if len(preds) < 10 {
+		t.Fatalf("catalogue has %d predicates, want >= 10", len(preds))
+	}
+	seen := map[string]bool{}
+	for _, p := range preds {
+		if p.Name == "" || p.Desc == "" {
+			t.Errorf("predicate %+v missing name or description", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate predicate name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Algebra() == "" {
+			t.Errorf("%s: empty algebra", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all := Catalog()
+	if got, err := ByName(nil); err != nil || len(got) != len(all) {
+		t.Fatalf("ByName(nil) = %d predicates, err %v; want full catalogue", len(got), err)
+	}
+	// Selection preserves catalogue order regardless of request order.
+	got, err := ByName([]string{"issue-ge-commit", "rob-flow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "rob-flow" || got[1].Name != "issue-ge-commit" {
+		t.Errorf("ByName out of catalogue order: %v", []string{got[0].Name, got[1].Name})
+	}
+	if _, err := ByName([]string{"rob-flow", "no-such-predicate"}); err == nil {
+		t.Error("unknown predicate name did not error")
+	}
+}

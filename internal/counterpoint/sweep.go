@@ -1,0 +1,247 @@
+package counterpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"vca/internal/progen"
+	"vca/internal/simcache"
+	"vca/internal/verify"
+)
+
+// EvalAll evaluates a predicate set against one input, in order.
+func EvalAll(preds []Predicate, in Input) []Verdict {
+	out := make([]Verdict, len(preds))
+	for i, p := range preds {
+		out[i] = p.Eval(in)
+	}
+	return out
+}
+
+// PlanSweep expands the refute-and-refine cross-product: every
+// rename/window family × thread count × tight/roomy register file ×
+// program profile, with each cell's program seed drawn sequentially
+// from one RNG so the plan is a pure function of the base seed
+// (worker-count independent, like verify.Plan). Cells the machine
+// constructor would refuse are filtered out.
+func PlanSweep(seed int64) []verify.Case {
+	r := rand.New(rand.NewSource(seed))
+
+	type family struct{ rename, window string }
+	families := []family{
+		{"conventional", "none"},
+		{"conventional", "conv"},
+		{"vca", "none"},
+		{"vca", "ideal"},
+		{"vca", "vca"},
+	}
+
+	profiles := []progen.Config{
+		{Blocks: 10},
+		{Blocks: 12, Loops: true, Aliasing: true},
+		{Helpers: 3, Blocks: 8, Recursion: true, MaxRecDepth: 6},
+	}
+
+	var out []verify.Case
+	for _, fam := range families {
+		for _, threads := range []int{1, 2} {
+			for _, roomy := range []bool{false, true} {
+				regs := physRegsFor(fam.rename, fam.window, threads, roomy)
+				for pi, prof := range profiles {
+					gen := prof
+					if fam.window != "none" && pi == 2 {
+						gen.WindowLadder = 4 // stress the window stack on windowed machines
+					}
+					c := verify.Case{
+						Machine: verify.MachineSpec{
+							Rename:   fam.rename,
+							Window:   fam.window,
+							Threads:  threads,
+							PhysRegs: regs,
+						},
+						Program: verify.ProgramSpec{Seed: r.Int63(), Gen: gen},
+					}
+					if !c.Machine.Constructs() {
+						continue
+					}
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// physRegsFor picks a tight or roomy register file for a machine
+// family: tight sizes stress spill/eviction paths, roomy sizes the
+// steady state. Conventional machines need the full per-thread logical
+// file resident; VCA needs only its register cache.
+func physRegsFor(rename, window string, threads int, roomy bool) int {
+	switch {
+	case rename == "vca":
+		if roomy {
+			return 192
+		}
+		return 40 + 8*threads
+	case window == "conv":
+		// The windowed logical file scales with PhysRegs (nwin resident
+		// windows), so conventional-window SMT only constructs in the
+		// single-resident-window band; single-thread machines can afford
+		// a deeper resident stack.
+		if threads >= 2 {
+			if roomy {
+				return 159
+			}
+			return 144
+		}
+		if roomy {
+			return 352 // eight resident windows
+		}
+		return 160 // two resident windows
+	default: // conventional flat
+		if roomy {
+			return 65*threads + 160
+		}
+		return 65*threads + 32
+	}
+}
+
+// cellName renders a sweep cell's stable identifier.
+func cellName(i int, c verify.Case) string {
+	return fmt.Sprintf("sweep[%03d] %s/%s t%d r%d seed%d",
+		i, c.Machine.Rename, c.Machine.Window, c.Machine.Threads, c.Machine.PhysRegs, c.Program.Seed)
+}
+
+// SweepOptions configures a refute-and-refine hunt.
+type SweepOptions struct {
+	Seed       int64    // plan seed (PlanSweep)
+	Jobs       int      // parallel workers (0 = GOMAXPROCS)
+	MaxCells   int      // truncate the plan to its first N cells (0 = all)
+	Predicates []string // subset of catalogue names (nil = all)
+	Fault      *Perturb // optional perturbation applied to every cell
+	NoShrink   bool     // skip minimal-repro shrinking on refutation
+	// Progress, when set, is called as cells complete (any order,
+	// serialized): done cells so far, total, this cell's name and
+	// refutation count.
+	Progress func(done, total int, cell string, refuted int)
+}
+
+// Sweep plans and runs the cross-product, evaluates the predicate set
+// against every cell's counter map, shrinks each refutation to a
+// minimal (machine, program) repro with the verify shrinker, and
+// returns the refinement report. The returned error aggregates
+// harness-level failures (a cell that will not simulate), never a mere
+// refutation — refutations are the report's payload.
+func Sweep(opts SweepOptions) (*Report, error) {
+	preds, err := ByName(opts.Predicates)
+	if err != nil {
+		return nil, err
+	}
+	cases := PlanSweep(opts.Seed)
+	if opts.MaxCells > 0 && len(cases) > opts.MaxCells {
+		cases = cases[:opts.MaxCells]
+	}
+
+	type cellResult struct {
+		verdicts []Verdict
+		refs     []Refutation
+	}
+	results := make([]cellResult, len(cases))
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	runner := simcache.Runner{Jobs: opts.Jobs, KeepGoing: true}
+	runErr := runner.Run(len(cases), func(i int) error {
+		c := cases[i]
+		name := cellName(i, c)
+		in, err := runCell(c, opts.Fault)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		in.Cell = name
+		res := cellResult{verdicts: EvalAll(preds, in)}
+		for pi, v := range res.verdicts {
+			if v.Status != StatusRefuted {
+				continue
+			}
+			ref := Refutation{
+				Predicate: v.Predicate,
+				Algebra:   preds[pi].Algebra(),
+				Cell:      name,
+				Slack:     v.Slack,
+				Witness:   v.Witness,
+				Machine:   &cases[i].Machine,
+				Program:   &cases[i].Program,
+			}
+			if !opts.NoShrink {
+				shrinkRefutation(&ref, c, preds[pi], opts.Fault)
+			}
+			res.refs = append(res.refs, ref)
+		}
+		mu.Lock()
+		results[i] = res
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, len(cases), name, len(res.refs))
+		}
+		mu.Unlock()
+		return nil
+	})
+
+	rep := NewReport("sweep", preds)
+	rep.Seed = opts.Seed
+	rep.Cells = len(cases)
+	rep.Fault = opts.Fault
+	for i, res := range results {
+		name := cellName(i, cases[i])
+		for _, v := range res.verdicts {
+			rep.Observe(name, v)
+		}
+		for _, ref := range res.refs {
+			rep.Add(ref)
+		}
+	}
+	rep.Finish()
+	return rep, runErr
+}
+
+// runCell measures one sweep cell: counter map plus parameters, with
+// the optional fault applied to the counters before evaluation.
+func runCell(c verify.Case, fault *Perturb) (Input, error) {
+	counters, err := verify.RunCounters(c.Machine, c.Program)
+	if err != nil {
+		return Input{}, err
+	}
+	params, err := c.Machine.Params()
+	if err != nil {
+		return Input{}, err
+	}
+	if fault != nil {
+		counters = fault.Apply(counters)
+	}
+	return Input{Counters: counters, Params: params}, nil
+}
+
+// shrinkRefutation greedily minimizes the refuting (machine, program)
+// pair: a candidate shrink is kept only if the predicate still refutes
+// on a re-measured run (fault re-applied, so injected refutations
+// shrink too). The shrunk pair's own witness and slack are recorded.
+func shrinkRefutation(ref *Refutation, c verify.Case, pred Predicate, fault *Perturb) {
+	refutes := func(m verify.MachineSpec, p verify.ProgramSpec) bool {
+		in, err := runCell(verify.Case{Machine: m, Program: p}, fault)
+		if err != nil {
+			return false // a cell that no longer simulates is not a repro
+		}
+		return pred.Eval(in).Status == StatusRefuted
+	}
+	sm, sp := verify.Shrink(c.Machine, c.Program, refutes)
+	ref.Shrunk = &verify.Case{Machine: sm, Program: sp}
+	if in, err := runCell(verify.Case{Machine: sm, Program: sp}, fault); err == nil {
+		v := pred.Eval(in)
+		ref.ShrunkSlack = v.Slack
+		ref.ShrunkWitness = v.Witness
+	}
+}

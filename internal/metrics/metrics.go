@@ -284,6 +284,33 @@ func (r *Registry) Snapshot() []Sample {
 	return out
 }
 
+// Perturb shifts a registered counter by delta, clamping at zero, and
+// reports whether the counter exists. It is a fault-injection hook for
+// the counter-oracle teeth tests (the registry analogue of the
+// invariant checker's InjectLeak): a perturbed counter flows through
+// every exporter — Snapshot, CounterMap, promexport — exactly like a
+// real miscount, so a test can prove the counterpoint predicates
+// actually fire on a violated relation. Never call it on a registry
+// whose run you intend to keep.
+func (r *Registry) Perturb(name string, delta int64) bool {
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.name != name || e.kind != KindCounter {
+			continue
+		}
+		switch {
+		case delta >= 0:
+			*e.c += Counter(delta)
+		case uint64(-delta) >= e.c.Value():
+			*e.c = 0
+		default:
+			*e.c -= Counter(-delta)
+		}
+		return true
+	}
+	return false
+}
+
 // CounterMap returns just the plain counters as a name→value map — the
 // compact form merged into BENCH_*.json throughput rows.
 func (r *Registry) CounterMap() map[string]uint64 {

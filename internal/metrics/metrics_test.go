@@ -94,6 +94,35 @@ func TestRegistrySnapshotSortedAndComplete(t *testing.T) {
 	}
 }
 
+// TestRegistryPerturb covers the fault-injection hook the counterpoint
+// teeth tests lean on: shifting a live counter up, clamping at zero on
+// a drain, refusing to touch non-counter kinds, and reporting absence.
+func TestRegistryPerturb(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("core.commit.uops", "uops", "")
+	c.Add(10)
+	r.Histogram("core.iq.wait", "cycles", "")
+
+	if !r.Perturb("core.commit.uops", 5) {
+		t.Fatal("Perturb did not find a registered counter")
+	}
+	if got := r.CounterMap()["core.commit.uops"]; got != 15 {
+		t.Errorf("after +5: %d, want 15", got)
+	}
+	if !r.Perturb("core.commit.uops", -100) {
+		t.Fatal("draining perturb did not find the counter")
+	}
+	if got := r.CounterMap()["core.commit.uops"]; got != 0 {
+		t.Errorf("drain did not clamp at zero: %d", got)
+	}
+	if r.Perturb("core.iq.wait", 1) {
+		t.Error("Perturb touched a histogram")
+	}
+	if r.Perturb("no.such.counter", 1) {
+		t.Error("Perturb claimed to find an unregistered name")
+	}
+}
+
 func TestRegistryDuplicatePanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("dup", "", "")

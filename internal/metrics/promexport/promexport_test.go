@@ -100,6 +100,80 @@ func TestWriteOccupancyMax(t *testing.T) {
 	}
 }
 
+// TestWriteEmptyRegistry pins the degenerate scrape: a registry with
+// nothing registered renders to empty output, not an error and not a
+// stray header.
+func TestWriteEmptyRegistry(t *testing.T) {
+	var b strings.Builder
+	if err := WriteRegistry(&b, "vca", metrics.NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("empty registry rendered %q, want empty output", b.String())
+	}
+	// A sample with an unknown kind is skipped, not guessed at.
+	b.Reset()
+	if err := Write(&b, "vca", []metrics.Sample{{Name: "x", Kind: "mystery", Value: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("unknown-kind sample rendered %q, want nothing", b.String())
+	}
+}
+
+// TestWriteNeverObservedHistogram pins the all-zero-bucket case: a
+// histogram that was registered but never observed must still render a
+// complete, valid series — a TYPE header, a single closing +Inf bucket
+// at zero, and zero _sum/_count — because Prometheus rejects a
+// histogram without its +Inf bucket.
+func TestWriteNeverObservedHistogram(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Histogram("core.iq.wait_cycles", "cycles", "issue-queue wait")
+	var b strings.Builder
+	if err := WriteRegistry(&b, "vca", r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vca_core_iq_wait_cycles histogram\n",
+		`vca_core_iq_wait_cycles_bucket{le="+Inf"} 0` + "\n",
+		"vca_core_iq_wait_cycles_sum 0\n",
+		"vca_core_iq_wait_cycles_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "_bucket{"); n != 1 {
+		t.Errorf("never-observed histogram emitted %d bucket series, want only the closing +Inf:\n%s", n, out)
+	}
+}
+
+// TestWriteNeverSampledOccupancy pins the untouched-occupancy case: a
+// queue that never saw a sample still exports its _max gauge (at zero)
+// alongside the empty histogram, so dashboards can tell "never
+// sampled" from "series missing".
+func TestWriteNeverSampledOccupancy(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Occupancy("core.astq.occupancy", "entries", "ASTQ residency")
+	var b strings.Builder
+	if err := WriteRegistry(&b, "vca", r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vca_core_astq_occupancy histogram\n",
+		`vca_core_astq_occupancy_bucket{le="+Inf"} 0` + "\n",
+		"vca_core_astq_occupancy_count 0\n",
+		"# TYPE vca_core_astq_occupancy_max gauge\n",
+		"vca_core_astq_occupancy_max 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestWriteDeterministic pins that two identical snapshots render to
 // byte-identical text — what lets the service tests and the smoke gate
 // assert on exact series.

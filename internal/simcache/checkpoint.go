@@ -140,6 +140,7 @@ func (c *Cache) RunMachineFrom(cfg core.Config, progs []*program.Program, window
 		return e.Result, e.Counters, true, nil
 	}
 	c.misses.Add(1)
+	c.simulations.Add(1)
 	r, err := simulateFrom(cfg, progs, windowed, cks)
 	if err != nil {
 		return nil, nil, false, err

@@ -135,6 +135,13 @@ type Stats struct {
 	// total answered jobs == Hits + Misses + SFHits.
 	SFHits uint64 `json:"sf_hits,omitempty"`
 
+	// Simulations counts detailed simulations the cache actually started
+	// on behalf of RunMachine/RunMachineShared/RunMachineFrom misses. The
+	// singleflight invariant Misses == Simulations (every miss simulates
+	// exactly once, and nothing else simulates) is asserted by the
+	// counterpoint predicate cache-misses-eq-simulations.
+	Simulations uint64 `json:"simulations,omitempty"`
+
 	// Checkpoint-store traffic (region-boundary images; see checkpoint.go).
 	CkHits   uint64 `json:"ck_hits,omitempty"`
 	CkMisses uint64 `json:"ck_misses,omitempty"`
@@ -159,6 +166,7 @@ type Cache struct {
 	hits, misses, stores, corrupt, errs atomic.Uint64
 	ckHits, ckMisses, ckStores          atomic.Uint64
 	sfHits                              atomic.Uint64
+	simulations                         atomic.Uint64
 
 	sf flightGroup // in-flight dedup for RunMachineShared
 
@@ -376,6 +384,7 @@ func (c *Cache) RunMachine(cfg core.Config, progs []*program.Program, windowed b
 		return e.Result, e.Counters, true, nil
 	}
 	c.misses.Add(1)
+	c.simulations.Add(1)
 	r, err := simulate(cfg, progs, windowed)
 	if err != nil {
 		return nil, nil, false, err
@@ -401,15 +410,16 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:     c.hits.Load(),
-		Misses:   c.misses.Load(),
-		Stores:   c.stores.Load(),
-		Corrupt:  c.corrupt.Load(),
-		Errors:   c.errs.Load(),
-		SFHits:   c.sfHits.Load(),
-		CkHits:   c.ckHits.Load(),
-		CkMisses: c.ckMisses.Load(),
-		CkStores: c.ckStores.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Stores:      c.stores.Load(),
+		Corrupt:     c.corrupt.Load(),
+		Errors:      c.errs.Load(),
+		SFHits:      c.sfHits.Load(),
+		Simulations: c.simulations.Load(),
+		CkHits:      c.ckHits.Load(),
+		CkMisses:    c.ckMisses.Load(),
+		CkStores:    c.ckStores.Load(),
 	}
 }
 
@@ -429,6 +439,7 @@ func (c *Cache) MetricsRegistry() *metrics.Registry {
 	add("corrupt", s.Corrupt, "cache entries discarded on checksum/decode failure")
 	add("errors", s.Errors, "cache I/O errors (degraded to misses)")
 	add("sf_hits", s.SFHits, "concurrent identical jobs coalesced onto one in-flight simulation")
+	add("simulations", s.Simulations, "detailed simulations started for cache misses (invariant: == misses)")
 	add("ck_hits", s.CkHits, "region-boundary checkpoints answered from the store")
 	add("ck_misses", s.CkMisses, "region-boundary checkpoint lookups that missed")
 	add("ck_stores", s.CkStores, "region-boundary checkpoints written to the store")

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"vca/internal/core"
+	"vca/internal/emu"
 	"vca/internal/isa"
 	"vca/internal/minic"
 	"vca/internal/program"
@@ -314,7 +315,12 @@ func TestResumeAfterInterrupt(t *testing.T) {
 	if err := runAll(resumed, -1); err != nil {
 		t.Fatal(err)
 	}
-	want := Stats{Hits: stored, Misses: uint64(len(benches)) - stored, Stores: uint64(len(benches)) - stored}
+	want := Stats{
+		Hits:        stored,
+		Misses:      uint64(len(benches)) - stored,
+		Stores:      uint64(len(benches)) - stored,
+		Simulations: uint64(len(benches)) - stored,
+	}
 	if s := resumed.Stats(); s != want {
 		t.Fatalf("resume stats %v, want %v", s, want)
 	}
@@ -402,10 +408,58 @@ func TestMetricsRegistryExport(t *testing.T) {
 	got := cache.MetricsRegistry().CounterMap()
 	want := map[string]uint64{
 		"simcache.hits": 2, "simcache.misses": 1, "simcache.stores": 1,
-		"simcache.corrupt": 0, "simcache.errors": 0, "simcache.sf_hits": 0,
+		"simcache.simulations": 1,
+		"simcache.corrupt":     0, "simcache.errors": 0, "simcache.sf_hits": 0,
 		"simcache.ck_hits": 0, "simcache.ck_misses": 0, "simcache.ck_stores": 0,
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("exported counters %v, want %v", got, want)
+	}
+}
+
+// TestSimulationsMatchMisses pins the service-accounting invariant the
+// counterpoint cache-misses-eq-simulations predicate sweeps for: every
+// cache miss starts exactly one detailed simulation, across the plain,
+// singleflight, and checkpoint-restored entry points — and hits start
+// none.
+func TestSimulationsMatchMisses(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := workload.ByName("mesa")
+	cfg, progs, windowed := jobFor(t, b, testModels[0])
+
+	// Miss then hit through RunMachine.
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := cache.RunMachine(cfg, progs, windowed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Miss then hit through the singleflight path (different key: deeper
+	// stop budget).
+	cfg2 := cfg
+	cfg2.StopAfter = cfg.StopAfter + 1000
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := cache.RunMachineShared(cfg2, progs, windowed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Miss then hit through the checkpoint-restored path (nil
+	// checkpoints: cold start, but keyed separately).
+	cfg3 := cfg
+	cfg3.StopAfter = cfg.StopAfter + 2000
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := cache.RunMachineFrom(cfg3, progs, windowed, make([]*emu.Checkpoint, len(progs))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := cache.Stats()
+	if s.Simulations != s.Misses {
+		t.Errorf("simulations %d != misses %d", s.Simulations, s.Misses)
+	}
+	if s.Misses != 3 || s.Hits != 3 {
+		t.Errorf("traffic misses=%d hits=%d, want 3/3", s.Misses, s.Hits)
 	}
 }

@@ -86,6 +86,7 @@ func (c *Cache) RunMachineShared(cfg core.Config, progs []*program.Program, wind
 			return e.Result, e.Counters, nil
 		}
 		c.misses.Add(1)
+		c.simulations.Add(1)
 		r, err := simulate(cfg, progs, windowed)
 		if err != nil {
 			return nil, nil, err

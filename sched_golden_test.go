@@ -27,6 +27,26 @@ var schedGoldenArchs = []Arch{Baseline, VCAFlat, VCAWindowed}
 // long-latency stalls on every workload.
 const schedGoldenStop = 25_000
 
+// schedGoldenExtended widens the matrix beyond the single-threaded
+// grid: a conventional-window SMT pair in the one-resident-window band
+// (heavy trap traffic), a VCA-windowed SMT pair, and two
+// checkpoint-restored runs that fast-forward 5000 instructions on the
+// functional engine before detailed simulation. These pin the exact
+// paths the counter-oracle matrix (internal/experiments,
+// `make counterpoint-gate`) measures.
+var schedGoldenExtended = []struct {
+	key         string
+	arch        Arch
+	workloads   []string
+	physRegs    int
+	fastForward uint64
+}{
+	{"conventional-windowed/2T:gcc_expr+parser", ConvWindowed, []string{"gcc_expr", "parser"}, 144, 0},
+	{"vca-windowed/2T:crafty+twolf", VCAWindowed, []string{"crafty", "twolf"}, 192, 0},
+	{"baseline/ff:bzip2_graphic", Baseline, []string{"bzip2_graphic"}, 256, 5_000},
+	{"vca-windowed/ff:gap", VCAWindowed, []string{"gap"}, 128, 5_000},
+}
+
 // schedGoldenCell runs one (workload, arch) cell and returns a digest of
 // everything the experiments consume: the Result aggregates and the full
 // deterministic stats dump (every counter, histogram, and occupancy
@@ -49,7 +69,42 @@ func schedGoldenCell(t *testing.T, archIdx Arch, w workload.Benchmark) string {
 	if err != nil {
 		t.Fatalf("%s/%s: run: %v", archIdx, w.Name, err)
 	}
+	return schedGoldenDigest(t, res)
+}
 
+// schedGoldenExtendedCell runs one widened cell: one program per
+// hardware thread, optionally restored from a functional fast-forward.
+func schedGoldenExtendedCell(t *testing.T, arch Arch, names []string, physRegs int, ff uint64) string {
+	t.Helper()
+	abi := minic.ABIFlat
+	if arch.Windowed() {
+		abi = minic.ABIWindowed
+	}
+	progs := make([]*Program, len(names))
+	for i, name := range names {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[i], err = w.Build(abi)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+	}
+	res, err := Run(MachineSpec{
+		Arch:        arch,
+		PhysRegs:    physRegs,
+		StopAfter:   schedGoldenStop,
+		FastForward: ff,
+	}, progs...)
+	if err != nil {
+		t.Fatalf("%s %v: run: %v", arch, names, err)
+	}
+	return schedGoldenDigest(t, res)
+}
+
+func schedGoldenDigest(t *testing.T, res Result) string {
+	t.Helper()
 	h := sha256.New()
 	resJSON, err := json.Marshal(res.Result)
 	if err != nil {
@@ -82,6 +137,9 @@ func TestSchedulerGoldenMatrix(t *testing.T) {
 			key := fmt.Sprintf("%s/%s", arch, w.Name)
 			got[key] = schedGoldenCell(t, arch, w)
 		}
+	}
+	for _, c := range schedGoldenExtended {
+		got[c.key] = schedGoldenExtendedCell(t, c.arch, c.workloads, c.physRegs, c.fastForward)
 	}
 
 	if *updateGolden {
