@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep counterpoint-gate check ci docs-check bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke serve clean gitignore-check
+.PHONY: all build test test-race fuzz-smoke sweep counterpoint-gate check ci docs-check analyze fix-audit bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke serve clean gitignore-check
 
 all: build test
 
@@ -79,16 +79,28 @@ serve-smoke:
 serve:
 	$(GO) run ./cmd/vcaserved
 
-# Extended gate: static checks, the race suite, the fuzz smoke, the
-# cache round-trip smoke, the parallel-region identity gate, the
-# counter-oracle gate, and the sweep-service smoke. Slower than
-# `make test`; run before sending a change.
-check: docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke
+# Determinism & hot-path lint suite: every first-party analysis pass
+# (internal/analyzers, docs/ANALYZERS.md) over the whole module. Zero
+# findings is a hard gate in `make check` and `make ci`; the suite's
+# clean-tree regression test pins the same property under `go test`.
+analyze:
+	$(GO) run ./internal/tools/analyze
+
+# Triage mode for the lint suite: print every finding but exit 0, for
+# working through a sweep after an analyzer or annotation change.
+fix-audit:
+	$(GO) run ./internal/tools/analyze -nofail
+
+# Extended gate: static checks, the lint suite, the race suite, the
+# fuzz smoke, the cache round-trip smoke, the parallel-region identity
+# gate, the counter-oracle gate, and the sweep-service smoke. Slower
+# than `make test`; run before sending a change.
+check: docs-check analyze gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke
 
 # Continuous-integration gate: everything check runs, plus the
 # fixed-seed verification sweep, the run-twice cache round trip, and the
 # throughput smoke gate (detailed + functional engines).
-ci: build docs-check gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke sweep cache-ci bench-smoke
+ci: build docs-check analyze gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke sweep cache-ci bench-smoke
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.

@@ -1,0 +1,55 @@
+// Package analysis is the repo's first-party static-analysis framework:
+// a deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API (Analyzer / Pass / Diagnostic)
+// built on the standard library's go/ast and go/types.
+//
+// The repo vendors no third-party modules — the module graph is empty by
+// policy — so the x/tools analysis driver is not available. The passes
+// under internal/analyzers/* are written against this shim instead; the
+// API surface is kept close enough to x/tools that a pass ports to a
+// real golang.org/x/tools/go/analysis.Analyzer by changing imports. The
+// suite, what each pass enforces, and the annotation grammar are
+// documented in docs/ANALYZERS.md.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass: a name (the prefix of
+// every diagnostic it reports), a doc sentence, and the Run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run. All
+// fields are read-only for the pass; diagnostics go through Report.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Ann indexes the package's comment annotations (//hot, //cold,
+	// //lint:...) by file line; see Annotations.
+	Ann *Annotations
+
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Message: msg})
+}

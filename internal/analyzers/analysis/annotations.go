@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotations indexes a package's analyzer-facing comments. Two
+// grammars exist (docs/ANALYZERS.md):
+//
+//   - Function annotations: a line of the function's doc comment that is
+//     exactly the tag ("//vca:hot", "//vca:cold"), optionally followed by
+//     prose after a space. They mark hot-path membership for the hotalloc
+//     pass. The directive form survives gofmt, which would reflow a bare
+//     "//hot" into prose.
+//
+//   - Statement annotations ("//lint:maporder ..."): attached to the
+//     statement on the same source line or the line directly above it.
+//     They suppress a specific diagnostic at that site and should carry a
+//     short justification.
+type Annotations struct {
+	fset *token.FileSet
+	// byLine maps filename → line → the comment text on that line
+	// (all comments on the line, joined).
+	byLine map[string]map[int]string
+}
+
+func indexAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{fset: fset, byLine: make(map[string]map[int]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				m := a.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					a.byLine[pos.Filename] = m
+				}
+				m[pos.Line] += c.Text
+			}
+		}
+	}
+	return a
+}
+
+// StmtAllowed reports whether a statement annotation tag (e.g.
+// "//lint:maporder") is present on pos's line or the line directly
+// above it.
+func (a *Annotations) StmtAllowed(pos token.Pos, tag string) bool {
+	p := a.fset.Position(pos)
+	m := a.byLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	return hasTag(m[p.Line], tag) || hasTag(m[p.Line-1], tag)
+}
+
+// FuncTagged reports whether a function declaration's doc comment
+// carries the tag (e.g. "//hot") as a whole line.
+func FuncTagged(decl *ast.FuncDecl, tag string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if hasTag(c.Text, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasTag reports whether comment text contains tag as a whole token:
+// the tag itself, or the tag followed by whitespace or a colon.
+func hasTag(text, tag string) bool {
+	for t := text; ; {
+		i := strings.Index(t, tag)
+		if i < 0 {
+			return false
+		}
+		rest := t[i+len(tag):]
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':' {
+			return true
+		}
+		t = rest
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"cmp"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+)
+
+// Package is one loaded, type-checked, comment-indexed package — the
+// input a Pass is built from.
+type Package struct {
+	Dir       string
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Ann       *Annotations
+}
+
+// Loader type-checks package directories from source. It wraps the
+// standard library's source importer (go/importer "source" mode), which
+// resolves module-internal import paths through the go command and
+// type-checks dependencies from source — no export data and no
+// third-party loader needed. Dependencies are cached across Load calls,
+// so loading every package in the repo pays for each shared dependency
+// once.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader with a fresh FileSet and dependency cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses and type-checks the non-test Go files of dir as import
+// path path. Test files are excluded by design: the analyzers police
+// shipped code, and test helpers legitimately use wall clocks and
+// unsorted iteration.
+func (l *Loader) Load(dir, path string) (*Package, error) {
+	names, err := GoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Dir:       dir,
+		Path:      path,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+		Ann:       indexAnnotations(l.Fset, files),
+	}, nil
+}
+
+// GoFiles lists the non-test .go file names of dir in sorted order.
+func GoFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	return names, nil
+}
+
+// Run executes one analyzer over the package and returns its findings
+// in position order.
+func (p *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      p.Fset,
+		Files:     p.Files,
+		Pkg:       p.Types,
+		TypesInfo: p.TypesInfo,
+		Ann:       p.Ann,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	slices.SortFunc(diags, func(a, b Diagnostic) int { return cmp.Compare(a.Pos, b.Pos) })
+	return diags, nil
+}

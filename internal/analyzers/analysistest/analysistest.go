@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// convention as golang.org/x/tools/go/analysis/analysistest (and the
+// prysm tools/analyzers suites the repo's passes are modeled on): a
+// diagnostic must be reported on every line carrying a want comment and
+// must match one of the line's quoted regular expressions; a diagnostic
+// on a line with no matching want is an error, as is a want that nothing
+// matched.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vca/internal/analyzers/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads dir as a package and checks analyzer a's diagnostics
+// against the package's want comments. The package must type-check; its
+// import path is synthesized from the directory name.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	pkg, err := loader.Load(dir, "analyzertest/"+strings.ReplaceAll(dir, "\\", "/"))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		ws := wants[key]
+		ok := false
+		for _, w := range ws {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for key := range wants { //lint:maporder keys are collected then sorted before use
+		keys = append(keys, key)
+	}
+	slices.Sort(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %s", key, w.raw)
+			}
+		}
+	}
+}
+
+// collectWants extracts the want expectations, keyed file:line.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					raw, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: q})
+				}
+			}
+		}
+	}
+	return wants
+}

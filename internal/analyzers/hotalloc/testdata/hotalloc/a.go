@@ -1,0 +1,80 @@
+// Package hotalloctest is the hotalloc analyzer fixture. The hot region
+// seeds at Step (//vca:hot), propagates into helper through the static
+// call, stops at traceSlow (//vca:cold), and never reaches ColdPath —
+// allocation there is free to do whatever it likes.
+package hotalloctest
+
+import "fmt"
+
+type machine struct {
+	buf  []int
+	sink any
+}
+
+// Step is the fixture's per-cycle entry point.
+//
+//vca:hot
+func (m *machine) Step(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v)) // panic arguments are exempt
+	}
+
+	m.buf = append(m.buf, v) // persistent struct-field buffer: amortized
+
+	var fresh []int
+	fresh = append(fresh, v) // want "append grows an unpreallocated slice"
+	_ = fresh
+
+	f := func() int { return v } // want "closure captures variables"
+	_ = f()
+
+	g := func() int { return 42 } // non-capturing literal: static, free
+	_ = g()
+
+	m.sink = v // want "assignment boxes a concrete value"
+	_ = any(v) // want "conversion boxes a concrete value"
+
+	fmt.Println(v) // want "argument boxes a concrete value"
+
+	m.helper(v)
+	m.traceSlow(v)
+
+	//lint:hotalloc run-fatal error construction; executes at most once per run
+	m.fail(fmt.Errorf("bad value %d", v))
+}
+
+// helper carries no tag but is reached from Step through a static call,
+// so the hot region covers it.
+func (m *machine) helper(v int) {
+	local := make([]int, 0, 8)
+	local = append(local, v) // make with explicit capacity: preallocated
+	_ = local
+
+	var sl []int
+	sl = append(sl, v) // want "append grows an unpreallocated slice"
+	_ = sl
+}
+
+// traceSlow is config-gated debug output, reachable from Step but never
+// run per cycle in measured configurations.
+//
+//vca:cold
+func (m *machine) traceSlow(v int) {
+	fmt.Println("trace", v) // cold cuts propagation: not checked
+}
+
+// fail is hot (reached from Step) but only moves interfaces around —
+// err is already boxed, so nothing new allocates.
+func (m *machine) fail(err error) {
+	m.sink = err
+}
+
+// ColdPath is outside the hot region entirely: nothing tagged reaches
+// it, so its appends are not the analyzer's business.
+func ColdPath(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

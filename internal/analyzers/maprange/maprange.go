@@ -1,0 +1,329 @@
+// Package maprange implements the maprange analyzer: iteration over a
+// map is unordered, so a range-over-map whose effects are
+// order-sensitive is a determinism bug — it feeds Go's randomized map
+// order into return values, serialized output, or append order.
+//
+// The pass proves a loop body order-insensitive with a conservative
+// structural check; everything it cannot prove must either sort
+// explicitly (collect keys, slices.Sort, then index) or carry a
+// `//lint:maporder <justification>` annotation on the range statement.
+//
+// The commutativity argument accepted without annotation:
+//
+//   - integer compound accumulation (+=, -=, *=, |=, &=, ^=, &^=) and
+//     ++/-- — each iteration contributes a commutative delta. Floating
+//     accumulation is NOT accepted: float addition is non-associative,
+//     so even a "sum" depends on iteration order bit-for-bit.
+//   - writes keyed by a range variable (out[k] = f(v), delete(m2, k)) —
+//     map keys are distinct, so iterations touch disjoint cells.
+//   - max/min folds: inside `if` whose condition is a comparison, plain
+//     assignment to variables the condition mentions.
+//   - pure local scaffolding: := definitions, continue, and nested
+//     control flow built from the forms above.
+//
+// Early return, break, append, sends, and arbitrary calls inside the
+// body are all order-sensitive (or unprovable) and get flagged.
+package maprange
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"vca/internal/analyzers/analysis"
+)
+
+// exprString renders an expression to canonical source text, the
+// equality the max/min-fold check compares operands by.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// Tag is the allowlist annotation for proven-commutative map loops.
+const Tag = "//lint:maporder"
+
+// Analyzer flags order-sensitive iteration over maps.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag range-over-map whose effects are order-sensitive; sort first or annotate " + Tag,
+	Run:  run,
+}
+
+const msg = "map iteration order is random and this loop body is order-sensitive; collect and sort the keys first, or annotate the loop " + Tag + " with a commutativity argument"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Ann.StmtAllowed(rng.Pos(), Tag) {
+				return true
+			}
+			c := &checker{pass: pass, rangeVars: rangeVars(pass, rng)}
+			if !c.okBlock(rng.Body) {
+				pass.Reportf(rng.Pos(), msg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangeVars collects the loop's key/value variable objects.
+func rangeVars(pass *analysis.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	rangeVars map[types.Object]bool
+}
+
+func (c *checker) okBlock(b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.okStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// okStmt reports whether one statement is provably order-insensitive.
+func (c *checker) okStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		return c.okAssign(s, nil)
+	case *ast.ExprStmt:
+		return c.isDelete(s.X)
+	case *ast.BlockStmt:
+		return c.okBlock(s)
+	case *ast.IfStmt:
+		return c.okIf(s)
+	case *ast.BranchStmt:
+		// continue is harmless; break makes "which iterations ran"
+		// order-dependent.
+		return s.Tok == token.CONTINUE
+	case *ast.RangeStmt:
+		// A nested range is order-insensitive if its body is (a nested
+		// range over a map is additionally checked on its own).
+		return c.okStmt(s.Body)
+	case *ast.ForStmt:
+		return (s.Init == nil || c.okStmt(s.Init)) && (s.Post == nil || c.okStmt(s.Post)) && c.okBlock(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil && !c.okStmt(s.Init) {
+			return false
+		}
+		for _, cc := range s.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				if !c.okStmt(st) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR && gd.Tok != token.CONST {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, v := range vs.Values {
+				if containsAppend(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// commutative compound-assignment operators; sound for integers only.
+var commutativeOps = map[token.Token]bool{
+	token.ADD_ASSIGN:     true,
+	token.SUB_ASSIGN:     true,
+	token.MUL_ASSIGN:     true,
+	token.OR_ASSIGN:      true,
+	token.AND_ASSIGN:     true,
+	token.XOR_ASSIGN:     true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+// okAssign vets one assignment. cond, when non-nil, is the enclosing
+// if's comparison condition and licenses the exact max/min fold
+// (okMinMaxFold).
+func (c *checker) okAssign(s *ast.AssignStmt, cond *ast.BinaryExpr) bool {
+	for _, v := range s.Rhs {
+		if containsAppend(v) {
+			return false
+		}
+	}
+	switch {
+	case commutativeOps[s.Tok]:
+		// Commutative only over integers: float addition is
+		// non-associative and string += is concatenation.
+		for _, l := range s.Lhs {
+			if !isIntegerish(c.pass, l) {
+				return false
+			}
+		}
+		return true
+	case s.Tok == token.DEFINE:
+		return true
+	case s.Tok == token.ASSIGN:
+		if cond != nil && c.okMinMaxFold(s, cond) {
+			return true
+		}
+		for i, l := range s.Lhs {
+			if ix, ok := l.(*ast.IndexExpr); ok && c.mentionsRangeVar(ix.Index) {
+				continue // write keyed by a range variable: disjoint cells
+			}
+			if _, ok := l.(*ast.Ident); ok && i < len(s.Rhs) {
+				if tv, has := c.pass.TypesInfo.Types[s.Rhs[i]]; has && tv.Value != nil {
+					continue // x = <constant>: idempotent, any order
+				}
+			}
+			// Anything else is last-writer-wins: order-dependent.
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// okMinMaxFold recognizes exactly `if X op Y { Y = X }` (op a strict or
+// non-strict comparison): a running max/min, which is commutative,
+// associative, and idempotent regardless of iteration order. Any looser
+// shape — assigning a third variable under the guard (argmax), or
+// assigning a value other than the compared one — reintroduces order
+// dependence on ties and is rejected.
+func (c *checker) okMinMaxFold(s *ast.AssignStmt, cond *ast.BinaryExpr) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := exprString(c.pass.Fset, s.Lhs[0]), exprString(c.pass.Fset, s.Rhs[0])
+	x, y := exprString(c.pass.Fset, cond.X), exprString(c.pass.Fset, cond.Y)
+	return (lhs == x && rhs == y) || (lhs == y && rhs == x)
+}
+
+// okIf vets an if statement; a comparison condition unlocks the
+// max/min-fold allowance for the guarded assignments.
+func (c *checker) okIf(s *ast.IfStmt) bool {
+	if s.Init != nil && !c.okStmt(s.Init) {
+		return false
+	}
+	var cond *ast.BinaryExpr
+	if be, ok := s.Cond.(*ast.BinaryExpr); ok {
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			cond = be
+		}
+	}
+	okBody := func(b *ast.BlockStmt) bool {
+		for _, st := range b.List {
+			if as, ok := st.(*ast.AssignStmt); ok && c.okAssign(as, cond) {
+				continue
+			}
+			if !c.okStmt(st) {
+				return false
+			}
+		}
+		return true
+	}
+	if !okBody(s.Body) {
+		return false
+	}
+	switch e := s.Else.(type) {
+	case nil:
+		return true
+	case *ast.BlockStmt:
+		return okBody(e)
+	case *ast.IfStmt:
+		return c.okIf(e)
+	}
+	return false
+}
+
+func (c *checker) mentionsRangeVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.rangeVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isDelete reports whether e is a call to the builtin delete.
+func (c *checker) isDelete(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "delete"
+}
+
+func isIntegerish(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func containsAppend(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,94 @@
+// Package maprangetest is the maprange analyzer fixture: order-sensitive
+// loops carry want comments; the commutative shapes and the annotated
+// collect-then-sort loop must stay silent.
+package maprangetest
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Sum is commutative integer accumulation: allowed without annotation.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes cells keyed by a range variable — map keys are
+// distinct, so iterations touch disjoint cells: allowed.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Max is the strict max/min fold: commutative, associative, idempotent.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Prune deletes under a guard; delete keyed by the range variable is a
+// disjoint-cell write.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Print feeds the randomized order straight into serialized output.
+func Print(m map[string]int) {
+	for k, v := range m { // want "map iteration order is random"
+		fmt.Println(k, v)
+	}
+}
+
+// Keys builds an order-dependent slice: flagged without annotation.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is random"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// First leaks whichever key the runtime happens to yield first.
+func First(m map[string]int) string {
+	for k := range m { // want "map iteration order is random"
+		return k
+	}
+	return ""
+}
+
+// FloatSum is flagged: float addition is non-associative, so even a
+// plain sum is order-sensitive bit-for-bit.
+func FloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order is random"
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned fix for Keys: the annotation records the
+// commutativity argument and the sort restores a total order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:maporder keys are collected then sorted before use
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

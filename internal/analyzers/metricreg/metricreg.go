@@ -1,0 +1,199 @@
+// Package metricreg implements the metricreg analyzer, policing the
+// internal/metrics registration discipline that keeps the counter
+// surface complete and greppable:
+//
+//   - A registration name must have a literal root: a constant
+//     expression, a concatenation whose leftmost operand is constant
+//     ("simcache." + name), or fmt.Sprintf with a literal format
+//     ("core.occ.rob.t%d"). A name synthesized entirely from runtime
+//     values cannot be cross-referenced by docs/OBSERVABILITY.md or
+//     found when a promexport series needs explaining. A name rooted in
+//     a string parameter of the enclosing function is a forwarding
+//     wrapper and is allowed: the rule applies to the wrapper's call
+//     sites instead, so every concrete name still bottoms out in a
+//     literal somewhere up the call chain.
+//
+//   - Registration must happen at construction, before the registry is
+//     first exported: a Registry.Counter/Histogram/Occupancy/Register*
+//     call positioned after a Snapshot or CounterMap call in the same
+//     function is registered too late — the exported dump the caller
+//     already took is missing the metric.
+package metricreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vca/internal/analyzers/analysis"
+)
+
+// Analyzer enforces literal-rooted, export-before-use metric
+// registration.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricreg",
+	Doc:  "metric registration names must have a literal root and precede the registry's first export",
+	Run:  run,
+}
+
+const metricsPath = "vca/internal/metrics"
+
+// registration methods (name is the first argument) and export methods
+// of metrics.Registry.
+var (
+	registerMethods = map[string]bool{
+		"Counter": true, "Histogram": true, "Occupancy": true,
+		"RegisterCounter": true, "RegisterHistogram": true, "RegisterOccupancy": true,
+	}
+	exportMethods = map[string]bool{
+		"Snapshot": true, "CounterMap": true,
+	}
+)
+
+func run(pass *analysis.Pass) error {
+	params := paramObjects(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, params)
+		}
+	}
+	return nil
+}
+
+// paramObjects collects every function and closure parameter object in
+// the package — the "forwarding wrapper" roots hasLiteralRoot accepts.
+func paramObjects(pass *analysis.Pass) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				addFields(n.Recv)
+				addFields(n.Type.Params)
+			case *ast.FuncLit:
+				addFields(n.Type.Params)
+			}
+			return true
+		})
+	}
+	return params
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, params map[types.Object]bool) {
+	// Position of the first export call in this function, if any.
+	firstExport := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, _ := registryCall(pass, call); kind == callExport && (!firstExport.IsValid() || call.Pos() < firstExport) {
+			firstExport = call.Pos()
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, method := registryCall(pass, call)
+		if kind != callRegister {
+			return true
+		}
+		if len(call.Args) > 0 && !hasLiteralRoot(pass, params, call.Args[0]) {
+			pass.Reportf(call.Args[0].Pos(), "metric name passed to Registry."+method+" has no literal root; build names from a constant prefix or a literal fmt.Sprintf format so docs/OBSERVABILITY.md and promexport stay complete")
+		}
+		if firstExport.IsValid() && call.Pos() > firstExport {
+			pass.Reportf(call.Pos(), "metric registered via Registry."+method+" after the registry was exported (Snapshot/CounterMap) in the same function; register every metric at construction, before the first export")
+		}
+		return true
+	})
+}
+
+type callKind int
+
+const (
+	callNone callKind = iota
+	callRegister
+	callExport
+)
+
+// registryCall classifies a call as a metrics.Registry registration or
+// export, returning the method name.
+func registryCall(pass *analysis.Pass, call *ast.CallExpr) (callKind, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return callNone, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPath {
+		return callNone, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return callNone, ""
+	}
+	recv := sig.Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return callNone, ""
+	}
+	switch {
+	case registerMethods[fn.Name()]:
+		return callRegister, fn.Name()
+	case exportMethods[fn.Name()]:
+		return callExport, fn.Name()
+	}
+	return callNone, ""
+}
+
+// hasLiteralRoot reports whether a name expression is anchored in a
+// compile-time literal: a constant, a + concatenation whose leftmost
+// operand has a literal root, fmt.Sprintf with a constant format, or a
+// parameter of the enclosing function (a forwarding wrapper — the
+// wrapper's call sites are checked in turn).
+func hasLiteralRoot(pass *analysis.Pass, params map[types.Object]bool, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true // constant expression
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return hasLiteralRoot(pass, params, e.X)
+	case *ast.Ident:
+		return params[pass.TypesInfo.Uses[e]]
+	case *ast.BinaryExpr:
+		return e.Op == token.ADD && hasLiteralRoot(pass, params, e.X)
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Sprintf" {
+			return false
+		}
+		return len(e.Args) > 0 && hasLiteralRoot(pass, params, e.Args[0])
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package metricreg_test
+
+import (
+	"testing"
+
+	"vca/internal/analyzers/analysistest"
+	"vca/internal/analyzers/metricreg"
+)
+
+// TestFixture checks the analyzer against its testdata package: every
+// want line must fire and nothing else may.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, metricreg.Analyzer, "testdata/metricreg")
+}

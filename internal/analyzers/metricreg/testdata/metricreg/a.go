@@ -1,0 +1,44 @@
+// Package metricregtest is the metricreg analyzer fixture: names with
+// no literal root and registrations after an export are flagged; the
+// constant-prefix, literal-Sprintf, and forwarding-wrapper forms stay
+// silent.
+package metricregtest
+
+import (
+	"fmt"
+
+	"vca/internal/metrics"
+)
+
+const prefix = "fixture."
+
+// Good shows every sanctioned naming form.
+func Good(reg *metrics.Registry, threads int) {
+	reg.Counter("fixture.cycles", "cycles", "literal name")
+	reg.Counter(prefix+"commits", "events", "constant-prefix concatenation")
+	for t := 0; t < threads; t++ {
+		reg.Counter(fmt.Sprintf("fixture.occ.t%d", t), "events", "literal Sprintf format")
+	}
+}
+
+// Forward is a forwarding wrapper: the parameter root is allowed here,
+// and the rule applies to Forward's call sites instead.
+func Forward(reg *metrics.Registry, name string) *metrics.Counter {
+	return reg.Counter(name+".hits", "events", "wrapper-forwarded name")
+}
+
+// Bad synthesizes a name entirely from runtime values.
+func Bad(reg *metrics.Registry, names []string) {
+	for _, n := range names {
+		v := n + ".miss"
+		reg.Counter(v, "events", "runtime-synthesized name") // want "has no literal root"
+	}
+}
+
+// LateRegistration registers after the registry was already exported in
+// the same function: the snapshot the caller took is missing the metric.
+func LateRegistration(reg *metrics.Registry) []metrics.Sample {
+	snap := reg.Snapshot()
+	reg.Counter("fixture.late", "events", "registered too late") // want "after the registry was exported"
+	return snap
+}

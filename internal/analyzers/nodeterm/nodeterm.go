@@ -1,0 +1,91 @@
+// Package nodeterm implements the nodeterm analyzer: no wall-clock
+// reads, no globally-seeded randomness, and no environment-dependent
+// values inside the deterministic simulation packages (internal/core,
+// internal/rename, internal/mem, internal/emu, internal/branch).
+//
+// Everything those packages produce — golden counter matrices, simcache
+// content addresses, checkpoint images — must be a pure function of
+// (config, program, seed). A time.Now, an unseeded math/rand call, or an
+// os.Getenv in that code is a determinism bug even when today's output
+// happens not to depend on it; this pass, modeled on prysm's cryptorand
+// analyzer, makes the convention mechanical. Explicitly seeded sources
+// (rand.New(rand.NewSource(seed)), rand.NewPCG, ...) stay allowed: the
+// seed is provenance the caller controls.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vca/internal/analyzers/analysis"
+)
+
+// Analyzer flags nondeterminism sources in deterministic packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc:  "forbid wall-clock time, unseeded randomness, and environment reads in deterministic simulation packages",
+	Run:  run,
+}
+
+// banned maps package path → function name → the diagnostic. An empty
+// inner map bans every package-level function except allowedRand.
+var banned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time is nondeterministic; derive timing from the simulated cycle count or take an explicit timestamp parameter",
+		"Since": "wall-clock time is nondeterministic; derive timing from the simulated cycle count or take an explicit timestamp parameter",
+		"Until": "wall-clock time is nondeterministic; derive timing from the simulated cycle count or take an explicit timestamp parameter",
+	},
+	"os": {
+		"Getenv":    "environment-dependent values break run-to-run determinism; thread configuration through core.Config instead",
+		"LookupEnv": "environment-dependent values break run-to-run determinism; thread configuration through core.Config instead",
+		"Environ":   "environment-dependent values break run-to-run determinism; thread configuration through core.Config instead",
+		"Hostname":  "host-dependent values break run-to-run determinism; thread configuration through core.Config instead",
+		"Getpid":    "process-dependent values break run-to-run determinism; thread configuration through core.Config instead",
+	},
+}
+
+// allowedRand is the math/rand surface that carries an explicit seed and
+// therefore stays deterministic: constructors of seedable sources.
+// Methods on *rand.Rand are always allowed — the value exists only
+// downstream of a constructor.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+const randMsg = "package-level math/rand functions use the shared global source; construct an explicitly seeded rand.New(rand.NewSource(seed)) and pass it down"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Methods (receiver present) are allowed: *rand.Rand methods
+			// derive from a seeded source; time.Duration methods etc. are
+			// pure values.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch path := fn.Pkg().Path(); path {
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(), randMsg)
+				}
+			default:
+				if msg, ok := banned[path][fn.Name()]; ok {
+					pass.Reportf(sel.Pos(), msg)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

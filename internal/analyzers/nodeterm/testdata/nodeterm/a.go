@@ -1,0 +1,44 @@
+// Package nodetermtest is the nodeterm analyzer fixture: the flagged
+// lines carry want comments; the explicitly seeded constructions at the
+// bottom must stay silent.
+package nodetermtest
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Clock() int64 {
+	t := time.Now() // want "wall-clock time is nondeterministic"
+	return t.Unix()
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock time is nondeterministic"
+}
+
+func FromEnv() string {
+	return os.Getenv("VCA_MODE") // want "environment-dependent values break run-to-run determinism"
+}
+
+func GlobalRand() int {
+	return rand.Intn(16) // want "package-level math/rand functions use the shared global source"
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "package-level math/rand functions use the shared global source"
+}
+
+// SeededRand is allowed: the seed is provenance the caller controls,
+// and methods on the constructed *rand.Rand derive from it.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(16)
+}
+
+// PureTime is allowed: time.Duration arithmetic and constants are pure
+// values, only the wall-clock reads are banned.
+func PureTime(d time.Duration) float64 {
+	return d.Seconds() + time.Millisecond.Seconds()
+}

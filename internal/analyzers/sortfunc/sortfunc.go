@@ -1,0 +1,55 @@
+// Package sortfunc implements the sortfunc analyzer: prefer the
+// generic, reflection-free slices.SortFunc family (go 1.22) over
+// sort.Slice / sort.SliceStable / sort.SliceIsSorted. The sort.Slice
+// forms cost an interface allocation and reflective swaps per call, and
+// their less-func signature invites comparators with no deterministic
+// tie-break; slices.SortFunc's three-way comparator makes the total
+// order explicit. PR 5 migrated the simulator core; this pass keeps the
+// rest of the tree from regressing.
+package sortfunc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vca/internal/analyzers/analysis"
+)
+
+// Analyzer flags sort.Slice-family calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "sortfunc",
+	Doc:  "prefer slices.SortFunc / slices.SortStableFunc / slices.IsSortedFunc over the reflective sort.Slice family",
+	Run:  run,
+}
+
+// replacements maps the flagged sort functions to their slices-package
+// successors.
+var replacements = map[string]string{
+	"Slice":         "slices.SortFunc",
+	"SliceStable":   "slices.SortStableFunc",
+	"SliceIsSorted": "slices.IsSortedFunc",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sort" {
+				return true
+			}
+			if repl, flagged := replacements[obj.Name()]; flagged {
+				pass.Reportf(call.Pos(), "sort."+obj.Name()+" is reflective and allocation-prone; use "+repl)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package sortfunc_test
+
+import (
+	"testing"
+
+	"vca/internal/analyzers/analysistest"
+	"vca/internal/analyzers/sortfunc"
+)
+
+// TestFixture checks the analyzer against its testdata package: every
+// want line must fire and nothing else may.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, sortfunc.Analyzer, "testdata/sortfunc")
+}

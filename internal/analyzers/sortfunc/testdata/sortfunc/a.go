@@ -1,0 +1,29 @@
+// Package sortfunctest is the sortfunc analyzer fixture: every
+// reflective sort.Slice-family call is flagged; the generic slices
+// functions and the non-reflective sort helpers stay silent.
+package sortfunctest
+
+import (
+	"slices"
+	"sort"
+)
+
+func Ints(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "use slices.SortFunc"
+}
+
+func Stable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "use slices.SortStableFunc"
+}
+
+func IsSorted(xs []int) bool {
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "use slices.IsSortedFunc"
+}
+
+// Good shows the sanctioned forms: the generic slices family and the
+// non-reflective sort helpers.
+func Good(xs []int) {
+	slices.Sort(xs)
+	slices.SortFunc(xs, func(a, b int) int { return a - b })
+	sort.Ints(xs)
+}

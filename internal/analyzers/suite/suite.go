@@ -1,0 +1,172 @@
+// Package suite assembles the repo's analyzer suite — which passes
+// exist and which packages each one polices — and runs it over the
+// tree. It is the single source of truth shared by the multichecker
+// driver (internal/tools/analyze, `make analyze`) and the clean-tree
+// regression test that pins the suite to zero findings on the repo
+// itself.
+package suite
+
+import (
+	"errors"
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vca/internal/analyzers/analysis"
+	"vca/internal/analyzers/hotalloc"
+	"vca/internal/analyzers/maprange"
+	"vca/internal/analyzers/metricreg"
+	"vca/internal/analyzers/nodeterm"
+	"vca/internal/analyzers/sortfunc"
+)
+
+// deterministicPackages are the packages whose output must be a pure
+// function of (config, program, seed) — the scope of the nodeterm pass.
+// Golden matrices, simcache content addresses, and checkpoint images
+// are all derived from what these packages compute.
+var deterministicPackages = []string{
+	"vca/internal/core",
+	"vca/internal/rename",
+	"vca/internal/mem",
+	"vca/internal/emu",
+	"vca/internal/branch",
+}
+
+// Pass couples an analyzer with the import-path scope it runs on.
+type Pass struct {
+	Analyzer *analysis.Analyzer
+	// Include reports whether the pass polices the package; nil means
+	// the whole tree.
+	Include func(importPath string) bool
+}
+
+// All returns the suite in the order findings are reported.
+func All() []Pass {
+	inDeterministic := func(path string) bool {
+		for _, p := range deterministicPackages {
+			if path == p || strings.HasPrefix(path, p+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	return []Pass{
+		{Analyzer: nodeterm.Analyzer, Include: inDeterministic},
+		{Analyzer: maprange.Analyzer},
+		{Analyzer: hotalloc.Analyzer},
+		{Analyzer: metricreg.Analyzer},
+		{Analyzer: sortfunc.Analyzer},
+	}
+}
+
+// Finding is one reported diagnostic, positioned and attributed.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in file:line:col form (path as given —
+// Run reports paths relative to the root it walked).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// ModuleRoot locates the repo root by walking up from dir to the
+// directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", errors.New("suite: no go.mod found above " + dir)
+		}
+		abs = parent
+	}
+}
+
+// Packages walks the module and returns (dir, importPath) for every
+// buildable non-test package, skipping testdata (analyzer fixtures
+// intentionally contain findings) and dot-directories.
+func Packages(root string) (dirs, paths []string, err error) {
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		files, err := analysis.GoFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		importPath := "vca"
+		if rel != "." {
+			importPath = "vca/" + filepath.ToSlash(rel)
+		}
+		dirs = append(dirs, p)
+		paths = append(paths, importPath)
+		return nil
+	})
+	return dirs, paths, err
+}
+
+// Run executes every applicable pass over every package under root and
+// returns the findings with root-relative file paths, ordered by
+// package, then pass, then position.
+func Run(root string) ([]Finding, error) {
+	dirs, paths, err := Packages(root)
+	if err != nil {
+		return nil, err
+	}
+	passes := All()
+	loader := analysis.NewLoader()
+	var out []Finding
+	for i, dir := range dirs {
+		importPath := paths[i]
+		var pkg *analysis.Package
+		for _, p := range passes {
+			if p.Include != nil && !p.Include(importPath) {
+				continue
+			}
+			if pkg == nil {
+				pkg, err = loader.Load(dir, importPath)
+				if err != nil {
+					return nil, err
+				}
+			}
+			diags, err := pkg.Run(p.Analyzer)
+			if err != nil {
+				return nil, fmt.Errorf("suite: %s on %s: %w", p.Analyzer.Name, importPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+					pos.Filename = filepath.ToSlash(rel)
+				}
+				out = append(out, Finding{Pos: pos, Analyzer: p.Analyzer.Name, Message: d.Message})
+			}
+		}
+	}
+	return out, nil
+}

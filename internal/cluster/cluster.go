@@ -30,9 +30,10 @@
 package cluster
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Standardize centers each feature and scales it to unit variance
@@ -125,7 +126,12 @@ func PCA(data [][]float64, k int) (proj [][]float64, explained []float64, err er
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	slices.SortFunc(order, func(a, b int) int {
+		if vals[a] != vals[b] {
+			return cmp.Compare(vals[b], vals[a]) // descending eigenvalue
+		}
+		return cmp.Compare(a, b) // tie-break: original dimension index
+	})
 
 	var total float64
 	for _, v := range vals {
@@ -257,7 +263,7 @@ func AverageLinkage(points [][]float64, k int) ([][]int, error) {
 			}
 		}
 		merged := append(append([]int{}, clusters[bi]...), clusters[bj]...)
-		sort.Ints(merged)
+		slices.Sort(merged)
 		next := make([][]int, 0, len(clusters)-1)
 		for i, c := range clusters {
 			if i != bi && i != bj {
@@ -266,7 +272,7 @@ func AverageLinkage(points [][]float64, k int) ([][]int, error) {
 		}
 		clusters = append(next, merged)
 	}
-	sort.Slice(clusters, func(a, b int) bool { return clusters[a][0] < clusters[b][0] })
+	slices.SortFunc(clusters, func(a, b []int) int { return cmp.Compare(a[0], b[0]) })
 	return clusters, nil
 }
 

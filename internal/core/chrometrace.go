@@ -37,6 +37,9 @@ func (m *Machine) initChromeTrace() {
 // chromeCommit emits the per-stage slices of a committing uop. Injected
 // window-trap operations enter the pipeline at rename, so their
 // front-end slice is skipped (fetchedAt stays zero; cycles start at 1).
+// Config-gated tracing (m.ctrace nil in measured configurations).
+//
+//vca:cold
 func (m *Machine) chromeCommit(th *thread, u *uop) {
 	rec := m.cfg.ChromeTrace
 	name := chromeName(u)
@@ -58,6 +61,9 @@ func (m *Machine) chromeCommit(th *thread, u *uop) {
 }
 
 // chromeASTQ emits one completed spill/fill operation on the ASTQ lane.
+// Config-gated tracing (m.ctrace nil in measured configurations).
+//
+//vca:cold
 func (m *Machine) chromeASTQ(e astqEntry, issuedAt uint64) {
 	rec := m.cfg.ChromeTrace
 	name := "fill"

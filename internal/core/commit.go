@@ -13,6 +13,8 @@ import (
 // syscalls take effect here; conventional-window overflow/underflow traps
 // are detected here (§4.1); and, when enabled, every committed instruction
 // is cross-checked against the functional emulator.
+//
+//vca:hot
 func (m *Machine) commitStage() {
 	for n := 0; n < m.cfg.Width && m.robLen() > 0; n++ {
 		u := m.rob[m.robHead]
@@ -47,6 +49,7 @@ func (m *Machine) commitStage() {
 		}
 
 		if !u.injected && u.class == isa.ClassInvalid {
+			//lint:hotalloc run-fatal error construction; executes at most once per run
 			m.err = fmt.Errorf("core: invalid instruction reached commit at pc %#x (%s), cycle %d",
 				u.pc, th.prog.SymbolFor(u.pc), m.cycle)
 			return
@@ -131,6 +134,9 @@ func (m *Machine) removeFromLSQ(u *uop) {
 
 // commitSyscall applies a syscall's architectural effect. It reports
 // whether the thread exited.
+// Syscall commit is an inherently rare, I/O-bound slow path.
+//
+//vca:cold
 func (m *Machine) commitSyscall(th *thread, u *uop) bool {
 	switch u.inst.Imm {
 	case isa.SysExit:
@@ -180,6 +186,7 @@ func (m *Machine) maybeWindowTrap(th *thread, u *uop) bool {
 		// Underflow: restore the departed window from memory.
 		th.winBase--
 		if th.winBase < 0 {
+			//lint:hotalloc run-fatal error construction; executes at most once per run
 			m.err = fmt.Errorf("core: register window underflow below frame 0 at pc %#x", u.pc)
 			return true
 		}
@@ -222,6 +229,10 @@ func (m *Machine) startTrap(th *thread, u *uop) {
 
 // cosimCheck steps the golden-model emulator one instruction and compares
 // architectural effects.
+// Co-simulation cross-checking is a verification configuration, never
+// a measured one.
+//
+//vca:cold
 func (m *Machine) cosimCheck(th *thread, u *uop) error {
 	var info emu.StepInfo
 	if err := th.ref.StepInto(&info); err != nil {

@@ -15,6 +15,8 @@ func (m *Machine) fetchBufCap() int {
 // instructions) and fetches up to Width instructions along the predicted
 // path. Instructions arrive at the rename stage FrontLat cycles later
 // (+ instruction-cache miss time).
+//
+//vca:hot
 func (m *Machine) fetchStage() {
 	th := m.pickFetchThread()
 	if th == nil {

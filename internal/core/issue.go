@@ -19,6 +19,8 @@ import (
 // evidence falls out directly: issueNoReady is "IQ non-empty and ready
 // list empty" — the width cutoff cannot hide the first ready uop, since
 // width only decrements when something (necessarily ready) issues.
+//
+//vca:hot
 func (m *Machine) issueStage() {
 	intALU := m.cfg.IntALUs
 	mulDiv := m.cfg.IntMulDivs
@@ -270,6 +272,8 @@ func (m *Machine) execute(u *uop) {
 // the ready list, and control instructions resolve (possibly triggering
 // recovery). The timing wheels hand over exactly this cycle's bucket;
 // nothing else in flight is touched.
+//
+//vca:hot
 func (m *Machine) writebackStage() {
 	resolved := m.resolvedScratch[:0]
 	for _, u := range m.ewheel.take(m.cycle) {

@@ -13,6 +13,8 @@ import (
 // traversed the front end. VCA machines additionally respect the rename
 // table port budget and the ASTQ write budget (§3), stalling in order when
 // either is exhausted.
+//
+//vca:hot
 func (m *Machine) renameStage() {
 	// Per-cycle VCA budgets (carrying over any overshoot as debt).
 	if m.cfg.Rename == RenameVCA {
@@ -287,12 +289,6 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 	ops := m.opsScratch[:0]
 	var pinned [2]int
 	npinned := 0
-	undo := func() {
-		for _, p := range pinned[:npinned] {
-			m.vca.ReleaseSource(p)
-			m.vca.ReleaseRetired(p)
-		}
-	}
 
 	for i, r := range srcs {
 		if r == isa.RegNone {
@@ -301,7 +297,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		phys, _, ok := m.vca.RenameSource(addrs[i], &ops)
 		if !ok {
 			m.noteRenameStall(th, rsVCATable)
-			undo()
+			m.unpinVCASources(pinned[:npinned])
 			m.applyVCAOps(th, ops, ideal) // evictions already happened
 			m.opsScratch = ops[:0]
 			return false
@@ -317,7 +313,7 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 		newP, prev, ok := m.vca.RenameDest(destAddr, &ops)
 		if !ok {
 			m.noteRenameStall(th, rsVCATable)
-			undo()
+			m.unpinVCASources(pinned[:npinned])
 			m.applyVCAOps(th, ops, ideal)
 			m.opsScratch = ops[:0]
 			return false
@@ -335,6 +331,18 @@ func (m *Machine) renameVCA(th *thread, u *uop, srcs [2]isa.Reg, dest isa.Reg) b
 	m.applyVCAOps(th, ops, ideal)
 	m.opsScratch = ops[:0]
 	return true
+}
+
+// unpinVCASources undoes the source pins of a partially renamed uop
+// when a later operand stalls the rename (hoisted out of renameVCA so
+// the undo path costs no closure allocation per rename).
+//
+//vca:hot
+func (m *Machine) unpinVCASources(pinned []int) {
+	for _, p := range pinned {
+		m.vca.ReleaseSource(p)
+		m.vca.ReleaseRetired(p)
+	}
 }
 
 // applyVCAOps routes renamer-generated spills and fills either to the

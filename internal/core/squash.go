@@ -160,10 +160,12 @@ func (m *Machine) rollbackUop(th *thread, v *uop) {
 // list (consumer lists and wheel buckets are unlinked per victim in
 // rollbackUop).
 func (m *Machine) purgeStructures(tid int, seq uint64) {
-	keep := func(v *uop) bool { return v.thread != tid || v.seq <= seq }
+	// "keep v" means v survives the squash: another thread's uop, or one
+	// at or older than the squash point. Written out inline at both
+	// filters — a keep closure would capture tid/seq and allocate.
 	lsq := m.lsq[:0]
 	for _, v := range m.lsq {
-		if keep(v) {
+		if v.thread != tid || v.seq <= seq {
 			lsq = append(lsq, v)
 		} else {
 			m.threads[v.thread].lsqStores--
@@ -172,7 +174,7 @@ func (m *Machine) purgeStructures(tid int, seq uint64) {
 	m.lsq = lsq
 	ready := m.ready[:0]
 	for _, v := range m.ready {
-		if keep(v) {
+		if v.thread != tid || v.seq <= seq {
 			ready = append(ready, v)
 		} else {
 			v.inReady = false

@@ -17,6 +17,10 @@ import (
 // Injected window-trap operations are tagged with '*'.
 
 // traceCommit emits one trace line for a committing uop.
+// Commit tracing only runs with a -trace writer attached, never in
+// measured configurations.
+//
+//vca:cold
 func (m *Machine) traceCommit(w io.Writer, th *thread, u *uop) {
 	tag := ' '
 	if u.injected {
@@ -44,6 +48,9 @@ func (m *Machine) traceCommit(w io.Writer, th *thread, u *uop) {
 // is the store that copies a logical register slot out to the backing
 // store on overflow, win.restore the load that brings it back on
 // underflow.
+// Reachable only from traceCommit.
+//
+//vca:cold
 func injectedDisasm(u *uop) string {
 	op := "win.restore"
 	if u.injStore {

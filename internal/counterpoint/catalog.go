@@ -1,6 +1,9 @@
 package counterpoint
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Catalog returns the full predicate catalogue in its stable,
 // documented order (docs/VERIFICATION.md "Counter oracle" carries the
@@ -158,9 +161,12 @@ func ByName(names []string) ([]Predicate, error) {
 		}
 	}
 	if len(want) > 0 {
-		for n := range want {
-			return nil, fmt.Errorf("counterpoint: unknown predicate %q", n)
+		unknown := make([]string, 0, len(want))
+		for n := range want { //lint:maporder names are collected then sorted before use
+			unknown = append(unknown, n)
 		}
+		slices.Sort(unknown)
+		return nil, fmt.Errorf("counterpoint: unknown predicate(s) %q", unknown)
 	}
 	return out, nil
 }

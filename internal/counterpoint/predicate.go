@@ -32,7 +32,7 @@ package counterpoint
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -162,6 +162,7 @@ func (t globTerm) eval(in Input, wit map[string]uint64) (uint64, bool) {
 	return total, matched
 }
 func (t globTerm) counters(in Input, add func(string)) {
+	//lint:maporder add only inserts into a set; Counters sorts before returning
 	for name := range in.Counters {
 		if strings.HasPrefix(name, t.prefix) {
 			add(name)
@@ -244,10 +245,10 @@ func (p Predicate) Counters(in Input) []string {
 	p.lhs.counters(in, add)
 	p.rhs.counters(in, add)
 	out := make([]string, 0, len(seen))
-	for n := range seen {
+	for n := range seen { //lint:maporder names are collected then sorted before use
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -2,7 +2,8 @@ package counterpoint
 
 import (
 	"encoding/json"
-	"sort"
+	"slices"
+	"strings"
 
 	"vca/internal/verify"
 )
@@ -111,11 +112,11 @@ func (r *Report) Add(ref Refutation) { r.Refutations = append(r.Refutations, ref
 // Finish sorts the refutation list (cell, then predicate) so the
 // report is deterministic regardless of worker scheduling.
 func (r *Report) Finish() {
-	sort.Slice(r.Refutations, func(i, j int) bool {
-		if r.Refutations[i].Cell != r.Refutations[j].Cell {
-			return r.Refutations[i].Cell < r.Refutations[j].Cell
+	slices.SortFunc(r.Refutations, func(a, b Refutation) int {
+		if a.Cell != b.Cell {
+			return strings.Compare(a.Cell, b.Cell)
 		}
-		return r.Refutations[i].Predicate < r.Refutations[j].Predicate
+		return strings.Compare(a.Predicate, b.Predicate)
 	})
 }
 

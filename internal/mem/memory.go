@@ -34,7 +34,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // pageBits gives 4 KiB pages for the sparse memory map.
@@ -208,12 +208,13 @@ const PageSize = pageSize
 // image content-addressable regardless of touch order.
 func (m *Memory) Snapshot() []PageImage {
 	keys := make([]uint64, 0, len(m.pages))
+	//lint:maporder keys are collected then sorted before the image is built
 	for k, p := range m.pages {
 		if *p != [pageSize]byte{} {
 			keys = append(keys, k)
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	out := make([]PageImage, len(keys))
 	for i, k := range keys {
 		data := make([]byte, pageSize)

@@ -23,7 +23,8 @@ package metrics
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // Counter is a monotonically increasing event count. Components hold it
@@ -280,7 +281,7 @@ func (r *Registry) Snapshot() []Sample {
 		}
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b Sample) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 

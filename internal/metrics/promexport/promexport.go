@@ -31,7 +31,7 @@ package promexport
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"vca/internal/metrics"
@@ -67,7 +67,7 @@ func escapeHelp(s string) string {
 func Write(w io.Writer, namespace string, samples []metrics.Sample) error {
 	sorted := make([]metrics.Sample, len(samples))
 	copy(sorted, samples)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	slices.SortFunc(sorted, func(a, b metrics.Sample) int { return strings.Compare(a.Name, b.Name) })
 
 	for i := range sorted {
 		s := &sorted[i]

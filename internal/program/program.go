@@ -5,8 +5,10 @@
 package program
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"vca/internal/isa"
@@ -104,6 +106,7 @@ func (p *Program) Symbol(name string) (uint64, bool) {
 // symbol at or below it), for diagnostics. Returns "" when none.
 func (p *Program) SymbolFor(addr uint64) string {
 	best, bestAddr := "", uint64(0)
+	//lint:maporder argmax fold with a total tie-break (addr, then name) is order-insensitive
 	for name, a := range p.Symbols {
 		if a <= addr && (best == "" || a > bestAddr || (a == bestAddr && name < best)) {
 			best, bestAddr = name, a
@@ -164,14 +167,14 @@ func (p *Program) Disasm() string {
 		name string
 	}
 	var syms []sym
-	for n, a := range p.Symbols {
+	for n, a := range p.Symbols { //lint:maporder symbols are collected then sorted before use
 		syms = append(syms, sym{a, n})
 	}
-	sort.Slice(syms, func(i, j int) bool {
-		if syms[i].addr != syms[j].addr {
-			return syms[i].addr < syms[j].addr
+	slices.SortFunc(syms, func(a, b sym) int {
+		if a.addr != b.addr {
+			return cmp.Compare(a.addr, b.addr)
 		}
-		return syms[i].name < syms[j].name
+		return strings.Compare(a.name, b.name)
 	})
 	var out []byte
 	si := 0

@@ -283,6 +283,8 @@ func (v *VCA) installMapping(addr uint64, phys int, ops *[]MemOp) bool {
 // treat the register as not-ready until the fill completes. ok=false
 // means rename must stall this cycle (no allocatable register or table
 // way).
+//
+//vca:hot
 func (v *VCA) RenameSource(addr uint64, ops *[]MemOp) (phys int, filled bool, ok bool) {
 	v.touchRSID(addr)
 	if _, p := v.lookup(addr); p != PhysNone {
@@ -314,6 +316,8 @@ func (v *VCA) RenameSource(addr uint64, ops *[]MemOp) (phys int, filled bool, ok
 // speculative mapping (PhysNone on a miss — "for destination registers, a
 // miss is not a problem"). The register is pinned by its producer until
 // commit.
+//
+//vca:hot
 func (v *VCA) RenameDest(addr uint64, ops *[]MemOp) (newPhys, prevSpec int, ok bool) {
 	v.touchRSID(addr)
 	p := v.allocPhys(ops)
@@ -344,6 +348,8 @@ func (v *VCA) RenameDest(addr uint64, ops *[]MemOp) (newPhys, prevSpec int, ok b
 
 // ReleaseSource unpins a source register (at commit or squash of the
 // consuming instruction).
+//
+//vca:hot
 func (v *VCA) ReleaseSource(phys int) {
 	if phys == PhysNone {
 		return
@@ -359,6 +365,8 @@ func (v *VCA) ReleaseSource(phys int) {
 // is dropped, the register becomes committed+dirty, and the previously
 // committed version of the logical register (if any) is freed by
 // overwrite — without any writeback, per §2.1.2.
+//
+//vca:hot
 func (v *VCA) CommitDest(addr uint64, phys, prevSpec int) {
 	r := &v.regs[phys]
 	r.ref--
@@ -405,6 +413,8 @@ func (v *VCA) freeUnmapped(p int) {
 
 // ReleaseRetired handles the deferred free of an overwritten-but-pinned
 // register: call after ReleaseSource drops the last pin.
+//
+//vca:hot
 func (v *VCA) ReleaseRetired(phys int) {
 	if phys == PhysNone {
 		return
@@ -424,6 +434,8 @@ func (v *VCA) ReleaseRetired(phys int) {
 // holds this logical register; if it was evicted meanwhile, the mapping is
 // simply removed — the committed value lives in memory and will fill on
 // demand (§2.1.3's recovery made safe by the memory backing store).
+//
+//vca:hot
 func (v *VCA) RollbackDest(addr uint64, newPhys, prevSpec int) {
 	entry, cur := v.lookup(addr)
 	if prevSpec != PhysNone && v.regs[prevSpec].mapped && v.regs[prevSpec].addr == addr {

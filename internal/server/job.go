@@ -114,6 +114,30 @@ func (j *Job) resultAt(ctx context.Context, i int) (CellResult, bool) {
 	}
 }
 
+// missingCells returns, in ascending order, the indices of cells that
+// have no recorded result. Non-empty only when cells were lost (queue
+// corruption); see Server.reconcileLostCells.
+func (j *Job) missingCells() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.results) >= len(j.Cells) {
+		return nil
+	}
+	have := make([]bool, len(j.Cells))
+	for i := range j.results {
+		if ix := j.results[i].Index; ix >= 0 && ix < len(have) {
+			have[ix] = true
+		}
+	}
+	missing := make([]int, 0, len(j.Cells)-len(j.results))
+	for i, h := range have {
+		if !h {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
 // Status is the GET /v1/sweeps/{id} body.
 type Status struct {
 	ID          string   `json:"id"`

@@ -67,9 +67,10 @@ type serviceMetrics struct {
 	latCell    atomicHistogram // per-cell wall time, queue wait excluded (µs)
 }
 
-// snapshot renders the service metrics; queueDepth is sampled by the
-// caller (the queue owns it).
-func (m *serviceMetrics) snapshot(queueDepth int) []metrics.Sample {
+// snapshot renders the service metrics; queueDepth and
+// queueInvariantFailures are sampled by the caller (the queue owns
+// them).
+func (m *serviceMetrics) snapshot(queueDepth int, queueInvariantFailures uint64) []metrics.Sample {
 	ctr := func(name string, v uint64, desc string) metrics.Sample {
 		return metrics.Sample{Name: name, Kind: "counter", Unit: "events", Desc: desc, Value: v}
 	}
@@ -91,6 +92,7 @@ func (m *serviceMetrics) snapshot(queueDepth int) []metrics.Sample {
 		ctr("server.cells_invalid", m.cellsInvalid.Load(), "sweep cells skipped because the architecture cannot operate at that size"),
 		gauge("server.cells_running", m.cellsRunning.Load(), "sweep cells currently simulating"),
 		gauge("server.queue_depth", int64(queueDepth), "cells waiting in the work queue"),
+		ctr("server.queue_invariant_failures", queueInvariantFailures, "queue size/ring divergences repaired in place (each one is a bug; alert on any increase)"),
 		m.latSubmit.sample("server.latency.submit_us", "us", "POST /v1/sweeps handler latency"),
 		m.latStatus.sample("server.latency.status_us", "us", "GET /v1/sweeps/{id} handler latency"),
 		m.latResults.sample("server.latency.results_us", "us", "GET /v1/sweeps/{id}/results stream duration"),

@@ -2,7 +2,10 @@ package server
 
 import (
 	"errors"
+	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // Priority is a job's scheduling class. Lower values dispatch first;
@@ -58,6 +61,23 @@ var (
 	ErrQueueClosed = errors.New("queue draining")
 )
 
+// InvariantError records one detected divergence between the queue's
+// size counter and what its dispatch rings actually held. The queue
+// repairs itself from the per-tenant FIFOs (the ground truth) and keeps
+// serving; the error survives as a structured record — queryable via
+// Queue.InvariantFailure, counted by the server.queue_invariant_failures
+// metric, and carried in the result of any admitted cell the divergence
+// caused to vanish (Server.Drain fails such cells explicitly rather
+// than leaving their jobs unfinished forever).
+type InvariantError struct {
+	Size  int // the size counter's claim at detection
+	Found int // queued cells actually present in the per-tenant FIFOs
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("server: queue invariant violated: size counter claimed %d queued cell(s) but the rings held %d; queue resynced from the per-tenant FIFOs", e.Size, e.Found)
+}
+
 // workItem is one schedulable unit: a single sweep cell of a job.
 type workItem struct {
 	job  *Job
@@ -108,6 +128,12 @@ type Queue struct {
 	size    int
 	classes [numPriorities]class
 	closed  bool
+
+	// Invariant-failure record: count (atomic, exported as the
+	// server.queue_invariant_failures counter) and the most recent
+	// divergence (under mu).
+	invariantFailures atomic.Uint64
+	lastInvariant     *InvariantError
 }
 
 // NewQueue returns a queue admitting at most limit cells (limit <= 0
@@ -157,37 +183,90 @@ func (q *Queue) Push(job *Job, cells []int) error {
 // Pop removes the next cell in scheduling order, blocking while the
 // queue is empty. ok is false once the queue is closed and fully
 // drained — the worker-exit signal.
+//
+// size > 0 should always imply some ring is non-empty. If a bookkeeping
+// bug ever breaks that invariant, Pop does not kill the daemon: it
+// rebuilds the rings and the size counter from the per-tenant FIFOs
+// (resyncLocked), records the divergence, and retries.
 func (q *Queue) Pop() (it workItem, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for q.size == 0 && !q.closed {
-		q.cond.Wait()
+	for {
+		for q.size == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.size == 0 {
+			return workItem{}, false
+		}
+		for p := range q.classes {
+			c := &q.classes[p]
+			if len(c.ring) == 0 {
+				continue
+			}
+			if c.next >= len(c.ring) {
+				c.next = 0
+			}
+			tq := c.ring[c.next]
+			it = tq.pop()
+			if tq.empty() {
+				// Remove from rotation; the cursor now points at the
+				// following tenant, so no extra advance.
+				c.ring = append(c.ring[:c.next], c.ring[c.next+1:]...)
+			} else {
+				c.next++
+			}
+			q.size--
+			return it, true
+		}
+		// The size counter claims work but every ring is empty: the
+		// accounting has diverged. Repair and retry; after the resync
+		// the state is consistent, so the next iteration either
+		// dispatches, blocks, or reports the queue drained.
+		q.resyncLocked()
 	}
-	if q.size == 0 {
-		return workItem{}, false
-	}
+}
+
+// resyncLocked rebuilds every class's dispatch ring and the global size
+// counter from the per-tenant FIFOs — the queue's ground truth — and
+// records the divergence it repaired. Tenants re-enter each ring in
+// name order so post-repair dispatch order is deterministic. Callers
+// must hold q.mu.
+func (q *Queue) resyncLocked() {
+	e := &InvariantError{Size: q.size}
 	for p := range q.classes {
 		c := &q.classes[p]
-		if len(c.ring) == 0 {
-			continue
+		names := make([]string, 0, len(c.tenants))
+		for name, tq := range c.tenants { //lint:maporder names are collected then sorted before the ring is rebuilt
+			if !tq.empty() {
+				names = append(names, name)
+			}
 		}
-		if c.next >= len(c.ring) {
-			c.next = 0
+		slices.Sort(names)
+		c.ring = c.ring[:0]
+		c.next = 0
+		for _, name := range names {
+			tq := c.tenants[name]
+			c.ring = append(c.ring, tq)
+			e.Found += len(tq.items) - tq.head
 		}
-		tq := c.ring[c.next]
-		it = tq.pop()
-		if tq.empty() {
-			// Remove from rotation; the cursor now points at the
-			// following tenant, so no extra advance.
-			c.ring = append(c.ring[:c.next], c.ring[c.next+1:]...)
-		} else {
-			c.next++
-		}
-		q.size--
-		return it, true
 	}
-	// Unreachable: size > 0 implies some ring is non-empty.
-	panic("server: queue size and rings disagree")
+	q.size = e.Found
+	q.lastInvariant = e
+	q.invariantFailures.Add(1)
+}
+
+// InvariantFailures returns how many times Pop had to repair a
+// size/ring divergence (the server.queue_invariant_failures counter).
+func (q *Queue) InvariantFailures() uint64 {
+	return q.invariantFailures.Load()
+}
+
+// InvariantFailure returns the most recent repaired divergence, nil if
+// the invariant has never failed.
+func (q *Queue) InvariantFailure() *InvariantError {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lastInvariant
 }
 
 // Close stops admission: subsequent Push calls fail with

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strings"
 	"sync"
 	"testing"
 )
@@ -159,5 +160,69 @@ func TestQueueConcurrent(t *testing.T) {
 	popped.Range(func(_, _ any) bool { n++; return true })
 	if n != producers*perProducer {
 		t.Fatalf("popped %d cells, pushed %d", n, producers*perProducer)
+	}
+}
+
+// TestQueueInvariantResync pins the self-repair contract: a divergence
+// between the size counter and the dispatch rings — the condition that
+// used to panic the popping worker and kill the daemon — is repaired
+// in place from the per-tenant FIFOs, recorded as a structured
+// InvariantError, and the queue keeps serving in FIFO order.
+func TestQueueInvariantResync(t *testing.T) {
+	q := NewQueue(0)
+	j := testJob("alice", PriorityNormal, 3)
+	if err := q.Push(j, indices(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corruption one: the dispatch ring vanishes while the tenant FIFO
+	// still holds every cell (size > 0, rings empty).
+	q.mu.Lock()
+	q.classes[PriorityNormal].ring = nil
+	q.mu.Unlock()
+
+	for i := 0; i < 3; i++ {
+		it, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue reported drained", i)
+		}
+		if it.cell != i {
+			t.Fatalf("pop %d: got cell %d; resync must preserve FIFO order", i, it.cell)
+		}
+	}
+	if got := q.InvariantFailures(); got != 1 {
+		t.Fatalf("InvariantFailures = %d, want 1", got)
+	}
+	inv := q.InvariantFailure()
+	if inv == nil || inv.Size != 3 || inv.Found != 3 {
+		t.Fatalf("InvariantFailure = %+v, want Size=3 Found=3", inv)
+	}
+	if !strings.Contains(inv.Error(), "queue invariant violated") {
+		t.Fatalf("InvariantError.Error() = %q", inv.Error())
+	}
+
+	// Corruption two: cells vanish from the FIFO (and its ring slot)
+	// while the size counter still claims them — the lost-cell
+	// divergence. The resync must conclude the queue is empty rather
+	// than spinning, so a closed queue reports drained.
+	j2 := testJob("bob", PriorityNormal, 2)
+	if err := q.Push(j2, indices(2)); err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	tq := q.classes[PriorityNormal].tenants["bob"]
+	tq.items, tq.head = tq.items[:0], 0
+	q.classes[PriorityNormal].ring = nil
+	q.mu.Unlock()
+
+	q.Close()
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after lost-cell corruption returned an item")
+	}
+	if got := q.InvariantFailures(); got != 2 {
+		t.Fatalf("InvariantFailures = %d, want 2", got)
+	}
+	if inv := q.InvariantFailure(); inv == nil || inv.Size != 2 || inv.Found != 0 {
+		t.Fatalf("InvariantFailure = %+v, want Size=2 Found=0", inv)
 	}
 }

@@ -161,6 +161,14 @@ func (s *Server) runItem(it workItem) {
 		s.met.cellsRunning.Add(-1)
 	}
 
+	s.recordResult(j, res)
+}
+
+// recordResult appends one finished cell to its job and keeps the
+// service counters consistent. It is shared by the worker path and the
+// drain-time reconciliation of lost cells, so a reconciled failure is
+// indistinguishable from a worker-recorded one on the metric surface.
+func (s *Server) recordResult(j *Job, res CellResult) {
 	s.met.cellsDone.Add(1)
 	if res.Error != "" {
 		s.met.cellsFailed.Add(1)
@@ -248,14 +256,41 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
 		s.cancelBase()
-		return nil
 	case <-ctx.Done():
 		s.cancelBase() // abandon in-flight cells; workers record errors and exit
 		<-done
-		return ctx.Err()
+		err = ctx.Err()
+	}
+	s.reconcileLostCells()
+	return err
+}
+
+// reconcileLostCells answers every admitted cell that no worker ever
+// recorded a result for. In normal operation there are none: even
+// abandoned and expired cells get explicit error results. A cell can
+// only vanish through queue-accounting corruption (see
+// Queue.InvariantFailure), and the contract is that its job must still
+// finish — with a structured error naming the divergence — rather than
+// hang its streaming readers and hold its running-jobs slot forever.
+func (s *Server) reconcileLostCells() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs { //lint:maporder reconciliation order does not matter: each job's missing cells are failed independently, in index order
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		for _, ci := range j.missingCells() {
+			msg := "cell lost without a result (queue accounting divergence)"
+			if inv := s.queue.InvariantFailure(); inv != nil {
+				msg = fmt.Sprintf("cell lost without a result: %v", inv)
+			}
+			s.recordResult(j, CellResult{Cell: j.Cells[ci], Error: msg})
+		}
 	}
 }
 
@@ -374,7 +409,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 // mapping lives in docs/SERVICE.md and docs/OBSERVABILITY.md.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	samples := s.met.snapshot(s.queue.Depth())
+	samples := s.met.snapshot(s.queue.Depth(), s.queue.InvariantFailures())
 	if s.cache != nil {
 		samples = append(samples, s.cache.MetricsRegistry().Snapshot()...)
 	}
@@ -384,5 +419,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // Metrics returns a point-in-time sample set of the service metrics —
 // the same data /metrics renders, for in-process consumers and tests.
 func (s *Server) Metrics() []metrics.Sample {
-	return s.met.snapshot(s.queue.Depth())
+	return s.met.snapshot(s.queue.Depth(), s.queue.InvariantFailures())
 }

@@ -387,3 +387,99 @@ func TestQueueFullRejection(t *testing.T) {
 		t.Fatalf("oversized sweep: status %d, want 429", resp.StatusCode)
 	}
 }
+
+// TestQueueDivergenceSurvivesAndAnswers simulates the queue-accounting
+// divergence at the service level: a cell stolen out of a tenant FIFO
+// behind the queue's back, so the size counter claims one more cell
+// than the rings can ever deliver. The daemon used to die on a panic in
+// Pop; the contract now is that it survives, repairs the queue, exports
+// the divergence counter, and still answers every admitted cell — the
+// lost one with a structured error at drain time.
+func TestQueueDivergenceSurvivesAndAnswers(t *testing.T) {
+	cache, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the server without its worker pool so the admitted cells are
+	// still queued when the corruption is injected.
+	o := (&Options{Workers: 2, Cache: cache}).withDefaults()
+	s := &Server{opts: o, cache: cache, queue: NewQueue(o.QueueLimit), jobs: make(map[string]*Job)}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+
+	j, err := s.Submit(SweepRequest{
+		Benchmarks: []string{"gap", "crafty", "twolf"},
+		Archs:      []string{"baseline"},
+		PhysRegs:   []int{256},
+		StopAfter:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(j.Cells)
+
+	// Steal the first queued cell: the FIFO loses a workItem while the
+	// size counter still claims it.
+	q := s.queue
+	q.mu.Lock()
+	tq := q.classes[PriorityNormal].tenants["default"]
+	stolen := tq.items[tq.head].cell
+	copy(tq.items[tq.head:], tq.items[tq.head+1:])
+	tq.items = tq.items[:len(tq.items)-1]
+	q.mu.Unlock()
+
+	// Start the workers. They serve the surviving cells, then hit the
+	// divergence (size claims one more cell than the rings hold), repair
+	// it, and drain cleanly.
+	for i := 0; i < o.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if got := q.InvariantFailures(); got != 1 {
+		t.Fatalf("InvariantFailures = %d, want 1", got)
+	}
+
+	// Every admitted cell must have an answer; the stolen one carries
+	// the structured divergence error, the rest succeeded normally.
+	st := j.status()
+	if st.State != StateDone || st.CellsDone != n || st.CellsFailed != 1 {
+		t.Fatalf("status = %+v, want done with %d results and 1 failure", st, n)
+	}
+	failed := 0
+	for i := 0; i < n; i++ {
+		res, ok := j.resultAt(context.Background(), i)
+		if !ok {
+			t.Fatalf("result %d missing", i)
+		}
+		if res.Error == "" {
+			continue
+		}
+		failed++
+		if res.Index != stolen {
+			t.Errorf("failed cell index = %d, want stolen index %d", res.Index, stolen)
+		}
+		if !strings.Contains(res.Error, "cell lost without a result") || !strings.Contains(res.Error, "queue invariant violated") {
+			t.Errorf("lost-cell error = %q, want the structured divergence message", res.Error)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("failed cells = %d, want exactly the stolen one", failed)
+	}
+
+	// The repair is visible on the metric surface.
+	var v uint64
+	found := false
+	for _, sm := range s.Metrics() {
+		if sm.Name == "server.queue_invariant_failures" {
+			v, found = sm.Value, true
+		}
+	}
+	if !found || v != 1 {
+		t.Fatalf("server.queue_invariant_failures sample = %d (found=%v), want 1", v, found)
+	}
+}

@@ -1,11 +1,12 @@
 package simcache
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,7 +102,7 @@ func (r Runner) Run(n int, fn func(i int) error) error {
 	if len(fails) == 0 {
 		return nil
 	}
-	sort.Slice(fails, func(a, b int) bool { return fails[a].index < fails[b].index })
+	slices.SortFunc(fails, func(a, b *jobError) int { return cmp.Compare(a.index, b.index) })
 	errs := make([]error, len(fails))
 	for i, f := range fails {
 		errs[i] = f

@@ -1,0 +1,58 @@
+// Command analyze is the repo's multichecker: it runs every first-party
+// static-analysis pass (internal/analyzers/*) over the whole module and
+// prints findings as file:line:col, one per line — the same contract as
+// `go vet`. A non-empty report exits 1, so `make analyze` gates
+// `make check` and `make ci`; `make fix-audit` runs it with -nofail for
+// local triage. The passes, their annotations, and the recipe for
+// adding one are documented in docs/ANALYZERS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vca/internal/analyzers/suite"
+)
+
+func main() {
+	var (
+		root   = flag.String("root", "", "module root to analyze (default: nearest go.mod above the working directory)")
+		nofail = flag.Bool("nofail", false, "print findings but exit 0 (triage mode, `make fix-audit`)")
+		list   = flag.Bool("list", false, "list the suite's passes and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range suite.All() {
+			fmt.Printf("%-10s %s\n", p.Analyzer.Name, p.Analyzer.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		dir = "."
+	}
+	moduleRoot, err := suite.ModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	findings, err := suite.Run(moduleRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "analyze: %d finding(s)\n", len(findings))
+		if !*nofail {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("analyze: %d passes clean over the module\n", len(suite.All()))
+}

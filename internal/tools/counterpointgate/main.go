@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"sync"
 
 	"vca/internal/counterpoint"
@@ -109,8 +110,13 @@ func main() {
 	bad := false
 	for _, ref := range rep.Refutations {
 		fmt.Printf("REFUTED %s at %s: %s (slack %d)\n", ref.Predicate, ref.Cell, ref.Algebra, ref.Slack)
-		for k, v := range ref.Witness {
-			fmt.Printf("    witness %s = %d\n", k, v)
+		wk := make([]string, 0, len(ref.Witness))
+		for k := range ref.Witness { //lint:maporder keys are collected then sorted before printing
+			wk = append(wk, k)
+		}
+		slices.Sort(wk)
+		for _, k := range wk {
+			fmt.Printf("    witness %s = %d\n", k, ref.Witness[k])
 		}
 		bad = true
 	}

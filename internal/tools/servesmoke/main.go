@@ -20,13 +20,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 	"syscall"
 	"time"
@@ -117,7 +118,7 @@ func run() error {
 	if len(direct) != len(streamed) {
 		return fmt.Errorf("streamed %d cells, direct run produced %d", len(streamed), len(direct))
 	}
-	sort.Slice(streamed, func(a, b int) bool { return streamed[a].Index < streamed[b].Index })
+	slices.SortFunc(streamed, func(a, b server.CellResult) int { return cmp.Compare(a.Index, b.Index) })
 	for i := range direct {
 		want, _ := json.Marshal(&direct[i])
 		got, _ := json.Marshal(&streamed[i])
