@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race fuzz-smoke sweep counterpoint-gate check ci docs-check analyze fix-audit bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke serve clean gitignore-check
+.PHONY: all build test test-race fuzz-smoke sweep counterpoint-gate check ci docs-check analyze fix-audit bench benchjson experiments cache-smoke cache-ci bench-smoke region-gate serve-smoke shard-smoke shard-bench serve clean gitignore-check
 
 all: build test
 
@@ -75,6 +75,22 @@ region-gate:
 serve-smoke:
 	$(GO) run ./internal/tools/servesmoke
 
+# Sharded-fabric smoke gate: build vcaserved, start 2 workers + router
+# (+ a single daemon as reference), and assert over real processes that
+# the merged stream is byte-identical to a single daemon's, that two
+# tenants' identical sweeps cost the FLEET exactly one simulation per
+# distinct cell (aggregated /metrics: misses == simulations), and that
+# SIGKILLing a worker mid-sweep loses and duplicates nothing. See
+# docs/SERVICE.md "Sharded deployment".
+shard-smoke:
+	$(GO) run ./internal/tools/shardsmoke
+
+# Honest sharded-throughput measurement (1 vs 2 workers + cache-affine
+# replay), printed as JSON for EXPERIMENTS.md; never asserted, because
+# wall-clock scaling depends on host cores.
+shard-bench:
+	$(GO) run ./internal/tools/shardsmoke -bench
+
 # Run the sweep service locally with defaults (docs/SERVICE.md).
 serve:
 	$(GO) run ./cmd/vcaserved
@@ -95,12 +111,12 @@ fix-audit:
 # fuzz smoke, the cache round-trip smoke, the parallel-region identity
 # gate, the counter-oracle gate, and the sweep-service smoke. Slower
 # than `make test`; run before sending a change.
-check: docs-check analyze gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke
+check: docs-check analyze gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke shard-smoke
 
 # Continuous-integration gate: everything check runs, plus the
 # fixed-seed verification sweep, the run-twice cache round trip, and the
 # throughput smoke gate (detailed + functional engines).
-ci: build docs-check analyze gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke sweep cache-ci bench-smoke
+ci: build docs-check analyze gitignore-check test-race fuzz-smoke cache-smoke region-gate counterpoint-gate serve-smoke shard-smoke sweep cache-ci bench-smoke
 
 # Documentation gate: all Go code gofmt-clean (examples included),
 # go vet over everything, and no broken relative links in any *.md.

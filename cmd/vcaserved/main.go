@@ -8,6 +8,13 @@
 //	vcaserved                                  # serve on :8437, cache in .simcache
 //	vcaserved -addr 127.0.0.1:0 -cachedir /var/cache/vca
 //	vcaserved -workers 8 -queue 8192 -maxcells 2048 -jobtimeout 30m
+//	vcaserved -route http://10.0.0.1:8437,http://10.0.0.2:8437
+//
+// With -route the daemon runs as a shard router instead of a worker:
+// it serves the identical API, but dispatches each cell to the worker
+// owning its cache key on a consistent-hash ring, so identical cells
+// from any tenant hit the same worker's cache and singleflight table
+// (internal/server/shard; topology runbook in docs/SERVICE.md).
 //
 // Endpoints (full reference with request/response schemas and curl
 // examples in docs/SERVICE.md):
@@ -18,6 +25,8 @@
 //	GET  /healthz                 liveness
 //	GET  /readyz                  readiness (503 while draining)
 //	GET  /metrics                 Prometheus text format
+//	GET  /metrics.json            raw metric samples (router scrape feed)
+//	GET  /debug/pprof/            live profiling (only with -pprof)
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: /readyz turns 503
 // and new submissions are refused, while queued and running cells
@@ -34,10 +43,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"vca/internal/server"
+	"vca/internal/server/shard"
 	"vca/internal/simcache"
 )
 
@@ -51,8 +62,82 @@ var (
 	flagMaxCells   = flag.Int("maxcells", 1024, "maximum cells one sweep may expand to; larger submissions get HTTP 400")
 	flagJobTimeout = flag.Duration("jobtimeout", 10*time.Minute, "default per-job wall-time budget (requests may override with timeout_sec)")
 
+	flagRoute    = flag.String("route", "", "run as a shard router over this comma-separated worker URL list instead of executing cells locally")
+	flagVNodes   = flag.Int("vnodes", 128, "router: virtual nodes per worker on the consistent-hash ring")
+	flagInflight = flag.Int("inflight", 16, "router: concurrent cell dispatches per worker")
+
+	flagStreamTimeout = flag.Duration("streamtimeout", time.Minute, "per-result write deadline on NDJSON result streams; a reader stalled longer loses its stream (negative disables)")
+	flagPprof         = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-only; see docs/SERVICE.md)")
+
 	flagDrainTimeout = flag.Duration("draintimeout", 30*time.Second, "on SIGTERM/SIGINT, how long to let queued and running cells finish before abandoning them")
 )
+
+// service is what main needs from either mode: the worker (server.New)
+// and the router (shard.New) both serve the same API and drain the same
+// way — one binary, two roles.
+type service interface {
+	Handler() http.Handler
+	Drain(context.Context) error
+}
+
+// workerOnlyFlags cannot take effect in -route mode; passing one
+// explicitly is a configuration error, not something to ignore.
+var workerOnlyFlags = map[string]bool{
+	"cachedir": true, "nocache": true, "workers": true, "queue": true,
+}
+
+// routerOnlyFlags likewise only make sense with -route.
+var routerOnlyFlags = map[string]bool{"vnodes": true, "inflight": true}
+
+func buildService() (service, error) {
+	if *flagRoute == "" {
+		var bad []string
+		flag.Visit(func(f *flag.Flag) {
+			if routerOnlyFlags[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return nil, fmt.Errorf("%s only apply with -route", strings.Join(bad, ", "))
+		}
+		var cache *simcache.Cache
+		if !*flagNoCache {
+			var err error
+			cache, err = simcache.Open(*flagCacheDir)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return server.New(server.Options{
+			Cache:              cache,
+			Workers:            *flagWorkers,
+			QueueLimit:         *flagQueue,
+			MaxCellsPerSweep:   *flagMaxCells,
+			JobTimeout:         *flagJobTimeout,
+			StreamWriteTimeout: *flagStreamTimeout,
+			EnablePprof:        *flagPprof,
+		}), nil
+	}
+
+	var bad []string
+	flag.Visit(func(f *flag.Flag) {
+		if workerOnlyFlags[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("%s do not apply with -route (cells execute on the workers)", strings.Join(bad, ", "))
+	}
+	return shard.New(shard.Options{
+		Workers:            strings.Split(*flagRoute, ","),
+		VNodes:             *flagVNodes,
+		Inflight:           *flagInflight,
+		MaxCellsPerSweep:   *flagMaxCells,
+		JobTimeout:         *flagJobTimeout,
+		StreamWriteTimeout: *flagStreamTimeout,
+		EnablePprof:        *flagPprof,
+	})
+}
 
 func main() {
 	flag.Usage = func() {
@@ -67,29 +152,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cache *simcache.Cache
-	if !*flagNoCache {
-		var err error
-		cache, err = simcache.Open(*flagCacheDir)
-		if err != nil {
-			fail(err)
-		}
+	svc, err := buildService()
+	if err != nil {
+		fail(err)
 	}
-	srv := server.New(server.Options{
-		Cache:            cache,
-		Workers:          *flagWorkers,
-		QueueLimit:       *flagQueue,
-		MaxCellsPerSweep: *flagMaxCells,
-		JobTimeout:       *flagJobTimeout,
-	})
 
 	ln, err := net.Listen("tcp", *flagAddr)
 	if err != nil {
 		fail(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	// The smoke harness (internal/tools/servesmoke) parses this line to
-	// learn the bound port; keep the format stable.
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	// The smoke harnesses (internal/tools/servesmoke, shardsmoke) parse
+	// this line to learn the bound port; keep the format stable.
 	fmt.Printf("vcaserved: listening on http://%s\n", ln.Addr())
 
 	errc := make(chan error, 1)
@@ -113,7 +187,7 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *flagDrainTimeout)
 	defer cancel()
-	drainErr := srv.Drain(ctx)
+	drainErr := svc.Drain(ctx)
 	httpSrv.Shutdown(ctx)
 	if drainErr != nil {
 		fmt.Fprintf(os.Stderr, "vcaserved: drain incomplete, in-flight cells abandoned: %v\n", drainErr)

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"cmp"
+	"slices"
+	"strings"
+)
+
+// Merge combines sample sets from multiple registries into one
+// fleet-wide set, the aggregation the shard router's /metrics performs
+// over its workers' registries (internal/server/shard). Samples with
+// the same Name merge by Kind:
+//
+//   - counters and gauges sum their Values (a fleet's jobs_done is the
+//     sum of its workers'; a fleet's queue_depth likewise);
+//   - histograms and occupancies sum Count and Sum, take the maximum
+//     Max, recompute Mean, and merge buckets by [Lo, Hi) bounds —
+//     every registry uses the same power-of-two bucket scheme, so
+//     bounds align exactly and no resampling is needed;
+//   - Kind, Unit, and Desc come from the first set that carries the
+//     name. A name carrying conflicting Kinds across sets keeps the
+//     first Kind and ignores later mismatched samples rather than
+//     summing unlike things.
+//
+// The output is sorted by Name, so merging is deterministic: identical
+// input sets produce byte-identical /metrics output downstream.
+func Merge(sets ...[]Sample) []Sample {
+	merged := make(map[string]*Sample)
+	for _, set := range sets {
+		for i := range set {
+			s := &set[i]
+			m, ok := merged[s.Name]
+			if !ok {
+				cp := *s
+				cp.Buckets = slices.Clone(s.Buckets)
+				merged[s.Name] = &cp
+				continue
+			}
+			if m.Kind != s.Kind {
+				continue // conflicting kinds: keep the first, skip the rest
+			}
+			switch s.Kind {
+			case "counter", "gauge":
+				m.Value += s.Value
+			case "histogram", "occupancy":
+				m.Count += s.Count
+				m.Sum += s.Sum
+				if s.Max > m.Max {
+					m.Max = s.Max
+				}
+				m.Buckets = mergeBuckets(m.Buckets, s.Buckets)
+			}
+		}
+	}
+	out := make([]Sample, 0, len(merged))
+	for _, s := range merged { //lint:maporder samples are collected then sorted by name before return
+		if s.Kind == "histogram" || s.Kind == "occupancy" {
+			if s.Count > 0 {
+				s.Mean = float64(s.Sum) / float64(s.Count)
+			} else {
+				s.Mean = 0
+			}
+		}
+		out = append(out, *s)
+	}
+	slices.SortFunc(out, func(a, b Sample) int { return strings.Compare(a.Name, b.Name) })
+	return out
+}
+
+// mergeBuckets sums two non-cumulative bucket lists by their [Lo, Hi)
+// bounds. Both lists are already sorted by Lo (Snapshot emits them that
+// way), and the unbounded overflow bucket (Hi == 0) sorts last by Lo,
+// so a single ordered merge suffices.
+func mergeBuckets(a, b []Bucket) []Bucket {
+	out := make([]Bucket, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Lo == b[j].Lo && a[i].Hi == b[j].Hi:
+			out = append(out, Bucket{Lo: a[i].Lo, Hi: a[i].Hi, Count: a[i].Count + b[j].Count})
+			i++
+			j++
+		case cmp.Less(a[i].Lo, b[j].Lo):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

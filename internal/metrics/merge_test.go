@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeCountersAndGauges(t *testing.T) {
+	a := []Sample{
+		{Name: "server.cells_done", Kind: "counter", Unit: "events", Desc: "cells", Value: 3},
+		{Name: "server.queue_depth", Kind: "gauge", Unit: "events", Value: 2},
+		{Name: "only.in_a", Kind: "counter", Unit: "events", Value: 7},
+	}
+	b := []Sample{
+		{Name: "server.queue_depth", Kind: "gauge", Unit: "events", Value: 5},
+		{Name: "server.cells_done", Kind: "counter", Unit: "events", Value: 4},
+		{Name: "only.in_b", Kind: "counter", Unit: "events", Value: 1},
+	}
+	got := Merge(a, b)
+	want := []Sample{
+		{Name: "only.in_a", Kind: "counter", Unit: "events", Value: 7},
+		{Name: "only.in_b", Kind: "counter", Unit: "events", Value: 1},
+		{Name: "server.cells_done", Kind: "counter", Unit: "events", Desc: "cells", Value: 7},
+		{Name: "server.queue_depth", Kind: "gauge", Unit: "events", Value: 7},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Merge =\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	a := []Sample{{
+		Name: "server.latency.cell_us", Kind: "histogram", Unit: "us",
+		Count: 3, Sum: 30, Mean: 10,
+		Buckets: []Bucket{{Lo: 0, Hi: 8, Count: 1}, {Lo: 8, Hi: 16, Count: 2}},
+	}}
+	b := []Sample{{
+		Name: "server.latency.cell_us", Kind: "histogram", Unit: "us",
+		Count: 2, Sum: 50, Mean: 25,
+		Buckets: []Bucket{{Lo: 8, Hi: 16, Count: 1}, {Lo: 32, Hi: 0, Count: 1}},
+	}}
+	got := Merge(a, b)
+	if len(got) != 1 {
+		t.Fatalf("merged %d samples, want 1", len(got))
+	}
+	m := got[0]
+	if m.Count != 5 || m.Sum != 80 || m.Mean != 16 {
+		t.Errorf("count/sum/mean = %d/%d/%v, want 5/80/16", m.Count, m.Sum, m.Mean)
+	}
+	wantBuckets := []Bucket{{Lo: 0, Hi: 8, Count: 1}, {Lo: 8, Hi: 16, Count: 3}, {Lo: 32, Hi: 0, Count: 1}}
+	if !reflect.DeepEqual(m.Buckets, wantBuckets) {
+		t.Errorf("buckets = %+v, want %+v", m.Buckets, wantBuckets)
+	}
+}
+
+func TestMergeOccupancyMax(t *testing.T) {
+	a := []Sample{{Name: "core.rob_occ", Kind: "occupancy", Count: 2, Sum: 10, Max: 9}}
+	b := []Sample{{Name: "core.rob_occ", Kind: "occupancy", Count: 1, Sum: 2, Max: 31}}
+	got := Merge(a, b)
+	if len(got) != 1 || got[0].Max != 31 || got[0].Count != 3 {
+		t.Fatalf("occupancy merge = %+v, want max 31 count 3", got)
+	}
+}
+
+// TestMergeRealRegistries pins the end-to-end property the router
+// depends on: merging N snapshots of registries built through the real
+// counter/histogram paths equals one registry that observed the union
+// of the traffic.
+func TestMergeRealRegistries(t *testing.T) {
+	build := func(observations []uint64, adds uint64) *Registry {
+		r := NewRegistry()
+		c := r.Counter("t.count", "events", "d")
+		c.Add(adds)
+		h := r.Histogram("t.hist", "us", "d")
+		for _, v := range observations {
+			h.Observe(v)
+		}
+		return r
+	}
+	a := build([]uint64{1, 5, 900}, 3)
+	b := build([]uint64{2, 70000}, 4)
+	union := build([]uint64{1, 5, 900, 2, 70000}, 7)
+
+	got := Merge(a.Snapshot(), b.Snapshot())
+	want := union.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged snapshots =\n%+v\nwant union registry\n%+v", got, want)
+	}
+}
+
+// TestMergeDeterministic: permuting the input sets must not change the
+// aggregate values, and the output is always name-sorted.
+func TestMergeDeterministic(t *testing.T) {
+	a := []Sample{{Name: "x", Kind: "counter", Value: 1}, {Name: "y", Kind: "counter", Value: 2}}
+	b := []Sample{{Name: "y", Kind: "counter", Value: 3}, {Name: "x", Kind: "counter", Value: 4}}
+	ab, ba := Merge(a, b), Merge(b, a)
+	if len(ab) != 2 || ab[0].Name != "x" || ab[1].Name != "y" {
+		t.Fatalf("output not name-sorted: %+v", ab)
+	}
+	for i := range ab {
+		if ab[i].Value != ba[i].Value || ab[i].Name != ba[i].Name {
+			t.Fatalf("merge order changed aggregates: %+v vs %+v", ab, ba)
+		}
+	}
+}

@@ -47,7 +47,7 @@ type Job struct {
 	failed   int
 }
 
-func newJob(id string, req SweepRequest, prio Priority, cells []Cell, base context.Context, timeout time.Duration) *Job {
+func NewJob(id string, req SweepRequest, prio Priority, cells []Cell, base context.Context, timeout time.Duration) *Job {
 	ctx, cancel := context.WithTimeout(base, timeout)
 	j := &Job{
 		ID:       id,
@@ -63,16 +63,18 @@ func newJob(id string, req SweepRequest, prio Priority, cells []Cell, base conte
 	return j
 }
 
-// markStarted flips the job to running on its first dispatched cell.
-func (j *Job) markStarted() {
+// MarkStarted flips the job to running on its first dispatched cell.
+func (j *Job) MarkStarted() {
 	j.mu.Lock()
 	j.started = true
 	j.mu.Unlock()
 }
 
-// appendResult records one finished cell and wakes streamers; it
-// returns true when this was the job's last cell.
-func (j *Job) appendResult(r CellResult) (last bool) {
+// AppendResult records one finished cell and wakes streamers; it
+// returns true when this was the job's last cell. The single daemon's
+// workers and the shard router's dispatchers both land results here —
+// exactly once per admitted cell.
+func (j *Job) AppendResult(r CellResult) (last bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.results = append(j.results, r)
@@ -88,10 +90,10 @@ func (j *Job) appendResult(r CellResult) (last bool) {
 	return last
 }
 
-// resultAt blocks until result index i exists, the job is done, or ctx
+// ResultAt blocks until result index i exists, the job is done, or ctx
 // is cancelled. ok=false means no more results will come (stream done)
 // or the reader gave up.
-func (j *Job) resultAt(ctx context.Context, i int) (CellResult, bool) {
+func (j *Job) ResultAt(ctx context.Context, i int) (CellResult, bool) {
 	// A goroutine bridges ctx cancellation into the cond so a stuck
 	// reader whose client disconnected does not leak.
 	stop := context.AfterFunc(ctx, func() {
@@ -151,8 +153,8 @@ type Status struct {
 	ElapsedSec  float64  `json:"elapsed_sec"`
 }
 
-// status snapshots the job for the status endpoint.
-func (j *Job) status() Status {
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Status{
@@ -177,3 +179,8 @@ func (j *Job) status() Status {
 	}
 	return s
 }
+
+// Context returns the job's context, which carries the per-job timeout.
+// The shard router derives per-cell dispatch contexts from it so a
+// routed cell observes the same wall-time budget as a local one.
+func (j *Job) Context() context.Context { return j.ctx }

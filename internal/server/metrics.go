@@ -6,27 +6,28 @@ import (
 	"vca/internal/metrics"
 )
 
-// atomicHistogram is the concurrency-safe sibling of metrics.Histogram:
+// AtomicHistogram is the concurrency-safe sibling of metrics.Histogram:
 // same power-of-two bucket scheme, atomic increments, so HTTP handler
 // goroutines can observe latencies while the /metrics handler reads a
 // consistent-enough snapshot. (internal/metrics proper stays
 // single-threaded by design — a simulator owns its registry; the
-// service is the one component with true concurrency.)
-type atomicHistogram struct {
+// service and the shard router are the components with true
+// concurrency.)
+type AtomicHistogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	buckets [metrics.NumBuckets]atomic.Uint64
 }
 
-func (h *atomicHistogram) Observe(v uint64) {
+func (h *AtomicHistogram) Observe(v uint64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.buckets[metrics.BucketOf(v)].Add(1)
 }
 
-// sample renders the histogram as a metrics.Sample, reusing the
+// Sample renders the histogram as a metrics.Sample, reusing the
 // Snapshot conventions (non-empty buckets only, [lo,hi) bounds).
-func (h *atomicHistogram) sample(name, unit, desc string) metrics.Sample {
+func (h *AtomicHistogram) Sample(name, unit, desc string) metrics.Sample {
 	s := metrics.Sample{Name: name, Kind: "histogram", Unit: unit, Desc: desc}
 	s.Count = h.count.Load()
 	s.Sum = h.sum.Load()
@@ -61,10 +62,10 @@ type serviceMetrics struct {
 	cellsInvalid   atomic.Uint64 // cells skipped: arch can't operate at that size
 	cellsRunning   atomic.Int64  // cells currently simulating (gauge)
 
-	latSubmit  atomicHistogram // POST /v1/sweeps handler latency (µs)
-	latStatus  atomicHistogram // GET /v1/sweeps/{id} handler latency (µs)
-	latResults atomicHistogram // GET .../results total stream time (µs)
-	latCell    atomicHistogram // per-cell wall time, queue wait excluded (µs)
+	latSubmit  AtomicHistogram // POST /v1/sweeps handler latency (µs)
+	latStatus  AtomicHistogram // GET /v1/sweeps/{id} handler latency (µs)
+	latResults AtomicHistogram // GET .../results total stream time (µs)
+	latCell    AtomicHistogram // per-cell wall time, queue wait excluded (µs)
 }
 
 // snapshot renders the service metrics; queueDepth and
@@ -93,9 +94,9 @@ func (m *serviceMetrics) snapshot(queueDepth int, queueInvariantFailures uint64)
 		gauge("server.cells_running", m.cellsRunning.Load(), "sweep cells currently simulating"),
 		gauge("server.queue_depth", int64(queueDepth), "cells waiting in the work queue"),
 		ctr("server.queue_invariant_failures", queueInvariantFailures, "queue size/ring divergences repaired in place (each one is a bug; alert on any increase)"),
-		m.latSubmit.sample("server.latency.submit_us", "us", "POST /v1/sweeps handler latency"),
-		m.latStatus.sample("server.latency.status_us", "us", "GET /v1/sweeps/{id} handler latency"),
-		m.latResults.sample("server.latency.results_us", "us", "GET /v1/sweeps/{id}/results stream duration"),
-		m.latCell.sample("server.latency.cell_us", "us", "per-cell simulation wall time (queue wait excluded)"),
+		m.latSubmit.Sample("server.latency.submit_us", "us", "POST /v1/sweeps handler latency"),
+		m.latStatus.Sample("server.latency.status_us", "us", "GET /v1/sweeps/{id} handler latency"),
+		m.latResults.Sample("server.latency.results_us", "us", "GET /v1/sweeps/{id}/results stream duration"),
+		m.latCell.Sample("server.latency.cell_us", "us", "per-cell simulation wall time (queue wait excluded)"),
 	}
 }

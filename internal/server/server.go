@@ -32,8 +32,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -42,7 +40,6 @@ import (
 	"time"
 
 	"vca/internal/metrics"
-	"vca/internal/metrics/promexport"
 	"vca/internal/simcache"
 )
 
@@ -64,6 +61,13 @@ type Options struct {
 	// JobTimeout is the default per-job wall-time budget, overridable
 	// per request via timeout_sec (0 = 10m).
 	JobTimeout time.Duration
+	// StreamWriteTimeout is the per-result write deadline on NDJSON
+	// result streams (0 = 1m, negative disables); see
+	// HandlerOptions.StreamWriteTimeout.
+	StreamWriteTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default; operator-only, see docs/SERVICE.md).
+	EnablePprof bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -141,7 +145,7 @@ func (s *Server) worker() {
 // discipline as simcache.Runner timeouts.
 func (s *Server) runItem(it workItem) {
 	j := it.job
-	j.markStarted()
+	j.MarkStarted()
 	cell := j.Cells[it.cell]
 
 	var res CellResult
@@ -175,10 +179,10 @@ func (s *Server) recordResult(j *Job, res CellResult) {
 	} else if !res.Valid {
 		s.met.cellsInvalid.Add(1)
 	}
-	if last := j.appendResult(res); last {
+	if last := j.AppendResult(res); last {
 		s.met.jobsRunning.Add(-1)
 		s.met.jobsDone.Add(1)
-		if j.status().CellsFailed > 0 {
+		if j.Status().CellsFailed > 0 {
 			s.met.jobsFailed.Add(1)
 		}
 	}
@@ -210,7 +214,7 @@ func (s *Server) Submit(req SweepRequest) (*Job, error) {
 		timeout = time.Duration(req.TimeoutSec) * time.Second
 	}
 	id := fmt.Sprintf("sw-%06d", s.seq.Add(1))
-	j := newJob(id, req, prio, cells, s.baseCtx, timeout)
+	j := NewJob(id, req, prio, cells, s.baseCtx, timeout)
 
 	indices := make([]int, len(cells))
 	for i := range indices {
@@ -297,123 +301,37 @@ func (s *Server) reconcileLostCells() {
 // Draining reports whether Drain has begun (readyz state).
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Handler returns the service's HTTP routing table.
+// Handler returns the service's HTTP routing table (the shared sweep
+// API over this server as its Backend; see api.go).
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if s.Draining() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
-		}
-		fmt.Fprintln(w, "ready")
-	})
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
-}
-
-// httpError is the uniform JSON error body.
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer func() { s.met.latSubmit.Observe(uint64(time.Since(start).Microseconds())) }()
-
-	var req SweepRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.met.jobsRejected.Add(1)
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep request: %w", err))
-		return
-	}
-	j, err := s.Submit(req)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		httpError(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, ErrQueueClosed):
-		httpError(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	json.NewEncoder(w).Encode(map[string]any{
-		"id":          j.ID,
-		"cells_total": len(j.Cells),
-		"status_url":  "/v1/sweeps/" + j.ID,
-		"results_url": "/v1/sweeps/" + j.ID + "/results",
+	return NewHandler(s, HandlerOptions{
+		StreamWriteTimeout: s.opts.StreamWriteTimeout,
+		Pprof:              s.opts.EnablePprof,
 	})
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer func() { s.met.latStatus.Observe(uint64(time.Since(start).Microseconds())) }()
-
-	j, ok := s.Job(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(j.status())
-}
-
-// handleResults streams the job's cell results as NDJSON in completion
-// order: results already landed are sent immediately, then the
-// connection stays open until the job finishes or the client goes away.
-// Each line is one CellResult, flushed as it lands.
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer func() { s.met.latResults.Observe(uint64(time.Since(start).Microseconds())) }()
-
-	j, ok := s.Job(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown sweep %q", r.PathValue("id")))
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	for i := 0; ; i++ {
-		res, ok := j.resultAt(r.Context(), i)
-		if !ok {
-			return
-		}
-		if err := enc.Encode(&res); err != nil {
-			return // client gone
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-}
-
-// handleMetrics renders the Prometheus exposition: service-level
-// series, then the shared result store's counters. The full name
-// mapping lives in docs/SERVICE.md and docs/OBSERVABILITY.md.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+// MetricSamples implements Backend: the service-level series plus the
+// shared result store's counters — everything /metrics renders. The
+// full name mapping lives in docs/SERVICE.md and docs/OBSERVABILITY.md.
+func (s *Server) MetricSamples() []metrics.Sample {
 	samples := s.met.snapshot(s.queue.Depth(), s.queue.InvariantFailures())
 	if s.cache != nil {
 		samples = append(samples, s.cache.MetricsRegistry().Snapshot()...)
 	}
-	promexport.Write(w, "vca", samples)
+	return samples
+}
+
+// ObserveLatency implements Backend: handler latencies land in the
+// server.latency.* histograms.
+func (s *Server) ObserveLatency(route string, us uint64) {
+	switch route {
+	case RouteSubmit:
+		s.met.latSubmit.Observe(us)
+	case RouteStatus:
+		s.met.latStatus.Observe(us)
+	case RouteResults:
+		s.met.latResults.Observe(us)
+	}
 }
 
 // Metrics returns a point-in-time sample set of the service metrics —

@@ -6,11 +6,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -446,13 +448,13 @@ func TestQueueDivergenceSurvivesAndAnswers(t *testing.T) {
 
 	// Every admitted cell must have an answer; the stolen one carries
 	// the structured divergence error, the rest succeeded normally.
-	st := j.status()
+	st := j.Status()
 	if st.State != StateDone || st.CellsDone != n || st.CellsFailed != 1 {
 		t.Fatalf("status = %+v, want done with %d results and 1 failure", st, n)
 	}
 	failed := 0
 	for i := 0; i < n; i++ {
-		res, ok := j.resultAt(context.Background(), i)
+		res, ok := j.ResultAt(context.Background(), i)
 		if !ok {
 			t.Fatalf("result %d missing", i)
 		}
@@ -481,5 +483,95 @@ func TestQueueDivergenceSurvivesAndAnswers(t *testing.T) {
 	}
 	if !found || v != 1 {
 		t.Fatalf("server.queue_invariant_failures sample = %d (found=%v), want 1", v, found)
+	}
+}
+
+// waitUntil polls cond until it holds or the timeout expires.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSlowClientCannotStallService pins the bounded-stream contract the
+// NDJSON path documents: a reader that requests a result stream and
+// then never consumes a byte costs the service one stream goroutine,
+// one bounded buffer, and one write deadline — never a cell worker.
+// The job must finish on schedule, the stalled stream must be reaped by
+// the per-result write deadline, and a healthy client must still be
+// able to stream the complete result set afterwards.
+func TestSlowClientCannotStallService(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, StreamWriteTimeout: 300 * time.Millisecond})
+
+	// One simulation, a flood of bytes: 1024 copies of the same cell all
+	// answer from cache/singleflight, but each streams its full ~2.4KB
+	// result line, so the ~2.5MB NDJSON body cannot fit in any socket
+	// buffer and the writes against the stalled reader must block.
+	bench := make([]string, 1024)
+	for i := range bench {
+		bench[i] = "crafty"
+	}
+	req := SweepRequest{
+		Tenant:     "slow",
+		Benchmarks: bench,
+		Archs:      []string{"vca-flat"},
+		PhysRegs:   []int{192},
+		StopAfter:  3000,
+	}
+	id, n := submitSweep(t, ts, req)
+
+	// A raw TCP client with a shrunken receive window that sends the
+	// stream request and then never reads.
+	d := net.Dialer{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		cerr := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF, 4<<10)
+		})
+		if cerr != nil {
+			return cerr
+		}
+		return serr
+	}}
+	conn, err := d.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /v1/sweeps/%s/results HTTP/1.1\r\nHost: vcaserved\r\n\r\n", id)
+
+	// Every cell still completes: workers append results to the job
+	// without ever touching a stream.
+	waitUntil(t, 60*time.Second, "job completion behind a stalled reader", func() bool {
+		j, ok := s.Job(id)
+		if !ok {
+			return false
+		}
+		st := j.Status()
+		return st.State == StateDone && st.CellsDone == n && st.CellsFailed == 0
+	})
+
+	// The write deadline reaps the stalled stream: its handler exits
+	// (recording a results-latency observation) with the client still
+	// not reading.
+	waitUntil(t, 10*time.Second, "stalled stream reaped by the write deadline", func() bool {
+		for _, sm := range s.Metrics() {
+			if sm.Name == "server.latency.results_us" {
+				return sm.Count >= 1
+			}
+		}
+		return false
+	})
+
+	// The service is fully usable after the stall: a healthy client
+	// streams all n results.
+	res := streamResults(t, ts, id)
+	if len(res) != n {
+		t.Fatalf("healthy client got %d results, want %d", len(res), n)
 	}
 }

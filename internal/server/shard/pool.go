@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerPool tracks the health of the router's workers and bounds the
+// router's concurrency against each one. Health has two inputs:
+//
+//   - the dispatch path marks a worker down the moment an attempt
+//     against it fails at the transport level (fast failover — no cell
+//     waits for a probe cycle to notice a dead worker);
+//   - a background prober GETs every worker's /readyz on an interval,
+//     bringing recovered workers back up (and draining workers down, so
+//     new cells route around a worker that is shutting down while its
+//     in-flight streams finish).
+//
+// A worker's slot semaphore bounds how many cells the router holds in
+// flight against it at once; beyond that, dispatchers queue locally
+// rather than piling connections onto the worker.
+type workerPool struct {
+	workers []string
+	client  *http.Client
+	healthy []atomic.Bool
+	slots   []chan struct{}
+	index   map[string]int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newWorkerPool(workers []string, client *http.Client, inflight int, probeEvery time.Duration) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		client:  client,
+		healthy: make([]atomic.Bool, len(workers)),
+		slots:   make([]chan struct{}, len(workers)),
+		index:   make(map[string]int, len(workers)),
+		stop:    make(chan struct{}),
+	}
+	for i, w := range workers {
+		p.healthy[i].Store(true) // optimistic: the first dispatch corrects it
+		p.slots[i] = make(chan struct{}, inflight)
+		p.index[w] = i
+	}
+	if probeEvery > 0 {
+		p.wg.Add(1)
+		go p.probeLoop(probeEvery)
+	}
+	return p
+}
+
+// Healthy reports whether the worker is currently believed dispatchable.
+func (p *workerPool) Healthy(worker string) bool {
+	return p.healthy[p.index[worker]].Load()
+}
+
+// MarkDown records a dispatch-path failure against worker.
+func (p *workerPool) MarkDown(worker string) {
+	p.healthy[p.index[worker]].Store(false)
+}
+
+// HealthyCount returns how many workers are currently believed up.
+func (p *workerPool) HealthyCount() int {
+	n := 0
+	for i := range p.healthy {
+		if p.healthy[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Acquire takes an in-flight slot against worker, waiting for one to
+// free or ctx to expire. Release returns it.
+func (p *workerPool) Acquire(ctx context.Context, worker string) error {
+	select {
+	case p.slots[p.index[worker]] <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (p *workerPool) Release(worker string) {
+	<-p.slots[p.index[worker]]
+}
+
+// probeLoop polls every worker's /readyz. A 200 marks the worker up; a
+// refusal, timeout, or non-200 (a draining worker answers 503) marks it
+// down for new dispatches.
+func (p *workerPool) probeLoop(every time.Duration) {
+	defer p.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		for i, w := range p.workers {
+			p.healthy[i].Store(p.probe(w))
+		}
+	}
+}
+
+func (p *workerPool) probe(worker string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Close stops the prober and waits for it.
+func (p *workerPool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

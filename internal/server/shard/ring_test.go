@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringKeys generates n deterministic pseudo-random keys shaped like
+// simcache content addresses (hex sha256 strings hash uniformly, and so
+// do these — hashKey re-hashes either way).
+func ringKeys(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%016x-%016x", rng.Uint64(), rng.Uint64())
+	}
+	return keys
+}
+
+func workerNames(n int) []string {
+	w := make([]string, n)
+	for i := range w {
+		w[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return w
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"w1", "w2", "w3"}, 64)
+	b := NewRing([]string{"w3", "w1", "w2"}, 64) // permuted member order
+	for _, k := range ringKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings over permuted member sets disagree on %q: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// chi2Owner computes the χ² uniformity statistic of a ring's key
+// assignment over K deterministic keys: Σ (observed - K/N)² / (K/N).
+func chi2Owner(r *Ring, keys []string) float64 {
+	counts := make(map[string]int, len(r.Nodes()))
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	n := len(r.Nodes())
+	expected := float64(len(keys)) / float64(n)
+	chi2 := 0.0
+	for _, w := range r.Nodes() {
+		d := float64(counts[w]) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// TestRingBalance holds the vnode scheme to a χ²-style uniformity
+// bound. Two variance sources feed the statistic: multinomial key
+// sampling (expectation N-1) and the ring's own vnode arc-length
+// spread, which contributes ≈ K·(N-1)/(N·V) for V vnodes per worker.
+// The bound is 4× that combined expectation, loose enough that only a
+// genuinely skewed ring — too few vnodes, a broken hash — trips it.
+// A direct per-worker share bound and a vnode-improvement check (128
+// vnodes beat 4) ride along.
+func TestRingBalance(t *testing.T) {
+	const K = 20000
+	keys := ringKeys(K)
+	for _, n := range []int{2, 3, 5, 8} {
+		workers := workerNames(n)
+		r := NewRing(workers, 128)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		expected := float64(K) / float64(n)
+		// No worker may hold more than 2x or less than half its fair
+		// share — the operational definition of "balanced enough".
+		for _, w := range workers {
+			if c := counts[w]; float64(c) > 2*expected || float64(c) < expected/2 {
+				t.Errorf("n=%d: worker %s owns %d of %d keys (fair share %.0f)", n, w, c, K, expected)
+			}
+		}
+		chi2 := chi2Owner(r, keys)
+		limit := 4 * float64(n-1) * (1 + float64(K)/float64(n*128))
+		if chi2 > limit {
+			t.Errorf("n=%d: chi2 statistic %.1f above %.1f — ring is unbalanced: %v", n, chi2, limit, counts)
+		}
+		// More vnodes must mean better balance: the whole point of
+		// virtual nodes is shrinking arc-length variance (~1/V).
+		if sparse := chi2Owner(NewRing(workers, 4), keys); n > 2 && chi2 >= sparse {
+			t.Errorf("n=%d: 128 vnodes (chi2 %.1f) no better than 4 vnodes (chi2 %.1f)", n, chi2, sparse)
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnLeave pins the consistent-hashing contract:
+// removing a worker moves exactly the keys it owned, and every moved
+// key lands on a surviving worker. No key moves between two survivors.
+func TestRingMinimalRemappingOnLeave(t *testing.T) {
+	keys := ringKeys(10000)
+	full := NewRing(workerNames(4), 128)
+	dead := "http://worker-2:8080"
+	reduced := full.Without(dead)
+
+	moved := 0
+	for _, k := range keys {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == dead {
+			moved++
+			if after == dead {
+				t.Fatalf("key %q still owned by removed worker", k)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved between survivors: %s -> %s", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed worker owned no keys — balance is broken")
+	}
+}
+
+// TestRingMinimalRemappingOnJoin: adding a worker moves only keys that
+// the newcomer now owns — about K/N of them, never more than a loose
+// 2x bound — and moves them only to the newcomer.
+func TestRingMinimalRemappingOnJoin(t *testing.T) {
+	keys := ringKeys(10000)
+	base := NewRing(workerNames(4), 128)
+	joined := base.With("http://worker-new:8080")
+
+	moved := 0
+	for _, k := range keys {
+		before, after := base.Owner(k), joined.Owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "http://worker-new:8080" {
+			t.Fatalf("key %q moved to %s, not the joining worker", k, after)
+		}
+	}
+	fair := len(keys) / len(joined.Nodes())
+	if moved == 0 {
+		t.Fatal("joining worker received no keys")
+	}
+	if moved > 2*fair {
+		t.Fatalf("join moved %d keys, above 2x the fair share %d", moved, fair)
+	}
+}
+
+// TestRingSuccessors: the failover order starts at the owner, covers
+// every member exactly once, and skipping the owner yields the same
+// worker that a ring without the owner would choose — the property that
+// makes failover and permanent removal agree.
+func TestRingSuccessors(t *testing.T) {
+	workers := workerNames(4)
+	r := NewRing(workers, 128)
+	for _, k := range ringKeys(2000) {
+		succ := r.Successors(k)
+		if len(succ) != len(workers) {
+			t.Fatalf("Successors(%q) has %d entries, want %d", k, len(succ), len(workers))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors(%q)[0] = %s, want owner %s", k, succ[0], r.Owner(k))
+		}
+		seen := make(map[string]bool)
+		for _, w := range succ {
+			if seen[w] {
+				t.Fatalf("Successors(%q) repeats %s", k, w)
+			}
+			seen[w] = true
+		}
+		if got, want := succ[1], r.Without(succ[0]).Owner(k); got != want {
+			t.Fatalf("failover for %q goes to %s, but removal would route to %s", k, got, want)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	one := NewRing([]string{"solo"}, 128)
+	for _, k := range ringKeys(100) {
+		if one.Owner(k) != "solo" {
+			t.Fatal("single-worker ring must own everything")
+		}
+	}
+	dup := NewRing([]string{"a", "a", "b"}, 16)
+	if n := len(dup.Nodes()); n != 2 {
+		t.Fatalf("duplicate members not compacted: %d nodes", n)
+	}
+	if got := NewRing([]string{"a", "b"}, 0).vnodes; got != 128 {
+		t.Fatalf("vnodes default = %d, want 128", got)
+	}
+}

@@ -1,0 +1,423 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vca/internal/server"
+	"vca/internal/simcache"
+)
+
+// newWorker builds one real vcaserved backend (own cache, own httptest
+// listener) — the router's tests shard over genuine workers, not stubs,
+// so every assertion covers the actual wire protocol.
+func newWorker(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	cache, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Options{Workers: 2, Cache: cache})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func newTestRouter(t *testing.T, opts Options) (*Router, *httptest.Server) {
+	t.Helper()
+	r, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		r.Drain(ctx)
+	})
+	return r, ts
+}
+
+func submitSweep(t *testing.T, url string, req server.SweepRequest) (id string, cells int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: status %d: %v", resp.StatusCode, e)
+	}
+	var out struct {
+		ID         string `json:"id"`
+		CellsTotal int    `json:"cells_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ID, out.CellsTotal
+}
+
+func streamResults(t *testing.T, url, id string) []server.CellResult {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results: status %d", resp.StatusCode)
+	}
+	var out []server.CellResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var r server.CellResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func promValue(t *testing.T, text, series string) (uint64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		var v uint64
+		for _, c := range rest {
+			if c < '0' || c > '9' {
+				break
+			}
+			v = v*10 + uint64(c-'0')
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func scrapeMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	b.ReadFrom(resp.Body)
+	return b.String()
+}
+
+// TestRouterByteIdentity is the topology-transparency gate: the same
+// sweep through a 2-worker router must stream back byte-identical cells
+// (as JSON) to the direct in-process path — including the "No Baseline"
+// cell the router answers locally without touching any worker.
+func TestRouterByteIdentity(t *testing.T) {
+	req := server.SweepRequest{
+		Tenant:     "e2e",
+		Benchmarks: []string{"crafty"},
+		Archs:      []string{"baseline", "vca-windowed"},
+		PhysRegs:   []int{64, 256}, // baseline@64 is a "No Baseline" region
+		StopAfter:  3000,
+	}
+	cells, err := server.ExpandCells(&req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directCache, err := simcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := server.RunCells(directCache, 2, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, w1 := newWorker(t)
+	_, w2 := newWorker(t)
+	r, rts := newTestRouter(t, Options{Workers: []string{w1.URL, w2.URL}, HealthInterval: -1})
+
+	id, n := submitSweep(t, rts.URL, req)
+	if n != len(cells) {
+		t.Fatalf("router expanded %d cells, direct %d", n, len(cells))
+	}
+	streamed := streamResults(t, rts.URL, id)
+	if len(streamed) != len(direct) {
+		t.Fatalf("streamed %d results, want %d", len(streamed), len(direct))
+	}
+	sort.Slice(streamed, func(a, b int) bool { return streamed[a].Index < streamed[b].Index })
+	for i := range direct {
+		want, _ := json.Marshal(&direct[i])
+		got, _ := json.Marshal(&streamed[i])
+		if !bytes.Equal(want, got) {
+			t.Errorf("cell %d differs:\n router: %s\n direct: %s", i, got, want)
+		}
+	}
+
+	// The invalid cell never left the router; the rest dispatched.
+	if local := r.met.cellsLocal.Load(); local != 1 {
+		t.Errorf("cells_local = %d, want 1 (baseline@64)", local)
+	}
+	if routed := r.met.cellsRouted.Load(); routed != uint64(len(cells)-1) {
+		t.Errorf("cells_routed = %d, want %d", routed, len(cells)-1)
+	}
+	var perWorker uint64
+	for i := range r.met.perWorker {
+		perWorker += r.met.perWorker[i].Load()
+	}
+	if perWorker != r.met.cellsRouted.Load() {
+		t.Errorf("per-worker routed sum %d != cells_routed %d", perWorker, r.met.cellsRouted.Load())
+	}
+
+	// Status through the router agrees.
+	resp, err := http.Get(rts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.State != server.StateDone || st.CellsDone != n || st.CellsFailed != 0 {
+		t.Fatalf("status = %+v, want done/%d/0", st, n)
+	}
+}
+
+// TestRouterFleetDedup is the cache-affinity gate: identical cells from
+// different tenants route to the same worker, so the FLEET simulates
+// each distinct cell exactly once — readable from the router's
+// aggregated /metrics as misses == distinct cells, with the router's
+// own server.shard.* counters alongside.
+func TestRouterFleetDedup(t *testing.T) {
+	_, w1 := newWorker(t)
+	_, w2 := newWorker(t)
+	_, rts := newTestRouter(t, Options{Workers: []string{w1.URL, w2.URL}, HealthInterval: -1})
+
+	req := server.SweepRequest{
+		Tenant:     "tenant-a",
+		Benchmarks: []string{"mesa"},
+		Archs:      []string{"vca-flat"},
+		PhysRegs:   []int{128, 192}, // 2 distinct cells
+		StopAfter:  3000,
+	}
+	var ids [2]string
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rq := req
+			if i == 1 {
+				rq.Tenant = "tenant-b"
+			}
+			id, _ := submitSweep(t, rts.URL, rq)
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+
+	var first []byte
+	for i, id := range ids {
+		res := streamResults(t, rts.URL, id)
+		if len(res) != 2 {
+			t.Fatalf("submission %d: %d results, want 2", i, len(res))
+		}
+		sort.Slice(res, func(a, b int) bool { return res[a].Index < res[b].Index })
+		for _, cr := range res {
+			if cr.Error != "" || !cr.Valid {
+				t.Fatalf("submission %d: bad result %+v", i, cr)
+			}
+		}
+		b, _ := json.Marshal(res)
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatal("tenants received different answers for identical sweeps")
+		}
+	}
+
+	text := scrapeMetrics(t, rts.URL)
+	misses, ok := promValue(t, text, "vca_simcache_misses_total")
+	if !ok {
+		t.Fatalf("aggregated /metrics lacks vca_simcache_misses_total:\n%s", text)
+	}
+	if misses != 2 {
+		t.Errorf("fleet-wide misses = %d, want exactly 2 simulations for 2 tenants x 2 identical cells", misses)
+	}
+	hits, _ := promValue(t, text, "vca_simcache_hits_total")
+	sfHits, _ := promValue(t, text, "vca_simcache_sf_hits_total")
+	if hits+sfHits != 2 {
+		t.Errorf("fleet hits(%d) + sf_hits(%d) = %d, want 2 deduplicated cells", hits, sfHits, hits+sfHits)
+	}
+	// Aggregated worker series and router-own series share the endpoint.
+	if cells, _ := promValue(t, text, "vca_server_cells_done_total"); cells != 4 {
+		t.Errorf("aggregated worker cells_done = %d, want 4 single-cell dispatches", cells)
+	}
+	if jobs, _ := promValue(t, text, "vca_server_shard_jobs_done_total"); jobs != 2 {
+		t.Errorf("router jobs_done = %d, want 2", jobs)
+	}
+	if routed, _ := promValue(t, text, "vca_server_shard_cells_routed_total"); routed != 4 {
+		t.Errorf("router cells_routed = %d, want 4", routed)
+	}
+}
+
+// TestRouterFailover pins the retry/failover path deterministically: a
+// worker that accepts a cell but kills the results stream (a crash
+// mid-dispatch as the router observes it) costs retries, a mark-down,
+// and a failover — and the cell is still answered exactly once, with
+// the correct result, by the ring successor.
+func TestRouterFailover(t *testing.T) {
+	_, live := newWorker(t)
+
+	// The flaky worker 202-accepts every sweep, then cuts every results
+	// stream at the socket.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": "sw-000001", "cells_total": 1,
+			"status_url":  "/v1/sweeps/sw-000001",
+			"results_url": "/v1/sweeps/sw-000001/results",
+		})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		conn, _, err := http.NewResponseController(w).Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	})
+	flaky := httptest.NewServer(mux)
+	t.Cleanup(flaky.Close)
+
+	r, rts := newTestRouter(t, Options{
+		Workers:        []string{live.URL, flaky.URL},
+		HealthInterval: -1, // no prober: the dispatch path alone must detect the death
+		RetryAttempts:  2,
+		RetryBase:      5 * time.Millisecond,
+	})
+
+	// Pick a cell whose ring owner is the flaky worker, so the dispatch
+	// provably exercises failure first. The ring hashes listener URLs,
+	// so the probe is at runtime — but deterministic once chosen.
+	cell := server.Cell{Arch: "vca-flat", Benchmarks: "crafty", DL1Ports: 2, StopAfter: 2500}
+	found := false
+	for _, pr := range []int{96, 128, 160, 192, 224, 256, 288, 320} {
+		cell.PhysRegs = pr
+		key, ok, err := server.CellKey(cell)
+		if err != nil || !ok {
+			t.Fatalf("CellKey(%+v): ok=%v err=%v", cell, ok, err)
+		}
+		if r.ring.Owner(key) == strings.TrimRight(flaky.URL, "/") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no candidate cell hashed to the flaky worker — widen the candidate list")
+	}
+
+	id, _ := submitSweep(t, rts.URL, server.SweepRequest{
+		Benchmarks: []string{cell.Benchmarks},
+		Archs:      []string{cell.Arch},
+		PhysRegs:   []int{cell.PhysRegs},
+		StopAfter:  cell.StopAfter,
+	})
+	res := streamResults(t, rts.URL, id)
+	if len(res) != 1 {
+		t.Fatalf("%d results, want exactly 1 (no duplicate answers through failover)", len(res))
+	}
+	if res[0].Error != "" || !res[0].Valid {
+		t.Fatalf("failover result: %+v", res[0])
+	}
+
+	if got := r.met.retries.Load(); got == 0 {
+		t.Error("retries = 0, want backoff re-attempts against the flaky worker")
+	}
+	if got := r.met.failovers.Load(); got != 1 {
+		t.Errorf("failovers = %d, want 1", got)
+	}
+	if got := r.met.remapped.Load(); got != 1 {
+		t.Errorf("remapped = %d, want 1 (cell served off its primary shard)", got)
+	}
+	if r.pool.Healthy(strings.TrimRight(flaky.URL, "/")) {
+		t.Error("flaky worker still marked healthy after transport failures")
+	}
+}
+
+// TestRouterValidationAndDrain: the router rejects what a worker would
+// reject (same API, same errors), and drains like one (readyz 503,
+// submissions 503, admitted work still answered).
+func TestRouterValidationAndDrain(t *testing.T) {
+	_, w1 := newWorker(t)
+	r, rts := newTestRouter(t, Options{Workers: []string{w1.URL}, HealthInterval: -1, MaxCellsPerSweep: 4})
+
+	for name, req := range map[string]server.SweepRequest{
+		"unknown arch": {Benchmarks: []string{"crafty"}, Archs: []string{"pdp11"}, PhysRegs: []int{256}},
+		"bad priority": {Benchmarks: []string{"crafty"}, Archs: []string{"baseline"}, PhysRegs: []int{256}, Priority: "urgent"},
+		"too large":    {Benchmarks: []string{"crafty"}, Archs: []string{"baseline"}, PhysRegs: []int{64, 128, 192, 256, 320}},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(rts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	req := server.SweepRequest{Benchmarks: []string{"gap"}, Archs: []string{"baseline"}, PhysRegs: []int{256}, StopAfter: 2000}
+	id, _ := submitSweep(t, rts.URL, req)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := streamResults(t, rts.URL, id)
+	if len(res) != 1 || res[0].Error != "" || !res[0].Valid {
+		t.Fatalf("drained job results: %+v", res)
+	}
+	resp, err := http.Get(rts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	body, _ := json.Marshal(req)
+	resp, err = http.Post(rts.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: %d, want 503", resp.StatusCode)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"vca/internal/core"
 	"vca/internal/experiments"
@@ -151,6 +152,33 @@ func ExpandCells(req *SweepRequest, maxCells int) ([]Cell, error) {
 	return cells, nil
 }
 
+// progMemo caches built workload programs by (ABI, benchmark name).
+// Workload compilation is deterministic, and a built Program is
+// read-only to the simulator (core.New copies the image into machine
+// memory; SMT runs already share one Program across threads), so every
+// cell of a sweep — and every sweep of a daemon's lifetime — can share
+// one build per (ABI, name). The shard router leans on this hardest:
+// it derives a routing key for every cell at admission time, which
+// without the memo would recompile the workload per cell.
+var progMemo sync.Map // "abi|name" -> *program.Program
+
+func buildProgram(abi minic.ABI, name string) (*program.Program, error) {
+	memoKey := fmt.Sprintf("%d|%s", abi, name)
+	if p, ok := progMemo.Load(memoKey); ok {
+		return p.(*program.Program), nil
+	}
+	b, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Build(abi)
+	if err != nil {
+		return nil, err
+	}
+	progMemo.Store(memoKey, p)
+	return p, nil
+}
+
 // buildCell resolves a cell to a runnable (config, programs, windowed)
 // triple. ok=false means the architecture cannot operate at this size —
 // the caller reports an invalid (but successful) cell.
@@ -166,11 +194,7 @@ func buildCell(c Cell) (cfg core.Config, progs []*program.Program, windowed bool
 	}
 	abi := arch.ABI()
 	for _, name := range names {
-		b, err := workload.ByName(strings.TrimSpace(name))
-		if err != nil {
-			return core.Config{}, nil, false, false, err
-		}
-		p, err := b.Build(abi)
+		p, err := buildProgram(abi, strings.TrimSpace(name))
 		if err != nil {
 			return core.Config{}, nil, false, false, err
 		}
@@ -179,6 +203,21 @@ func buildCell(c Cell) (cfg core.Config, progs []*program.Program, windowed bool
 	cfg.StopAfter = c.StopAfter
 	cfg.MaxCycles = 1 << 34
 	return cfg, progs, abi == minic.ABIWindowed, true, nil
+}
+
+// CellKey returns the simcache content address the cell's simulation
+// will be stored under — the key RunCell's RunMachineShared derives on
+// the worker. The shard router computes it before admission and feeds
+// it to the consistent-hash ring, so identical cells from any tenant
+// land on the worker whose cache (and in-flight singleflight table)
+// already covers them. ok=false is the "No Baseline" region: the cell
+// never simulates, so it has no content address and needs no worker.
+func CellKey(c Cell) (key string, ok bool, err error) {
+	cfg, progs, windowed, ok, err := buildCell(c)
+	if err != nil || !ok {
+		return "", ok, err
+	}
+	return simcache.Key(cfg, progs, windowed), true, nil
 }
 
 // RunCell executes one cell against the shared store with singleflight

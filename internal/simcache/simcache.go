@@ -55,25 +55,56 @@ import (
 // Key returns the content address of one simulation job. Identical
 // keys guarantee bit-identical simulation results under the current
 // core.SchemaVersion.
+//
+// The derivation is split into exported parts — ProgramDigest per
+// program image, then KeyFromParts over the config fingerprint and the
+// digests — so callers that route on the content address before
+// admitting work (the shard router, internal/server/shard) can memoize
+// the expensive half (program digests) and derive per-cell keys without
+// re-hashing unchanged program images.
 func Key(cfg core.Config, progs []*program.Program, windowed bool) string {
+	digests := make([]string, len(progs))
+	for i, p := range progs {
+		digests[i] = ProgramDigest(p)
+	}
+	return KeyFromParts(cfg.Fingerprint(), windowed, digests)
+}
+
+// ProgramDigest returns the content digest of one program image: load
+// bases, entry point, text words, and data bytes. Two programs with
+// equal digests are indistinguishable to the simulator.
+func ProgramDigest(p *program.Program) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "schema=%d\n", core.SchemaVersion)
-	fmt.Fprintf(h, "config=%s\n", cfg.Fingerprint())
-	fmt.Fprintf(h, "windowed=%v\nprograms=%d\n", windowed, len(progs))
 	var word [4]byte
 	var addr [8]byte
-	for _, p := range progs {
-		binary.LittleEndian.PutUint64(addr[:], p.TextBase)
-		h.Write(addr[:])
-		binary.LittleEndian.PutUint64(addr[:], p.DataBase)
-		h.Write(addr[:])
-		binary.LittleEndian.PutUint64(addr[:], p.Entry)
-		h.Write(addr[:])
-		for _, w := range p.Text {
-			binary.LittleEndian.PutUint32(word[:], uint32(w))
-			h.Write(word[:])
-		}
-		h.Write(p.Data)
+	binary.LittleEndian.PutUint64(addr[:], p.TextBase)
+	h.Write(addr[:])
+	binary.LittleEndian.PutUint64(addr[:], p.DataBase)
+	h.Write(addr[:])
+	binary.LittleEndian.PutUint64(addr[:], p.Entry)
+	h.Write(addr[:])
+	for _, w := range p.Text {
+		binary.LittleEndian.PutUint32(word[:], uint32(w))
+		h.Write(word[:])
+	}
+	h.Write(p.Data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeyFromParts derives a job's content address from its already-derived
+// parts: the config fingerprint (core.Config.Fingerprint), the windowed
+// flag, and one ProgramDigest per thread in thread order. It is the
+// pre-admission routing form of Key: the shard router derives every
+// cell's address this way to pick the cache-affine worker before any
+// work is queued, and the equality Key == KeyFromParts(Fingerprint,
+// windowed, digests) is pinned by TestKeyFromPartsMatchesKey.
+func KeyFromParts(cfgFingerprint string, windowed bool, progDigests []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "schema=%d\n", core.SchemaVersion)
+	fmt.Fprintf(h, "config=%s\n", cfgFingerprint)
+	fmt.Fprintf(h, "windowed=%v\nprograms=%d\n", windowed, len(progDigests))
+	for _, d := range progDigests {
+		fmt.Fprintf(h, "program=%s\n", d)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -463,3 +463,60 @@ func TestSimulationsMatchMisses(t *testing.T) {
 		t.Errorf("traffic misses=%d hits=%d, want 3/3", s.Misses, s.Hits)
 	}
 }
+
+// TestKeyFromPartsMatchesKey pins the pre-admission routing derivation:
+// the key the shard router computes from a cell's config fingerprint and
+// program digests (KeyFromParts) must equal the key the worker's cache
+// derives when the cell actually runs (Key) — that equality is what
+// makes consistent-hash routing cache-affine. It also pins the
+// sensitivity of every part: a changed config, program image, program
+// order, or windowed flag must change the key.
+func TestKeyFromPartsMatchesKey(t *testing.T) {
+	crafty, _ := workload.ByName("crafty")
+	mesa, _ := workload.ByName("mesa")
+	cfg, progs, windowed := jobFor(t, crafty, testModels[2])
+	p2, err := mesa.Build(testModels[2].abi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs = append(progs, p2)
+	cfg2 := core.DefaultConfig(testModels[2].rename, testModels[2].window, 2, testModels[2].physRegs)
+	cfg2.StopAfter = testStop
+	cfg2.MaxCycles = 1 << 34
+	cfg = cfg2
+
+	digests := []string{ProgramDigest(progs[0]), ProgramDigest(progs[1])}
+	want := Key(cfg, progs, windowed)
+	if got := KeyFromParts(cfg.Fingerprint(), windowed, digests); got != want {
+		t.Fatalf("KeyFromParts = %s, Key = %s", got, want)
+	}
+
+	// Sensitivity: each part independently changes the address.
+	cfgB := cfg
+	cfgB.StopAfter++
+	if KeyFromParts(cfgB.Fingerprint(), windowed, digests) == want {
+		t.Error("config change did not change the key")
+	}
+	if KeyFromParts(cfg.Fingerprint(), !windowed, digests) == want {
+		t.Error("windowed flag did not change the key")
+	}
+	if KeyFromParts(cfg.Fingerprint(), windowed, []string{digests[1], digests[0]}) == want {
+		t.Error("program order did not change the key")
+	}
+	if KeyFromParts(cfg.Fingerprint(), windowed, digests[:1]) == want {
+		t.Error("program count did not change the key")
+	}
+
+	// ProgramDigest is a pure function of the image: rebuilding the same
+	// workload yields the same digest, a different workload a new one.
+	p1b, err := crafty.Build(testModels[2].abi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ProgramDigest(p1b) != digests[0] {
+		t.Error("rebuilding the same workload changed its digest")
+	}
+	if digests[0] == digests[1] {
+		t.Error("distinct workloads share a program digest")
+	}
+}
